@@ -1,0 +1,247 @@
+(* Benchmark and reproduction harness.
+
+   Regenerates every table and figure of the paper's evaluation:
+   - Tables 1-16 (aggregate ratio statistics over the factorial design);
+   - Figure 3(a)/(b) (optimized vs non-optimized on-line heuristic);
+   - the §5.3 scheduling-overhead comparison.
+
+   Scale knobs (environment variables):
+     GRIPPS_BENCH_INSTANCES   instances per configuration   (default 3)
+     GRIPPS_BENCH_HORIZON     arrival window in seconds     (default 30)
+     GRIPPS_BENCH_FIG_INST    instances per density point   (default 10)
+     GRIPPS_BENCH_QUOTA      bechamel quota per timing test (default 0.5 s)
+
+   The bechamel section registers one Test.make per table and figure
+   (timing its aggregation + rendering from the measured sweep) and one
+   per scheduler (timing a full simulated workload — the actual §5.3
+   overhead experiment). *)
+
+open Bechamel
+open Bechamel.Toolkit
+module E = Gripps_experiments
+module W = Gripps_workload
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> (try int_of_string v with Failure _ -> default)
+  | None -> default
+
+let env_float name default =
+  match Sys.getenv_opt name with
+  | Some v -> (try float_of_string v with Failure _ -> default)
+  | None -> default
+
+let instances_per_config = env_int "GRIPPS_BENCH_INSTANCES" 3
+let horizon = env_float "GRIPPS_BENCH_HORIZON" 30.0
+let fig_instances = env_int "GRIPPS_BENCH_FIG_INST" 10
+let quota = env_float "GRIPPS_BENCH_QUOTA" 0.5
+
+(* ---- the sweep: run once, reused by all tables ----------------------- *)
+
+let sweep_results =
+  lazy
+    (let progress k total = Printf.eprintf "\rsweep: config %d/%d   %!" k total in
+     let r = E.Tables.sweep ~instances_per_config ~progress ~horizon () in
+     Printf.eprintf "\n%!";
+     r)
+
+let figure_samples =
+  lazy
+    (let base =
+       W.Config.make ~sites:3 ~databases:3 ~availability:0.6 ~density:1.0 ~horizon ()
+     in
+     let progress k total = Printf.eprintf "\rfigure 3: density %d/%d   %!" k total in
+     let r = E.Figures.sweep ~instances_per_density:fig_instances ~progress ~base () in
+     Printf.eprintf "\n%!";
+     r)
+
+let overhead_entries = lazy (E.Overhead.measure ~instances:2 ~horizon ())
+
+(* ---- reproduction output --------------------------------------------- *)
+
+let print_reproduction () =
+  let results = Lazy.force sweep_results in
+  let all = E.Tables.all_tables results in
+  List.iter
+    (fun (n, t) -> Printf.printf "=== Table %d ===\n%s\n" n (E.Render.table t))
+    all;
+  Printf.printf "=== Ranking agreement with the published tables ===\n%s\n"
+    (E.Paper_reference.render_comparison
+       (List.map (fun (n, t) -> E.Paper_reference.compare_tables n t) all));
+  let samples = Lazy.force figure_samples in
+  Printf.printf "=== Figure 3(a) ===\n%s\n" (E.Render.figure3a samples);
+  Printf.printf "=== Figure 3(b) ===\n%s\n" (E.Render.figure3b samples);
+  Printf.printf "=== Section 5.3 overhead ===\n%s\n"
+    (E.Render.overhead (Lazy.force overhead_entries));
+  Printf.printf "%s\n" (E.Render.overhead_scaling (E.Overhead.scaling ()))
+
+(* ---- bechamel timing tests -------------------------------------------- *)
+
+let table_tests () =
+  let results = Lazy.force sweep_results in
+  List.map
+    (fun (n, _) ->
+      Test.make
+        ~name:(Printf.sprintf "table%d" n)
+        (Staged.stage (fun () ->
+             ignore
+               (E.Render.table
+                  (match n with
+                   | 1 -> E.Tables.table1 results
+                   | 2 | 3 | 4 ->
+                     E.Tables.by_sites results (List.nth [ 3; 10; 20 ] (n - 2))
+                   | 5 | 6 | 7 | 8 | 9 | 10 ->
+                     E.Tables.by_density results
+                       (List.nth [ 0.75; 1.0; 1.25; 1.5; 2.0; 3.0 ] (n - 5))
+                   | 11 | 12 | 13 ->
+                     E.Tables.by_databases results (List.nth [ 3; 10; 20 ] (n - 11))
+                   | _ ->
+                     E.Tables.by_availability results
+                       (List.nth [ 0.3; 0.6; 0.9 ] (n - 14)))))))
+    (E.Tables.all_tables results)
+
+let figure_tests () =
+  let samples = Lazy.force figure_samples in
+  [ Test.make ~name:"figure3a" (Staged.stage (fun () -> ignore (E.Render.figure3a samples)));
+    Test.make ~name:"figure3b" (Staged.stage (fun () -> ignore (E.Render.figure3b samples))) ]
+
+(* The real §5.3 content: wall time of each scheduler on a 3-cluster
+   workload. *)
+let scheduler_tests () =
+  let c = W.Config.make ~sites:3 ~databases:3 ~availability:0.6 ~density:1.0 ~horizon () in
+  let inst = W.Generator.instance (Gripps_rng.Splitmix.create 53) c in
+  List.map
+    (fun s ->
+      Test.make
+        ~name:(Printf.sprintf "overhead:%s" s.Gripps_engine.Sim.name)
+        (Staged.stage (fun () -> ignore (Gripps_engine.Sim.run ~horizon:1e9 s inst))))
+    E.Runner.portfolio
+
+(* Ablations for the design choices called out in DESIGN.md:
+   - exact rational vs floating-point solver pipeline;
+   - virtual-machine aggregation on vs off;
+   - System (1) decided by max-flow vs by the from-scratch simplex. *)
+let ablation_tests () =
+  let module S = Gripps_core.Stretch_solver in
+  let module Snapshot = Gripps_core.Snapshot in
+  let module Q = Gripps_numeric.Rat in
+  let open Gripps_model in
+  let c =
+    W.Config.make ~sites:10 ~databases:3 ~availability:0.9 ~density:1.5
+      ~horizon:10.0 ()
+  in
+  let inst = W.Generator.instance (Gripps_rng.Splitmix.create 97) c in
+  let snap = Snapshot.of_instance inst in
+  let aggregated = snap.Snapshot.problem in
+  let platform = Instance.platform inst in
+  let raw =
+    { S.now = Q.zero;
+      jobs =
+        Array.to_list (Instance.jobs inst)
+        |> List.map (fun (j : Job.t) ->
+               { S.jid = j.id; release = Q.of_float j.release;
+                 size = Q.of_float j.size; remaining = Q.of_float j.size;
+                 machines =
+                   Platform.hosts_of platform j.databank
+                   |> List.map (fun (m : Machine.t) -> m.id) });
+      machines =
+        Array.to_list (Platform.machines platform)
+        |> List.map (fun (m : Machine.t) ->
+               { S.mid = m.id; speed = Q.of_float m.speed }) }
+  in
+  (* Simplex-based System (1) feasibility on a small probe value. *)
+  let module Qlp = Gripps_lp.Lp.Rat_lp in
+  let lp_feasible p stretch =
+    let jobs = Array.of_list p.S.jobs in
+    let deadline ji = Q.add jobs.(ji).S.release (Q.mul stretch jobs.(ji).S.size) in
+    let points =
+      (p.S.now :: List.map (fun (j : S.job_spec) -> Q.max_rat p.S.now j.release) p.S.jobs)
+      @ List.init (Array.length jobs) deadline
+      |> List.filter (fun t -> Q.ge t p.S.now)
+      |> List.sort_uniq Q.compare
+      |> Array.of_list
+    in
+    let nints = max 0 (Array.length points - 1) in
+    let m = Qlp.create () in
+    let vars = Hashtbl.create 64 in
+    Array.iteri
+      (fun ji (j : S.job_spec) ->
+        for t = 0 to nints - 1 do
+          if Q.ge points.(t) (Q.max_rat p.S.now j.release)
+             && Q.le points.(t + 1) (deadline ji)
+          then
+            List.iter
+              (fun mid -> Hashtbl.replace vars (ji, t, mid) (Qlp.variable m "w"))
+              j.machines
+        done)
+      jobs;
+    Array.iteri
+      (fun ji (j : S.job_spec) ->
+        let mine =
+          Hashtbl.fold
+            (fun (ji', _, _) v acc -> if ji' = ji then Qlp.v v :: acc else acc)
+            vars []
+        in
+        if mine <> [] then Qlp.eq m (Qlp.sum mine) (Qlp.const j.remaining))
+      jobs;
+    List.iter
+      (fun (mach : S.machine_spec) ->
+        for t = 0 to nints - 1 do
+          let mine =
+            Hashtbl.fold
+              (fun (_, t', mid) v acc ->
+                if t' = t && mid = mach.S.mid then Qlp.v v :: acc else acc)
+              vars []
+          in
+          if mine <> [] then
+            Qlp.le m (Qlp.sum mine)
+              (Qlp.const (Q.mul (Q.sub points.(t + 1) points.(t)) mach.S.speed))
+        done)
+      p.S.machines;
+    Qlp.set_objective m Qlp.Minimize (Qlp.const Q.zero);
+    match Qlp.solve m with
+    | Qlp.Optimal _ -> true
+    | Qlp.Infeasible | Qlp.Unbounded -> false
+  in
+  let probe = S.optimal_max_stretch aggregated in
+  [ Test.make ~name:"ablation:solver-exact"
+      (Staged.stage (fun () -> ignore (S.optimal_max_stretch aggregated)));
+    Test.make ~name:"ablation:solver-float"
+      (Staged.stage (fun () -> ignore (S.optimal_max_stretch_float aggregated)));
+    Test.make ~name:"ablation:aggregation-on"
+      (Staged.stage (fun () -> ignore (S.optimal_max_stretch_float aggregated)));
+    Test.make ~name:"ablation:aggregation-off"
+      (Staged.stage (fun () -> ignore (S.optimal_max_stretch_float raw)));
+    Test.make ~name:"ablation:system1-flow"
+      (Staged.stage (fun () -> ignore (S.feasible aggregated ~stretch:probe)));
+    Test.make ~name:"ablation:system1-simplex"
+      (Staged.stage (fun () -> ignore (lp_feasible aggregated probe))) ]
+
+let run_bechamel tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 10) ()
+  in
+  let grouped = Test.make_grouped ~name:"gripps" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Printf.printf "%-28s %16s\n" "benchmark" "time/run";
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let time =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Printf.sprintf "%12.3f us" (t /. 1000.0)
+        | Some [] | None -> "n/a"
+      in
+      Printf.printf "%-28s %16s\n" name time)
+    (List.sort compare rows)
+
+let () =
+  print_reproduction ();
+  Printf.printf "=== bechamel timings ===\n%!";
+  run_bechamel
+    (table_tests () @ figure_tests () @ scheduler_tests () @ ablation_tests ())

@@ -1,0 +1,239 @@
+(* Command-line interface to the GriPPS stretch-scheduling reproduction.
+
+   Subcommands:
+     run       simulate one random instance with the heuristic portfolio
+     optimal   print the exact optimal max-stretch of a random instance
+     table     regenerate one (or all) of the paper's Tables 1-16
+     figure    regenerate Figure 3(a)/3(b)
+     overhead  regenerate the section 5.3 scheduling-overhead comparison *)
+
+open Cmdliner
+open Gripps_model
+open Gripps_engine
+module W = Gripps_workload
+module E = Gripps_experiments
+module Q = Gripps_numeric.Rat
+
+(* ---- shared options -------------------------------------------------- *)
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let sites_t =
+  Arg.(value & opt int 3 & info [ "sites" ] ~docv:"N" ~doc:"Number of clusters.")
+
+let databases_t =
+  Arg.(value & opt int 3 & info [ "databases" ] ~docv:"N" ~doc:"Number of databanks.")
+
+let availability_t =
+  Arg.(
+    value
+    & opt float 0.6
+    & info [ "availability" ] ~docv:"P" ~doc:"Databank replication probability.")
+
+let density_t =
+  Arg.(value & opt float 1.0 & info [ "density" ] ~docv:"D" ~doc:"Workload density.")
+
+let horizon_t default =
+  Arg.(
+    value
+    & opt float default
+    & info [ "horizon" ] ~docv:"SECONDS" ~doc:"Arrival window length.")
+
+let instances_t default =
+  Arg.(
+    value
+    & opt int default
+    & info [ "instances" ] ~docv:"K" ~doc:"Random instances per configuration.")
+
+let config ~sites ~databases ~availability ~density ~horizon =
+  W.Config.make ~sites ~databases ~availability ~density ~horizon ()
+
+(* ---- run -------------------------------------------------------------- *)
+
+let scheduler_by_name name =
+  List.find_opt (fun s -> s.Sim.name = name) E.Runner.portfolio
+
+let run_cmd =
+  let scheduler_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scheduler" ] ~docv:"NAME"
+          ~doc:"Run a single scheduler (default: the whole portfolio).")
+  in
+  let gantt_t =
+    Arg.(
+      value & flag
+      & info [ "gantt" ]
+          ~doc:"Print a text Gantt chart of each scheduler's realized schedule.")
+  in
+  let action seed sites databases availability density horizon scheduler gantt =
+    let c = config ~sites ~databases ~availability ~density ~horizon in
+    let rng = Gripps_rng.Splitmix.create seed in
+    let inst = W.Generator.instance rng c in
+    Printf.printf "# %s\n# %d jobs, total speed %.1f MB/s\n" (W.Config.describe c)
+      (Instance.num_jobs inst)
+      (Platform.total_speed (Instance.platform inst));
+    let schedulers =
+      match scheduler with
+      | None -> E.Runner.portfolio
+      | Some name ->
+        (match scheduler_by_name name with
+         | Some s -> [ s ]
+         | None ->
+           Printf.eprintf "unknown scheduler %s; available: %s\n" name
+             (String.concat ", " E.Runner.portfolio_names);
+           exit 2)
+    in
+    let r = E.Runner.run_instance ~schedulers c inst in
+    Printf.printf "%-14s %12s %12s %10s\n" "scheduler" "max-stretch" "sum-stretch" "time(s)";
+    List.iter
+      (fun (m : E.Runner.measurement) ->
+        Printf.printf "%-14s %12.4f %12.4f %10.3f\n" m.scheduler m.max_stretch
+          m.sum_stretch m.wall_time)
+      r.measurements;
+    if gantt then
+      List.iter
+        (fun s ->
+          if List.exists (fun (m : E.Runner.measurement) -> m.scheduler = s.Sim.name)
+               r.measurements
+          then begin
+            Printf.printf "\n--- %s ---\n" s.Sim.name;
+            print_string (Gantt.render (Sim.run ~horizon:1e9 s inst))
+          end)
+        schedulers;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Simulate one random instance with the heuristic portfolio.")
+    Term.(
+      ret
+        (const action $ seed_t $ sites_t $ databases_t $ availability_t $ density_t
+         $ horizon_t 60.0 $ scheduler_t $ gantt_t))
+
+(* ---- optimal ---------------------------------------------------------- *)
+
+let optimal_cmd =
+  let action seed sites databases availability density horizon =
+    let c = config ~sites ~databases ~availability ~density ~horizon in
+    let rng = Gripps_rng.Splitmix.create seed in
+    let inst = W.Generator.instance rng c in
+    let s = Gripps_core.Offline.optimal_max_stretch inst in
+    Printf.printf "%d jobs; exact optimal max-stretch S* = %s = %.9f\n"
+      (Instance.num_jobs inst) (Q.to_string s) (Q.to_float s);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "optimal"
+       ~doc:"Print the exact (rational) optimal max-stretch of a random instance.")
+    Term.(
+      ret
+        (const action $ seed_t $ sites_t $ databases_t $ availability_t $ density_t
+         $ horizon_t 60.0))
+
+(* ---- table ------------------------------------------------------------ *)
+
+let table_cmd =
+  let which_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"N|all" ~doc:"Paper table number (1-16) or 'all'.")
+  in
+  let action which seed instances horizon =
+    let progress k total = Printf.eprintf "\rconfig %d/%d%!" k total in
+    let results =
+      E.Tables.sweep ~seed ~instances_per_config:instances ~progress ~horizon ()
+    in
+    Printf.eprintf "\n%!";
+    let all = E.Tables.all_tables results in
+    let print (n, t) = Printf.printf "=== Table %d ===\n%s\n" n (E.Render.table t) in
+    (match which with
+     | "all" -> List.iter print all
+     | n ->
+       (match int_of_string_opt n with
+        | Some k when List.mem_assoc k all -> print (k, List.assoc k all)
+        | Some _ | None ->
+          Printf.eprintf "no such table: %s (use 1-16 or 'all')\n" n;
+          exit 2));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "table" ~doc:"Regenerate the paper's aggregate statistic tables (1-16).")
+    Term.(ret (const action $ which_t $ seed_t $ instances_t 3 $ horizon_t 30.0))
+
+(* ---- figure ----------------------------------------------------------- *)
+
+let figure_cmd =
+  let which_t =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"3a|3b" ~doc:"Figure panel to regenerate.")
+  in
+  let action which seed instances horizon =
+    let base =
+      W.Config.make ~sites:3 ~databases:3 ~availability:0.6 ~density:1.0 ~horizon ()
+    in
+    let progress k total = Printf.eprintf "\rdensity %d/%d%!" k total in
+    let samples = E.Figures.sweep ~seed ~instances_per_density:instances ~progress ~base () in
+    Printf.eprintf "\n%!";
+    (match which with
+     | "3a" -> print_string (E.Render.figure3a samples)
+     | "3b" -> print_string (E.Render.figure3b samples)
+     | _ ->
+       Printf.eprintf "no such figure: %s (use 3a or 3b)\n" which;
+       exit 2);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "figure"
+       ~doc:"Regenerate Figure 3 (optimized vs non-optimized on-line heuristic).")
+    Term.(ret (const action $ which_t $ seed_t $ instances_t 10 $ horizon_t 30.0))
+
+(* ---- overhead --------------------------------------------------------- *)
+
+let overhead_cmd =
+  let action seed instances horizon =
+    print_string (E.Render.overhead (E.Overhead.measure ~seed ~instances ~horizon ()));
+    print_string (E.Render.overhead_scaling (E.Overhead.scaling ~seed ()));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "overhead" ~doc:"Regenerate the section 5.3 scheduling-overhead study.")
+    Term.(ret (const action $ seed_t $ instances_t 3 $ horizon_t 60.0))
+
+(* ---- validate --------------------------------------------------------- *)
+
+let validate_cmd =
+  let action seed instances horizon =
+    let progress k total = Printf.eprintf "\rconfig %d/%d%!" k total in
+    let results =
+      E.Tables.sweep ~seed ~instances_per_config:instances ~progress ~horizon ()
+    in
+    Printf.eprintf "\n%!";
+    let comps =
+      List.map
+        (fun (n, t) -> E.Paper_reference.compare_tables n t)
+        (E.Tables.all_tables results)
+    in
+    print_string (E.Paper_reference.render_comparison comps);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Regenerate every table and report Spearman ranking agreement with \
+          the published values.")
+    Term.(ret (const action $ seed_t $ instances_t 3 $ horizon_t 30.0))
+
+let main =
+  Cmd.group
+    (Cmd.info "gripps_cli" ~version:"1.0.0"
+       ~doc:
+         "Reproduction of 'Minimizing the stretch when scheduling flows of \
+          biological requests' (Legrand, Su, Vivien).")
+    [ run_cmd; optimal_cmd; table_cmd; figure_cmd; overhead_cmd; validate_cmd ]
+
+let () = exit (Cmd.eval main)

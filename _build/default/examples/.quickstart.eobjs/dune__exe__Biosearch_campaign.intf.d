@@ -1,0 +1,1 @@
+examples/biosearch_campaign.mli:

@@ -1,0 +1,1 @@
+examples/equivalence_demo.ml: Gripps_core Gripps_engine Gripps_model Gripps_sched Instance Job List Machine Platform Printf Schedule Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Gantt Gripps_core Gripps_engine Gripps_model Gripps_numeric Gripps_sched Instance Job Machine Metrics Platform Printf Schedule Sim

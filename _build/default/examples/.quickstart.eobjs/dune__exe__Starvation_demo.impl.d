@@ -1,0 +1,1 @@
+examples/starvation_demo.ml: Gripps_core Gripps_engine Gripps_model Gripps_numeric Gripps_sched List Metrics Printf Sim

@@ -1,0 +1,1 @@
+examples/swrpt_adversary.ml: Gripps_core Gripps_engine Gripps_model Gripps_sched Instance List Metrics Printf Sim

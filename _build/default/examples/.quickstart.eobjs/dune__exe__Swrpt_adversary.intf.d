@@ -1,0 +1,1 @@
+examples/swrpt_adversary.mli:

@@ -1,0 +1,1 @@
+examples/unrelated_demo.ml: Gripps_core Gripps_numeric List Printf

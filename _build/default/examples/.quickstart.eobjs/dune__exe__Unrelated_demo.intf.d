@@ -1,0 +1,1 @@
+examples/unrelated_demo.mli:

@@ -1,0 +1,1 @@
+lib/collections/vec.ml: Array List

@@ -1,0 +1,27 @@
+(** Imperative binary min-heap with a user-supplied order.
+
+    Used for the simulator's event queue and for Dijkstra inside the
+    min-cost-flow solver. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty heap ordered by [cmp] (smallest element on top). *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+val peek_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val pop : 'a t -> 'a option
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val clear : 'a t -> unit
+
+val to_sorted_list : 'a t -> 'a list
+(** Non-destructive; ascending order. *)

@@ -1,0 +1,51 @@
+type 'a t = { mutable data : 'a array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+let length v = v.size
+let is_empty v = v.size = 0
+
+let push v x =
+  let cap = Array.length v.data in
+  if v.size = cap then begin
+    let ncap = if cap = 0 then 8 else 2 * cap in
+    let nd = Array.make ncap x in
+    Array.blit v.data 0 nd 0 v.size;
+    v.data <- nd
+  end;
+  v.data.(v.size) <- x;
+  v.size <- v.size + 1
+
+let check v i =
+  if i < 0 || i >= v.size then invalid_arg "Vec: index out of bounds"
+
+let get v i = check v i; v.data.(i)
+let set v i x = check v i; v.data.(i) <- x
+
+let pop v =
+  if v.size = 0 then None
+  else begin
+    v.size <- v.size - 1;
+    Some v.data.(v.size)
+  end
+
+let iter f v = for i = 0 to v.size - 1 do f v.data.(i) done
+let iteri f v = for i = 0 to v.size - 1 do f i v.data.(i) done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.size - 1 do acc := f !acc v.data.(i) done;
+  !acc
+
+let exists p v =
+  let rec go i = i < v.size && (p v.data.(i) || go (i + 1)) in
+  go 0
+
+let to_array v = Array.sub v.data 0 v.size
+let to_list v = Array.to_list (to_array v)
+
+let of_list l =
+  let v = create () in
+  List.iter (push v) l;
+  v
+
+let clear v = v.size <- 0

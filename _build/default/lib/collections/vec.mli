@@ -1,0 +1,24 @@
+(** Growable arrays (the stdlib gains [Dynarray] only in 5.2). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val pop : 'a t -> 'a option
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val exists : ('a -> bool) -> 'a t -> bool
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val of_list : 'a list -> 'a t
+val clear : 'a t -> unit

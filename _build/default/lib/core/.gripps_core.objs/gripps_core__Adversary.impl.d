@@ -1,0 +1,1 @@
+lib/core/adversary.ml: Float Gripps_model Instance Job List Platform

@@ -1,0 +1,1 @@
+lib/core/bender.ml: Float Fun Gripps_engine Gripps_model Gripps_sched Hashtbl Instance Job List List_sched Option Sim Snapshot Stretch_solver

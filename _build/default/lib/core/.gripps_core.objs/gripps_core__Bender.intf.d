@@ -1,0 +1,1 @@
+lib/core/bender.mli: Gripps_engine Sim

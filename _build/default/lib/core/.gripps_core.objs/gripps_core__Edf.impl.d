@@ -1,0 +1,1 @@
+lib/core/edf.ml: Gripps_numeric List

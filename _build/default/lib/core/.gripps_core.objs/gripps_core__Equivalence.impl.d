@@ -1,0 +1,1 @@
+lib/core/equivalence.ml: Array Fun Gripps_model Instance Job List Machine Platform

@@ -1,0 +1,1 @@
+lib/core/offline.ml: Gripps_engine Gripps_numeric Plan_player Realize Sim Snapshot Stretch_solver

@@ -1,0 +1,1 @@
+lib/core/offline.mli: Gripps_engine Gripps_model Gripps_numeric Instance Sim

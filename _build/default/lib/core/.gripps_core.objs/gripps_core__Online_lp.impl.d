@@ -1,0 +1,1 @@
+lib/core/online_lp.ml: Gripps_engine Gripps_numeric Gripps_sched List List_sched Plan_player Realize Sim Snapshot Stretch_solver

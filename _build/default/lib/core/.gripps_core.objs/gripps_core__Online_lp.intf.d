@@ -1,0 +1,1 @@
+lib/core/online_lp.mli: Gripps_engine Sim

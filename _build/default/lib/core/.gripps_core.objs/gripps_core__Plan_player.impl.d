@@ -1,0 +1,1 @@
+lib/core/plan_player.ml: Gripps_engine Gripps_sched List List_sched Priority Realize Sim

@@ -1,0 +1,1 @@
+lib/core/plan_player.mli: Gripps_engine Realize Sim

@@ -1,0 +1,1 @@
+lib/core/realize.ml: Array Gripps_numeric Int List Map Option Stretch_solver

@@ -1,0 +1,1 @@
+lib/core/realize.mli: Gripps_numeric Stretch_solver

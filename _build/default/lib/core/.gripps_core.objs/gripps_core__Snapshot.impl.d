@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Array Gripps_engine Gripps_model Gripps_numeric Hashtbl Instance Int Job List Machine Option Platform Sim Stretch_solver

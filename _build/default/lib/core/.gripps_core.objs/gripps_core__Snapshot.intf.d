@@ -1,0 +1,1 @@
+lib/core/snapshot.mli: Gripps_engine Gripps_model Gripps_numeric Instance Realize Sim Stretch_solver

@@ -1,0 +1,1 @@
+lib/core/stretch_solver.ml: Array Float Fun Gripps_flow Gripps_numeric Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/core/stretch_solver.mli: Gripps_numeric

@@ -1,0 +1,1 @@
+lib/core/unrelated.ml: Array Gripps_lp Gripps_numeric Hashtbl Int List Option

@@ -1,0 +1,1 @@
+lib/core/unrelated.mli: Gripps_numeric

@@ -1,0 +1,87 @@
+open Gripps_model
+
+let starvation ~delta ~k =
+  if delta < 1.0 then invalid_arg "Adversary.starvation: delta < 1";
+  if k < 1 then invalid_arg "Adversary.starvation: k < 1";
+  let long = Job.make ~id:0 ~release:0.0 ~size:delta ~databank:0 in
+  let units =
+    List.init k (fun t ->
+        Job.make ~id:(t + 1) ~release:(float_of_int t) ~size:1.0 ~databank:0)
+  in
+  Instance.make ~platform:(Platform.single ~speed:1.0) ~jobs:(long :: units)
+
+type swrpt_parameters = { alpha : float; n : int; k : int; l : int }
+
+let log2 x = log x /. log 2.0
+
+let swrpt_parameters ~epsilon ~l =
+  if epsilon <= 0.0 || epsilon > 1.0 then
+    invalid_arg "Adversary.swrpt_parameters: epsilon outside (0, 1]";
+  if l < 1 then invalid_arg "Adversary.swrpt_parameters: l < 1";
+  let alpha = 1.0 -. (epsilon /. 3.0) in
+  let n =
+    int_of_float (Float.ceil (log2 (log2 (3.0 *. (1.0 +. alpha) /. epsilon))))
+  in
+  let k = int_of_float (Float.ceil (-.log2 (-.log2 alpha))) in
+  (* The proof also needs 1/2^(2^(n-1)) < ε/(3(1+α)); the ceiling above
+     guarantees it, but n must be at least 2 for r1, r2 to make sense. *)
+  { alpha; n = max n 2; k = max k 1; l }
+
+(* Size of job J_j in the cascade: 2^(2^(n-j)), extended to the doubling
+   tail where the exponent becomes negative. *)
+let cascade_size ~n j = Float.pow 2.0 (Float.pow 2.0 (float_of_int (n - j)))
+
+let swrpt_instance ~epsilon ~l =
+  let { alpha; n; k; l } = swrpt_parameters ~epsilon ~l in
+  let size0 = cascade_size ~n 0 in
+  let jobs = ref [] in
+  let add id release size =
+    jobs := Job.make ~id ~release ~size ~databank:0 :: !jobs
+  in
+  add 0 0.0 size0;
+  let r1 = size0 -. cascade_size ~n 2 in
+  add 1 r1 (cascade_size ~n 1);
+  let r2 = r1 +. cascade_size ~n 1 -. alpha in
+  add 2 r2 (cascade_size ~n 2);
+  (* J_3 .. J_n, then the doubling tail J_{n+1} .. J_{n+k}, then the unit
+     tail: each arrives when its predecessor's work would finish. *)
+  let prev_r = ref r2 and prev_p = ref (cascade_size ~n 2) in
+  for j = 3 to n + k do
+    let r = !prev_r +. !prev_p in
+    let p = cascade_size ~n j in
+    add j r p;
+    prev_r := r;
+    prev_p := p
+  done;
+  for j = 1 to l do
+    let r = !prev_r +. !prev_p in
+    add (n + k + j) r 1.0;
+    prev_r := r;
+    prev_p := 1.0
+  done;
+  Instance.make ~platform:(Platform.single ~speed:1.0) ~jobs:!jobs
+
+let theorem2_lower_bound ~epsilon ~l =
+  let { alpha; n; k; l } = swrpt_parameters ~epsilon ~l in
+  let lf = float_of_int l in
+  let tf =
+    (* Total work: the cascade (including the doubling tail) plus l units. *)
+    let cascade = ref 0.0 in
+    for j = 0 to n + k do cascade := !cascade +. cascade_size ~n j done;
+    !cascade +. lf
+  in
+  let size0 = cascade_size ~n 0 in
+  let size1 = cascade_size ~n 1 in
+  let swrpt_sum =
+    (* J0 stretches over the whole schedule; J1 has stretch 1; every other
+       job is delayed by α. *)
+    let tail = ref 0.0 in
+    for j = 2 to n + k do tail := !tail +. (alpha /. cascade_size ~n j) done;
+    float_of_int (n + k - 1) +. (lf *. (1.0 +. alpha)) +. (tf /. size0) +. !tail
+  in
+  let srpt_sum =
+    (* All stretches are 1 except J1, which ends last. *)
+    let r1 = size0 -. cascade_size ~n 2 in
+    float_of_int (n + k + l - 1) +. ((tf -. r1) /. size1)
+  in
+  swrpt_sum /. srpt_sum

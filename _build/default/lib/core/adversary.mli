@@ -1,0 +1,35 @@
+(** Adversarial instances from the paper's negative results.
+
+    {!starvation} builds the Theorem 1 family: one job of size [Δ] at date
+    0 followed by [k] unit jobs, one per time unit.  Any algorithm with a
+    non-trivial sum-stretch competitive ratio must starve the long job,
+    making its max-stretch arbitrarily worse than optimal.
+
+    {!swrpt_instance} builds the Appendix A family proving Theorem 2: on
+    it, SWRPT's sum-stretch approaches twice SRPT's, so SWRPT is not
+    [(2 − ε)]-competitive for sum-stretch. *)
+
+open Gripps_model
+
+val starvation : delta:float -> k:int -> Instance.t
+(** Uni-processor (unit speed) instance.  @raise Invalid_argument when
+    [delta < 1] or [k < 1]. *)
+
+type swrpt_parameters = {
+  alpha : float;  (** 1 − ε/3 *)
+  n : int;        (** length of the square-root cascade *)
+  k : int;        (** length of the doubling tail *)
+  l : int;        (** number of trailing unit jobs *)
+}
+
+val swrpt_parameters : epsilon:float -> l:int -> swrpt_parameters
+(** The constants of Appendix A for a target gap [ε].
+    @raise Invalid_argument when [epsilon] is outside (0, 1] or [l < 1]. *)
+
+val swrpt_instance : epsilon:float -> l:int -> Instance.t
+(** The full adversarial instance on a unit-speed uni-processor. *)
+
+val theorem2_lower_bound : epsilon:float -> l:int -> float
+(** The ratio (sum-stretch of SWRPT) / (sum-stretch of SRPT) predicted to
+    exceed [2 − ε] for large [l], computed analytically from the closed
+    forms in Appendix A (used to cross-check the simulation). *)

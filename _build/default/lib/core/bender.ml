@@ -1,0 +1,93 @@
+open Gripps_model
+open Gripps_engine
+open Gripps_sched
+
+
+let arrived_delta inst st =
+  let sizes =
+    List.filter_map
+      (fun jid ->
+        if Sim.is_released st jid then Some (Instance.job inst jid).Job.size
+        else None)
+      (List.init (Instance.num_jobs inst) Fun.id)
+  in
+  match sizes with
+  | [] -> 1.0
+  | s :: rest ->
+    let lo = List.fold_left Float.min s rest in
+    let hi = List.fold_left Float.max s rest in
+    hi /. lo
+
+let min_arrived_size inst st =
+  List.fold_left
+    (fun acc jid ->
+      if Sim.is_released st jid then Float.min acc (Instance.job inst jid).Job.size
+      else acc)
+    infinity
+    (List.init (Instance.num_jobs inst) Fun.id)
+
+let bender98 =
+  { Sim.name = "Bender98";
+    make =
+      (fun inst ->
+        let deadlines = Hashtbl.create 64 in
+        fun st events ->
+          if
+            List.exists
+              (fun e ->
+                match e with
+                | Sim.Arrival _ -> true
+                | Sim.Completion _ | Sim.Boundary -> false)
+              events
+          then begin
+            (* Full hindsight optimum over every job released so far,
+               ignoring the work actually performed — the expensive
+               recomputation the paper measures in §5.3. *)
+            let problem =
+              (Snapshot.of_instance ~subset:(fun jid -> Sim.is_released st jid) inst).Snapshot.problem
+            in
+            let s_star = Stretch_solver.optimal_max_stretch_float problem in
+            let alpha = sqrt (arrived_delta inst st) in
+            Hashtbl.reset deadlines;
+            List.iter
+              (fun jid ->
+                let j = Instance.job inst jid in
+                let d = j.Job.release +. (alpha *. s_star *. j.Job.size) in
+                Hashtbl.replace deadlines jid d)
+              (Sim.active_jobs st)
+          end;
+          let order =
+            Sim.active_jobs st
+            |> List.map (fun j ->
+                   ((Option.value ~default:infinity (Hashtbl.find_opt deadlines j), j), j))
+            |> List.sort compare
+            |> List.map snd
+          in
+          { Sim.allocation = List_sched.allocate st ~priority_order:order;
+            horizon = None }) }
+
+let pseudo_stretch ~delta ~min_size ~size ~release ~now =
+  let p = size /. min_size in
+  let denom = if p <= sqrt delta then sqrt delta else delta in
+  (now -. release) /. denom
+
+let bender02 =
+  Sim.stateless "Bender02" (fun st _events ->
+      let inst = Sim.instance st in
+      let delta = arrived_delta inst st in
+      let min_size = min_arrived_size inst st in
+      let order =
+        Sim.active_jobs st
+        |> List.map (fun j ->
+               let job = Instance.job inst j in
+               let s =
+                 pseudo_stretch ~delta ~min_size ~size:job.Job.size
+                   ~release:job.Job.release ~now:(Sim.now st)
+               in
+               (* Decreasing pseudo-stretch: negate for ascending sort. *)
+               ((-.s, j), j))
+        |> List.sort compare
+        |> List.map snd
+      in
+      { Sim.allocation = List_sched.allocate st ~priority_order:order;
+        horizon = None })

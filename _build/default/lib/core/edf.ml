@@ -1,0 +1,52 @@
+module Q = Gripps_numeric.Rat
+
+type job = { release : Q.t; deadline : Q.t; work : Q.t }
+
+let feasible jobs =
+  List.iter
+    (fun j -> if Q.sign j.work < 0 then invalid_arg "Edf.feasible: negative work")
+    jobs;
+  let upcoming =
+    ref
+      (List.sort
+         (fun a b -> Q.compare a.release b.release)
+         (List.filter (fun j -> Q.sign j.work > 0) jobs))
+  in
+  (* Active jobs as (deadline, remaining) sorted by deadline. *)
+  let active = ref [] in
+  let insert j =
+    let rec go = function
+      | [] -> [ j ]
+      | (d, _) :: _ as rest when Q.lt (fst j) d -> j :: rest
+      | x :: rest -> x :: go rest
+    in
+    active := go !active
+  in
+  let rec run t =
+    (* Release everything due. *)
+    let due, later = List.partition (fun j -> Q.le j.release t) !upcoming in
+    upcoming := later;
+    List.iter (fun j -> insert (j.deadline, j.work)) due;
+    match !active with
+    | [] ->
+      (match !upcoming with
+       | [] -> true
+       | j :: _ -> run j.release)
+    | (deadline, rem) :: rest ->
+      let next_release =
+        match !upcoming with [] -> None | j :: _ -> Some j.release
+      in
+      let finish = Q.add t rem in
+      let run_until =
+        match next_release with
+        | Some r when Q.lt r finish -> r
+        | Some _ | None -> finish
+      in
+      if Q.gt run_until deadline then false
+      else begin
+        if Q.equal run_until finish then active := rest
+        else active := (deadline, Q.sub rem (Q.sub run_until t)) :: rest;
+        run run_until
+      end
+  in
+  match !upcoming with [] -> true | j :: _ -> run j.release

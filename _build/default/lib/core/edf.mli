@@ -1,0 +1,22 @@
+(** Exact preemptive EDF feasibility on one processor.
+
+    Earliest Deadline First is optimal for preemptive deadline
+    feasibility on a single machine (Labetoulle–Lawler–Lenstra–Rinnooy
+    Kan [8], cited by the paper): a deadline assignment is feasible iff
+    the EDF simulation meets every deadline.  By Lemma 1 this also decides
+    the uniform divisible multi-machine case, which makes this module an
+    independent combinatorial cross-check of {!Stretch_solver} (the two
+    are property-tested against each other). *)
+
+module Q = Gripps_numeric.Rat
+
+type job = {
+  release : Q.t;
+  deadline : Q.t;
+  work : Q.t;  (** processing time on the (unit-speed) processor *)
+}
+
+val feasible : job list -> bool
+(** Exact rational EDF simulation; true iff every job can complete by its
+    deadline.  Jobs with zero work are ignored.
+    @raise Invalid_argument on negative work. *)

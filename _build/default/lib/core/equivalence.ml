@@ -1,0 +1,20 @@
+open Gripps_model
+
+let is_uniform inst =
+  let platform = Instance.platform inst in
+  Array.for_all
+    (fun (m : Machine.t) -> Array.for_all Fun.id m.databanks)
+    (Platform.machines platform)
+
+let equivalent_speed platform = Platform.total_speed platform
+
+let to_uniprocessor inst =
+  if not (is_uniform inst) then
+    invalid_arg "Equivalence.to_uniprocessor: restricted availability";
+  let platform = Instance.platform inst in
+  let speed = equivalent_speed platform in
+  let jobs =
+    Array.to_list (Instance.jobs inst)
+    |> List.map (fun (j : Job.t) -> { j with databank = 0 })
+  in
+  Instance.make ~platform:(Platform.single ~speed) ~jobs

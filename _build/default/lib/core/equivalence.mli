@@ -1,0 +1,17 @@
+(** Lemma 1 (paper §3.2): a uniform divisible multi-machine instance is
+    equivalent to a single preemptive processor of aggregate speed
+    [1 / Σᵢ 1/pᵢ = Σᵢ speedᵢ]. *)
+
+open Gripps_model
+
+val is_uniform : Instance.t -> bool
+(** True when every machine hosts every databank (unrestricted
+    availability) — the hypothesis of Lemma 1. *)
+
+val to_uniprocessor : Instance.t -> Instance.t
+(** The equivalent single-machine instance (same jobs, one machine of
+    aggregate speed, single databank).
+    @raise Invalid_argument when the instance is not uniform. *)
+
+val equivalent_speed : Platform.t -> float
+(** Aggregate speed of the equivalent processor. *)

@@ -1,0 +1,26 @@
+open Gripps_engine
+module Q = Gripps_numeric.Rat
+
+let optimal_max_stretch inst =
+  Stretch_solver.optimal_max_stretch (Snapshot.of_instance inst).Snapshot.problem
+
+let make_scheduler name ~refine =
+  { Sim.name;
+    make =
+      (fun inst ->
+        let player = Plan_player.create () in
+        let planned = ref false in
+        fun st _events ->
+          if not !planned then begin
+            planned := true;
+            let snap = Snapshot.of_instance inst in
+            let a = Stretch_solver.solve ~refine snap.Snapshot.problem in
+            Plan_player.set_plan player
+              (Snapshot.expand_commitments snap
+                 (Realize.commitments a ~policy:Realize.Terminal_first
+                    ~sizes:(Snapshot.sizes_fn inst) ~speeds:snap.Snapshot.vspeed))
+          end;
+          Plan_player.step player st) }
+
+let scheduler = make_scheduler "Offline" ~refine:false
+let scheduler_refined = make_scheduler "Offline-Refined" ~refine:true

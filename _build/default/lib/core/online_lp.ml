@@ -1,0 +1,62 @@
+open Gripps_engine
+open Gripps_sched
+
+let has_arrival events =
+  List.exists
+    (fun e -> match e with Sim.Arrival _ -> true | Sim.Completion _ | Sim.Boundary -> false)
+    events
+
+(* The on-line heuristics run in doubles (as the paper's implementation
+   did): only the clairvoyant Offline optimum needs exact arithmetic. *)
+let solve_state st ~refine =
+  let snap = Snapshot.of_state st in
+  let floor = Gripps_numeric.Rat.to_float (Snapshot.stretch_floor st) in
+  (snap, Stretch_solver.solve_float ~floor ~refine snap.Snapshot.problem)
+
+(* Online and Online-EDF: solve + realize into commitments, replayed by a
+   plan player until the next arrival. *)
+let playback_scheduler name ~policy ~refine =
+  { Sim.name;
+    make =
+      (fun inst ->
+        let player = Plan_player.create () in
+        let sizes = Snapshot.sizes_fn inst in
+        fun st events ->
+          if has_arrival events then begin
+            let snap, a = solve_state st ~refine in
+            Plan_player.set_plan player
+              (Snapshot.expand_commitments snap
+                 (Realize.commitments a ~policy ~sizes ~speeds:snap.Snapshot.vspeed))
+          end;
+          Plan_player.step player st) }
+
+let online =
+  playback_scheduler "Online" ~policy:Realize.Terminal_first ~refine:true
+
+let online_edf =
+  playback_scheduler "Online-EDF" ~policy:Realize.By_completion_interval ~refine:true
+
+let online_non_optimized =
+  playback_scheduler "Online-NonOpt" ~policy:Realize.Terminal_first ~refine:false
+
+(* Online-EGDF: keep only the global completion-interval order and run the
+   greedy distribution rule at every event. *)
+let online_egdf =
+  { Sim.name = "Online-EGDF";
+    make =
+      (fun inst ->
+        let sizes = Snapshot.sizes_fn inst in
+        let order = ref [] in
+        fun st events ->
+          if has_arrival events then begin
+            let _snap, a = solve_state st ~refine:true in
+            order := Realize.completion_order a ~sizes
+          end;
+          let alive = List.filter (fun j -> not (Sim.is_completed st j)) !order in
+          (* Safety: any active job missing from the order (cannot happen
+             for solver output, but cheap to guarantee) goes last. *)
+          let missing =
+            List.filter (fun j -> not (List.mem j alive)) (Sim.active_jobs st)
+          in
+          { Sim.allocation = List_sched.allocate st ~priority_order:(alive @ missing);
+            horizon = None }) }

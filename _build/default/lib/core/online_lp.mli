@@ -1,0 +1,29 @@
+(** The paper's on-line max-stretch heuristics (§4.3.2).
+
+    Every time a job arrives:
+
+    + preempt everything;
+    + compute the best achievable max-stretch [S*] given the work already
+      performed (exact rational solve of System (1), with the stretches of
+      already-completed jobs as a floor);
+    + solve System (2) — minimize the relaxed sum-stretch surrogate under
+      the [S*]-deadlines (min-cost flow);
+    + realize the assignment with one of three policies:
+      {ul
+      {- [Online]: per machine and interval, terminal jobs first under
+         SWRPT;}
+      {- [Online-EDF]: per machine, chunks ordered by the interval in
+         which each job's total work completes;}
+      {- [Online-EGDF]: a single global priority list (by completion
+         interval) executed with the greedy distribution rule of §3.2.}}
+
+    [online_non_optimized] stops after step 2 and realizes the raw
+    feasibility witness instead of the System (2) optimum — the baseline
+    of the Figure 3 comparison. *)
+
+open Gripps_engine
+
+val online : Sim.scheduler
+val online_edf : Sim.scheduler
+val online_egdf : Sim.scheduler
+val online_non_optimized : Sim.scheduler

@@ -1,0 +1,51 @@
+open Gripps_engine
+open Gripps_sched
+
+type t = { mutable comms : (int * Realize.commitment list) list }
+
+let create () = { comms = [] }
+
+let set_plan t plan = t.comms <- plan
+
+let time_eps = 1e-9
+
+let swrpt_fallback st =
+  let order =
+    Sim.active_jobs st
+    |> List.map (fun j -> (Priority.key_with_tiebreak Priority.swrpt st j, j))
+    |> List.sort compare
+    |> List.map snd
+  in
+  List_sched.allocate st ~priority_order:order
+
+let step t st =
+  let now = Sim.now st in
+  (* Garbage-collect elapsed commitments. *)
+  t.comms <-
+    List.map
+      (fun (m, cs) ->
+        (m, List.filter (fun (c : Realize.commitment) -> c.stop > now +. time_eps) cs))
+      t.comms;
+  let allocation = ref [] and next_edge = ref infinity in
+  List.iter
+    (fun (m, cs) ->
+      List.iter
+        (fun (c : Realize.commitment) ->
+          if c.start_ <= now +. time_eps then begin
+            if not (Sim.is_completed st c.job) then
+              allocation := (m, [ (c.job, 1.0) ]) :: !allocation;
+            if c.stop < !next_edge then next_edge := c.stop
+          end
+          else if c.start_ < !next_edge then next_edge := c.start_)
+        cs)
+    t.comms;
+  if !allocation = [] && !next_edge = infinity && Sim.active_jobs st <> [] then
+    (* Plan exhausted with residual work: mop up. *)
+    { Sim.allocation = swrpt_fallback st; horizon = None }
+  else begin
+    let horizon =
+      if !next_edge = infinity || !next_edge <= now +. time_eps then None
+      else Some !next_edge
+    in
+    { Sim.allocation = !allocation; horizon }
+  end

@@ -1,0 +1,107 @@
+module Q = Gripps_numeric.Rat
+
+type policy = Terminal_first | By_completion_interval
+
+type commitment = { start_ : float; stop : float; job : int }
+
+module IntMap = Map.Make (Int)
+module PairMap = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+(* (machine, interval) -> (job, work) list;  job -> interval -> work. *)
+let group_work (a : Stretch_solver.assignment) =
+  List.fold_left
+    (fun (by_cell, by_job) (jid, t, mid, w) ->
+      let key = (mid, t) in
+      let cell = Option.value ~default:[] (PairMap.find_opt key by_cell) in
+      let jmap = Option.value ~default:IntMap.empty (IntMap.find_opt jid by_job) in
+      let prev = Option.value ~default:Q.zero (IntMap.find_opt t jmap) in
+      ( PairMap.add key ((jid, w) :: cell) by_cell,
+        IntMap.add jid (IntMap.add t (Q.add prev w) jmap) by_job ))
+    (PairMap.empty, IntMap.empty) a.work
+
+(* Work of [jid] still to be delivered from interval [t] on (used as the
+   "remaining processing time" in SWRPT keys). *)
+let remaining_before by_job jid t =
+  match IntMap.find_opt jid by_job with
+  | None -> Q.zero
+  | Some jmap ->
+    IntMap.fold (fun t' w acc -> if t' >= t then Q.add acc w else acc) jmap Q.zero
+
+let completion_interval by_job jid =
+  match IntMap.find_opt jid by_job with
+  | None -> -1
+  | Some jmap -> fst (IntMap.max_binding jmap)
+
+let swrpt_key by_job ~sizes jid t =
+  Q.to_float (Q.mul (remaining_before by_job jid t) (sizes jid))
+
+let commitments (a : Stretch_solver.assignment) ~policy ~sizes ~speeds =
+  let by_cell, by_job = group_work a in
+  (* Last interval in which each job touches each machine (terminality for
+     the Online policy). *)
+  let last_on_machine =
+    List.fold_left
+      (fun m (jid, t, mid, _) ->
+        let prev = Option.value ~default:(-1) (PairMap.find_opt (jid, mid) m) in
+        PairMap.add (jid, mid) (max prev t) m)
+      PairMap.empty a.work
+  in
+  let order_chunks mid t chunks =
+    let key (jid, _w) =
+      let swrpt = swrpt_key by_job ~sizes jid t in
+      match policy with
+      | Terminal_first ->
+        let terminal = PairMap.find (jid, mid) last_on_machine = t in
+        ((if terminal then 0 else 1), 0, swrpt, jid)
+      | By_completion_interval -> (0, completion_interval by_job jid, swrpt, jid)
+    in
+    List.sort (fun c1 c2 -> compare (key c1) (key c2)) chunks
+  in
+  let machines =
+    List.sort_uniq Int.compare (List.map (fun (_, _, mid, _) -> mid) a.work)
+  in
+  List.map
+    (fun mid ->
+      let speed = speeds mid in
+      let comms = ref [] in
+      Array.iteri
+        (fun t (iv : Stretch_solver.interval) ->
+          match PairMap.find_opt (mid, t) by_cell with
+          | None -> ()
+          | Some chunks ->
+            (* Lay the ordered chunks end to end from the interval start;
+               the solver's capacity constraint guarantees they fit. *)
+            let cursor = ref iv.Stretch_solver.lo in
+            List.iter
+              (fun (jid, w) ->
+                let stop = Q.add !cursor (Q.div w speed) in
+                comms :=
+                  { start_ = Q.to_float !cursor; stop = Q.to_float stop; job = jid }
+                  :: !comms;
+                cursor := stop)
+              (order_chunks mid t chunks);
+            (* Exact assignments fit exactly; float-pipeline assignments
+               may overrun by rounding residue, which the plan player
+               absorbs.  A macroscopic overrun is a solver bug. *)
+            let over =
+              Q.to_float (Q.sub !cursor iv.Stretch_solver.hi)
+            in
+            let span = 1.0 +. abs_float (Q.to_float iv.Stretch_solver.hi) in
+            if over > 1e-6 *. span then
+              failwith "Realize.commitments: interval capacity violated")
+        a.intervals;
+      (mid, List.rev !comms))
+    machines
+
+let completion_order (a : Stretch_solver.assignment) ~sizes =
+  let _, by_job = group_work a in
+  IntMap.bindings by_job
+  |> List.map (fun (jid, jmap) ->
+         let t = fst (IntMap.max_binding jmap) in
+         ((t, swrpt_key by_job ~sizes jid t, jid), jid))
+  |> List.sort (fun (k1, _) (k2, _) -> compare k1 k2)
+  |> List.map snd

@@ -1,0 +1,42 @@
+(** Turning a {!Stretch_solver.assignment} into executable per-machine
+    commitments (paper §4.3.2, step 4).
+
+    The flow solution says how much of each job runs on each machine in
+    each interval; within an interval the chunks assigned to one machine
+    are sequenced according to a policy:
+
+    - {!Terminal_first}: the [Online] variant — jobs that finish their
+      whole fraction on that machine in that interval ({e terminal} jobs)
+      run first, ordered by SWRPT; non-terminal chunks follow.
+    - {!By_completion_interval}: the [Online-EDF] variant — chunks are
+      ordered by the interval in which the job's {e total} work completes
+      (a deadline-like order), ties broken by SWRPT.
+
+    The [Online-EGDF] variant does not sequence chunks at all — it only
+    extracts the global completion-interval order — so it lives in
+    {!Online_lp}, not here. *)
+
+module Q = Gripps_numeric.Rat
+
+type policy = Terminal_first | By_completion_interval
+
+(** One machine's committed run: work on [job] during [(start_, stop)]. *)
+type commitment = { start_ : float; stop : float; job : int }
+
+val commitments :
+  Stretch_solver.assignment ->
+  policy:policy ->
+  sizes:(int -> Q.t) ->
+  speeds:(int -> Q.t) ->
+  (int * commitment list) list
+(** [(machine, chronological commitments)] pairs.  [sizes jid] must give
+    the original size [W_j] (for SWRPT keys) and [speeds mid] the machine
+    speed (to convert work into duration).  Commitment bounds are exact
+    rational layouts rounded to floats at the very end.
+    @raise Failure if the assignment overruns an interval's capacity
+    (cannot happen for solver-produced assignments). *)
+
+val completion_order : Stretch_solver.assignment -> sizes:(int -> Q.t) -> int list
+(** Job ids ordered by the interval in which their total assigned work
+    completes (ties: SWRPT at that point, then id) — the global priority
+    list used by [Online-EGDF]. *)

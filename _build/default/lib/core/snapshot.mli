@@ -1,0 +1,47 @@
+(** Building solver problems from simulator states and instances.
+
+    Floats (dates, sizes, remaining work) convert to rationals exactly, so
+    the solver's milestone comparisons are exact even though the workload
+    generator and the engine work in doubles.
+
+    Machines with identical databank-hosting signatures are aggregated
+    into one {e virtual machine} of summed speed: under the divisible
+    fluid model this is exact (any aggregate assignment splits freely
+    among the signature's members, cf. Lemma 1), and it shrinks the flow
+    networks considerably on replicated platforms.  {!expand_commitments}
+    maps a realized plan on virtual machines back to the real ones: a
+    virtual chunk becomes the same time window on every member machine,
+    which delivers exactly the aggregated work. *)
+
+open Gripps_model
+open Gripps_engine
+module Q = Gripps_numeric.Rat
+
+type t = {
+  problem : Stretch_solver.problem;  (** machines are virtual *)
+  members : int -> int list;
+      (** real machine ids of a virtual machine (singleton lists when no
+          aggregation happened) *)
+  vspeed : int -> Q.t;  (** virtual machine speed *)
+}
+
+val of_state : Sim.state -> t
+(** The pending-work problem at the current simulation date: active jobs
+    with their remaining work, original release dates and sizes (so
+    deadlines keep their on-line meaning). *)
+
+val stretch_floor : Sim.state -> Q.t
+(** Largest stretch already realized by a completed job: no schedule of
+    the pending work can bring the final max-stretch below it ("the
+    decisions already made", §4.3.2 step 2). *)
+
+val of_instance : ?subset:(int -> bool) -> Instance.t -> t
+(** The clairvoyant whole-instance problem (all jobs, full sizes, from
+    date 0); [subset] filters jobs by id (default: all). *)
+
+val expand_commitments :
+  t -> (int * Realize.commitment list) list -> (int * Realize.commitment list) list
+(** Turn per-virtual-machine commitments into per-real-machine ones. *)
+
+val sizes_fn : Instance.t -> int -> Q.t
+(** Original job sizes, for {!Realize} policies. *)

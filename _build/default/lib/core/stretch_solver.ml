@@ -1,0 +1,772 @@
+module Q = Gripps_numeric.Rat
+module B = Gripps_numeric.Bigint
+module ZFlow = Gripps_flow.Maxflow.Make (Gripps_numeric.Bigint_field)
+module ZMcmf = Gripps_flow.Mcmf.Make (Gripps_numeric.Bigint_field)
+module FFlow = Gripps_flow.Maxflow.Make (Gripps_numeric.Field.Float)
+
+type job_spec = {
+  jid : int;
+  release : Q.t;
+  size : Q.t;
+  remaining : Q.t;
+  machines : int list;
+}
+
+type machine_spec = { mid : int; speed : Q.t }
+
+type problem = { now : Q.t; jobs : job_spec list; machines : machine_spec list }
+
+type interval = { lo : Q.t; hi : Q.t }
+
+type assignment = {
+  s_star : Q.t;
+  intervals : interval array;
+  work : (int * int * int * Q.t) list;
+}
+
+(* Time points are affine functions of the objective F: value a + b·F with
+   b >= 0 (b = 0 for the current date and release dates, b = W_j for the
+   deadline of job j).  Inside a milestone interval their order is fixed;
+   sorting by (value at F, slope) yields the order valid on [F, F + ε),
+   which is exactly what the Newton iteration needs when starting from a
+   milestone. *)
+type point = { a : Q.t; b : Q.t }
+
+let point_value p ~f = Q.add p.a (Q.mul p.b f)
+
+let point_compare_at ~f p q =
+  match Q.compare (point_value p ~f) (point_value q ~f) with
+  | 0 -> Q.compare p.b q.b
+  | c -> c
+
+let validate p =
+  if p.machines = [] then invalid_arg "Stretch_solver: no machines";
+  List.iter
+    (fun m ->
+      if Q.sign m.speed <= 0 then invalid_arg "Stretch_solver: non-positive speed")
+    p.machines;
+  List.iter
+    (fun j ->
+      if Q.sign j.size <= 0 then invalid_arg "Stretch_solver: non-positive size";
+      if Q.sign j.remaining < 0 then
+        invalid_arg "Stretch_solver: negative remaining work";
+      if Q.sign j.remaining > 0 && j.machines = [] then
+        invalid_arg "Stretch_solver: pending job with no machine")
+    p.jobs
+
+(* A normalized view: only jobs with pending work. *)
+type norm = {
+  now : Q.t;
+  jobs : job_spec array;
+  machines : machine_spec array;
+  machine_index : (int, int) Hashtbl.t;
+  total : Q.t;
+}
+
+let normalize p =
+  validate p;
+  let jobs = Array.of_list (List.filter (fun j -> Q.sign j.remaining > 0) p.jobs) in
+  let machines = Array.of_list p.machines in
+  let machine_index = Hashtbl.create 16 in
+  Array.iteri (fun i m -> Hashtbl.replace machine_index m.mid i) machines;
+  Array.iter
+    (fun (j : job_spec) ->
+      List.iter
+        (fun mid ->
+          if not (Hashtbl.mem machine_index mid) then
+            invalid_arg "Stretch_solver: job references unknown machine")
+        j.machines)
+    jobs;
+  let total = Array.fold_left (fun acc j -> Q.add acc j.remaining) Q.zero jobs in
+  { now = p.now; jobs; machines; machine_index; total }
+
+let deadline_point j = { a = j.release; b = j.size }
+
+(* Start of job j's schedulable window. *)
+let window_start n j = Q.max_rat n.now j.release
+
+type structure = {
+  points : point array;
+  ints : (point * point) array;
+}
+
+let build_structure n ~f =
+  let pts = ref [ { a = n.now; b = Q.zero } ] in
+  Array.iter
+    (fun j ->
+      if Q.gt j.release n.now then pts := { a = j.release; b = Q.zero } :: !pts;
+      pts := deadline_point j :: !pts)
+    n.jobs;
+  let now_pt = { a = n.now; b = Q.zero } in
+  let points =
+    List.sort_uniq (point_compare_at ~f) !pts
+    |> List.filter (fun p -> point_compare_at ~f p now_pt >= 0)
+    |> Array.of_list
+  in
+  let ints =
+    Array.init (max 0 (Array.length points - 1)) (fun t ->
+        (points.(t), points.(t + 1)))
+  in
+  { points; ints }
+
+(* Node numbering for the flow graphs. *)
+let source = 0
+let sink = 1
+let job_node ji = 2 + ji
+let cell_node ~njobs ~nmach t mi = 2 + njobs + (t * nmach) + mi
+
+(* Does job j's window cover interval (lo, hi), symbolically at F+ε? *)
+let job_covers n ~f j (lo, hi) =
+  let start = { a = window_start n j; b = Q.zero } in
+  point_compare_at ~f lo start >= 0
+  && point_compare_at ~f hi (deadline_point j) <= 0
+
+(* ------------------------------------------------------------------ *)
+(* Exact graphs.  All capacities are rationals; we scale them to a     *)
+(* common denominator and run the flow over integers — Dinic and the   *)
+(* min-cost augmentation never divide, and integer arithmetic avoids a *)
+(* gcd normalization per operation.                                    *)
+(* ------------------------------------------------------------------ *)
+
+let lcm a b = B.mul (B.div a (B.gcd a b)) b
+
+type built = {
+  graph : ZFlow.t;
+  to_z : Q.t -> B.t;  (* scale a rational capacity to the integer grid *)
+  of_z : B.t -> Q.t;  (* convert an integer flow back to work units *)
+  job_edges : (int * int * int * int) list;  (* jobindex, t, machindex, edge *)
+  cell_edges : (int * int * int) list;       (* t, machindex, edge to sink *)
+  structure : structure;
+  total_scaled : B.t;
+}
+
+(* The rational capacities of the graph at F = f. *)
+let capacities n ~f =
+  let s = build_structure n ~f in
+  let cell_caps =
+    Array.map
+      (fun (lo, hi) ->
+        let len = Q.sub (point_value hi ~f) (point_value lo ~f) in
+        Array.map (fun m -> Q.mul len m.speed) n.machines)
+      s.ints
+  in
+  (s, cell_caps)
+
+let build_graph n ~f =
+  let s, cell_caps = capacities n ~f in
+  let njobs = Array.length n.jobs and nmach = Array.length n.machines in
+  let nints = Array.length s.ints in
+  (* Common denominator of every capacity, then strip the common factor of
+     the numerators to keep the integers as small as possible. *)
+  let scale = ref B.one in
+  Array.iter (fun j -> scale := lcm !scale (Q.den j.remaining)) n.jobs;
+  Array.iter (Array.iter (fun c -> scale := lcm !scale (Q.den c))) cell_caps;
+  let raw_scale = !scale in
+  let raw_z q = B.mul (Q.num q) (B.div raw_scale (Q.den q)) in
+  let shrink = ref B.zero in
+  Array.iter (fun j -> shrink := B.gcd !shrink (raw_z j.remaining)) n.jobs;
+  Array.iter (Array.iter (fun c -> shrink := B.gcd !shrink (raw_z c))) cell_caps;
+  let shrink = if B.is_zero !shrink then B.one else !shrink in
+  let to_z q = B.div (raw_z q) shrink in
+  let of_z w = Q.make (B.mul w shrink) raw_scale in
+  let g = ZFlow.create ~n:(2 + njobs + (nints * nmach)) in
+  Array.iteri
+    (fun ji j ->
+      ignore (ZFlow.add_edge g ~src:source ~dst:(job_node ji) ~cap:(to_z j.remaining)))
+    n.jobs;
+  let cell_edges = ref [] and job_edges = ref [] in
+  (* Zero-length intervals (ties at a milestone) are kept: their capacity
+     is 0 at [f] but grows for F > f, and the Newton step must account for
+     that growth when measuring the cut's slope. *)
+  Array.iteri
+    (fun t (_lo, _hi) ->
+      Array.iteri
+        (fun mi _m ->
+          let e =
+            ZFlow.add_edge g ~src:(cell_node ~njobs ~nmach t mi) ~dst:sink
+              ~cap:(to_z cell_caps.(t).(mi))
+          in
+          cell_edges := (t, mi, e) :: !cell_edges)
+        n.machines)
+    s.ints;
+  Array.iteri
+    (fun ji j ->
+      let zrem = to_z j.remaining in
+      Array.iteri
+        (fun t (lo, hi) ->
+          if job_covers n ~f j (lo, hi) then
+            List.iter
+              (fun mid ->
+                let mi = Hashtbl.find n.machine_index mid in
+                let e =
+                  ZFlow.add_edge g ~src:(job_node ji)
+                    ~dst:(cell_node ~njobs ~nmach t mi) ~cap:zrem
+                in
+                job_edges := (ji, t, mi, e) :: !job_edges)
+              j.machines)
+        s.ints)
+    n.jobs;
+  { graph = g; to_z; of_z; job_edges = !job_edges; cell_edges = !cell_edges;
+    structure = s; total_scaled = to_z n.total }
+
+let max_flow_at n ~f =
+  let b = build_graph n ~f in
+  let flow = ZFlow.max_flow b.graph ~source ~sink in
+  (b, flow)
+
+let feasible_norm n ~f =
+  if Array.length n.jobs = 0 then true
+  else begin
+    let b, flow = max_flow_at n ~f in
+    B.equal flow b.total_scaled
+  end
+
+(* Fast approximate feasibility in doubles, used only to pre-locate the
+   milestone bracket; bracket endpoints are re-verified exactly, so a
+   wrong answer here costs time, never correctness. *)
+let feasible_float n ~f =
+  let njobs = Array.length n.jobs and nmach = Array.length n.machines in
+  if njobs = 0 then true
+  else begin
+    let now = Q.to_float n.now in
+    let release = Array.map (fun j -> Q.to_float (window_start n j)) n.jobs in
+    let deadline =
+      Array.map (fun j -> Q.to_float j.release +. (f *. Q.to_float j.size)) n.jobs
+    in
+    let points =
+      Array.to_list release @ Array.to_list deadline @ [ now ]
+      |> List.filter (fun t -> t >= now)
+      |> List.sort_uniq Float.compare
+      |> Array.of_list
+    in
+    let nints = Array.length points - 1 in
+    let g = FFlow.create ~n:(2 + njobs + (nints * nmach)) in
+    let total = ref 0.0 in
+    Array.iteri
+      (fun ji j ->
+        let rem = Q.to_float j.remaining in
+        total := !total +. rem;
+        ignore (FFlow.add_edge g ~src:source ~dst:(job_node ji) ~cap:rem))
+      n.jobs;
+    let cell_used = Array.make (max 1 (nints * nmach)) false in
+    Array.iteri
+      (fun ji j ->
+        let rem = Q.to_float j.remaining in
+        for t = 0 to nints - 1 do
+          if
+            points.(t) >= release.(ji) -. 1e-12
+            && points.(t + 1) <= deadline.(ji) +. 1e-12
+          then
+            List.iter
+              (fun mid ->
+                let mi = Hashtbl.find n.machine_index mid in
+                cell_used.((t * nmach) + mi) <- true;
+                ignore
+                  (FFlow.add_edge g ~src:(job_node ji)
+                     ~dst:(cell_node ~njobs ~nmach t mi) ~cap:rem))
+              j.machines
+        done)
+      n.jobs;
+    for t = 0 to nints - 1 do
+      let len = points.(t + 1) -. points.(t) in
+      Array.iteri
+        (fun mi m ->
+          if cell_used.((t * nmach) + mi) then
+            ignore
+              (FFlow.add_edge g ~src:(cell_node ~njobs ~nmach t mi) ~dst:sink
+                 ~cap:(len *. Q.to_float m.speed)))
+        n.machines
+    done;
+    let flow = FFlow.max_flow g ~source ~sink in
+    flow >= !total *. (1.0 -. 1e-9)
+  end
+
+(* Milestones: positive F where a deadline crosses another deadline, a
+   release date, or the current date. *)
+let milestones n =
+  let cands = ref [] in
+  let constants =
+    n.now :: (Array.to_list n.jobs |> List.map (fun j -> window_start n j))
+  in
+  Array.iter
+    (fun j ->
+      List.iter
+        (fun c ->
+          let f = Q.div (Q.sub c j.release) j.size in
+          if Q.sign f > 0 then cands := f :: !cands)
+        constants)
+    n.jobs;
+  let njobs = Array.length n.jobs in
+  for a = 0 to njobs - 1 do
+    for b = a + 1 to njobs - 1 do
+      let ja = n.jobs.(a) and jb = n.jobs.(b) in
+      if not (Q.equal ja.size jb.size) then begin
+        let f = Q.div (Q.sub jb.release ja.release) (Q.sub ja.size jb.size) in
+        if Q.sign f > 0 then cands := f :: !cands
+      end
+    done
+  done;
+  List.sort_uniq Q.compare !cands
+
+(* Newton / Dinkelbach iteration on the parametric min cut, starting at
+   [f0] and restricted to a crossing-free interval [f0, hi].  The outcome
+   certifies the bracket as a side effect of the iteration itself:
+   - [Feasible_at_start]: [f0] is already feasible (search further left);
+   - [Converged (f, built)]: [f0] was infeasible and [f] is the smallest
+     feasible objective in the interval, with the flow network solved at
+     [f] (reused by [solve] to avoid one more max-flow);
+   - [Exceeded]: no feasible objective in [f0, hi].
+   Soundness: within a crossing-free interval the min-cut capacity is a
+   minimum of affine functions of F, hence concave; the line of the cut
+   found at an infeasible iterate upper-bounds it, so the Newton step
+   never overshoots the interval's first feasible point. *)
+type newton_outcome =
+  | Feasible_at_start of built
+  | Converged of Q.t * built
+  | Exceeded
+
+let newton_bounded n ~f:f0 ~hi =
+  let max_iters = 100_000 in
+  let rec go f iter =
+    if iter > max_iters then
+      failwith "Stretch_solver: parametric search failed to converge";
+    let b, flow = max_flow_at n ~f in
+    if B.equal flow b.total_scaled then
+      if iter = 0 then Feasible_at_start b else Converged (f, b)
+    else begin
+      let deficit = b.of_z (B.sub b.total_scaled flow) in
+      let cut = ZFlow.min_cut b.graph ~source in
+      (* Growth rate of the cut capacity: only cell -> sink edges depend
+         on F; their capacity slope is speed × (hi.b - lo.b). *)
+      let njobs = Array.length n.jobs and nmach = Array.length n.machines in
+      let rho =
+        List.fold_left
+          (fun acc (t, mi, _e) ->
+            if cut.(cell_node ~njobs ~nmach t mi) then begin
+              let lo, hi = b.structure.ints.(t) in
+              let slope = Q.sub hi.b lo.b in
+              Q.add acc (Q.mul n.machines.(mi).speed slope)
+            end
+            else acc)
+          Q.zero b.cell_edges
+      in
+      if Q.sign rho <= 0 then Exceeded
+      else begin
+        let f_next = Q.add f (Q.div deficit rho) in
+        match hi with
+        | Some h when Q.gt f_next h -> Exceeded
+        | Some _ | None -> go f_next (iter + 1)
+      end
+    end
+  in
+  go f0 0
+
+(* Full search: float-guided milestone bracket, certified and refined by
+   the exact Newton iteration.  Returns the optimum and the solved flow
+   network at the optimum. *)
+let find_optimum ?(floor = Q.zero) n =
+  (* Smallest F at which every pending deadline is >= now. *)
+  let f_base =
+    Array.fold_left
+      (fun acc j -> Q.max_rat acc (Q.div (Q.sub n.now j.release) j.size))
+      floor n.jobs
+  in
+  let ms = Array.of_list (List.filter (fun m -> Q.gt m f_base) (milestones n)) in
+  let len = Array.length ms in
+  (* Locate the first feasible milestone with the float fast path; the
+     exact loop below repairs any misjudgment. *)
+  let lo = ref 0 and hi = ref len in
+  if not (feasible_float n ~f:(Q.to_float f_base)) then begin
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if feasible_float n ~f:(Q.to_float ms.(mid)) then hi := mid else lo := mid + 1
+    done
+  end;
+  let rec attempt i =
+    if i > len then failwith "Stretch_solver: no feasible stretch";
+    let start = if i = 0 then f_base else ms.(i - 1) in
+    let bound = if i < len then Some ms.(i) else None in
+    match newton_bounded n ~f:start ~hi:bound with
+    | Converged (f, b) -> (f, b)
+    | Feasible_at_start b ->
+      if i = 0 then (f_base, b) else attempt (i - 1)
+    | Exceeded -> attempt (i + 1)
+  in
+  attempt !lo
+
+let optimal_max_stretch ?(floor = Q.zero) p =
+  let n = normalize p in
+  if Array.length n.jobs = 0 then floor else fst (find_optimum ~floor n)
+
+let feasible p ~stretch =
+  let n = normalize p in
+  Array.for_all
+    (fun j -> Q.ge (point_value (deadline_point j) ~f:stretch) n.now)
+    n.jobs
+  && feasible_norm n ~f:stretch
+
+let solve ?(floor = Q.zero) ?(refine = false) p =
+  let n = normalize p in
+  if Array.length n.jobs = 0 then { s_star = floor; intervals = [||]; work = [] }
+  else begin
+    (* find_optimum hands back the flow network already solved at the
+       optimum, saving one max-flow in the unrefined path. *)
+    let s_star, b = find_optimum ~floor n in
+    let intervals =
+      Array.map
+        (fun (lo, hi) ->
+          { lo = point_value lo ~f:s_star; hi = point_value hi ~f:s_star })
+        b.structure.ints
+    in
+    let work_of_flow ~of_z flow_on job_edges =
+      List.filter_map
+        (fun (ji, t, mi, e) ->
+          let w = flow_on e in
+          if B.sign w > 0 then
+            Some (n.jobs.(ji).jid, t, n.machines.(mi).mid, of_z w)
+          else None)
+        job_edges
+    in
+    if not refine then
+      { s_star; intervals;
+        work = work_of_flow ~of_z:b.of_z (ZFlow.flow_on b.graph) b.job_edges }
+    else begin
+      (* System (2): same network with cost midpoint(t)/W_j per unit of
+         work of job j placed in interval t.  Costs are scaled to a
+         common integer denominator of their own (scaling all costs by a
+         positive constant does not change the argmin). *)
+      let njobs = Array.length n.jobs and nmach = Array.length n.machines in
+      let nints = Array.length b.structure.ints in
+      let half = Q.of_ints 1 2 in
+      let cost_of ji t =
+        let iv = intervals.(t) in
+        let mid = Q.mul half (Q.add iv.lo iv.hi) in
+        Q.div mid n.jobs.(ji).size
+      in
+      let cost_scale = ref B.one in
+      List.iter
+        (fun (ji, t, _mi, _e) -> cost_scale := lcm !cost_scale (Q.den (cost_of ji t)))
+        b.job_edges;
+      let to_zcost q = B.mul (Q.num q) (B.div !cost_scale (Q.den q)) in
+      let to_zcap = b.to_z in
+      let g = ZMcmf.create ~n:(2 + njobs + (nints * nmach)) in
+      Array.iteri
+        (fun ji j ->
+          ignore
+            (ZMcmf.add_edge g ~src:source ~dst:(job_node ji)
+               ~cap:(to_zcap j.remaining) ~cost:B.zero))
+        n.jobs;
+      List.iter
+        (fun (t, mi, _) ->
+          let iv = intervals.(t) in
+          let len = Q.sub iv.hi iv.lo in
+          ignore
+            (ZMcmf.add_edge g ~src:(cell_node ~njobs ~nmach t mi) ~dst:sink
+               ~cap:(to_zcap (Q.mul len n.machines.(mi).speed)) ~cost:B.zero))
+        b.cell_edges;
+      let refined_edges =
+        List.map
+          (fun (ji, t, mi, _) ->
+            let e =
+              ZMcmf.add_edge g ~src:(job_node ji) ~dst:(cell_node ~njobs ~nmach t mi)
+                ~cap:(to_zcap n.jobs.(ji).remaining) ~cost:(to_zcost (cost_of ji t))
+            in
+            (ji, t, mi, e))
+          b.job_edges
+      in
+      let flow, _cost = ZMcmf.min_cost_max_flow g ~source ~sink in
+      if not (B.equal flow b.total_scaled) then
+        failwith "Stretch_solver: internal error (refined optimum not feasible)";
+      { s_star; intervals;
+        work = work_of_flow ~of_z:b.of_z (ZMcmf.flow_on g) refined_edges }
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Floating-point pipeline (used by the on-line schedulers).           *)
+(* ------------------------------------------------------------------ *)
+
+(* The refine path quantizes capacities and costs onto an integer grid:
+   successive-shortest-paths over real capacities can make unboundedly
+   many microscopic augmentations, while over integers the number of
+   augmentations is bounded by the total quantized demand. *)
+module IMcmf = Gripps_flow.Mcmf.Make (Gripps_numeric.Field.Int)
+
+type fnorm = {
+  fnow : float;
+  frelease : float array;   (* original release dates *)
+  fwstart : float array;    (* max (now, release) *)
+  fsize : float array;
+  frem : float array;
+  fmach : int list array;   (* internal machine indices *)
+  fspeed : float array;
+  fjid : int array;
+  fmid : int array;
+  ftotal : float;
+}
+
+let fnormalize n =
+  let njobs = Array.length n.jobs in
+  { fnow = Q.to_float n.now;
+    frelease = Array.map (fun j -> Q.to_float j.release) n.jobs;
+    fwstart = Array.map (fun j -> Q.to_float (window_start n j)) n.jobs;
+    fsize = Array.map (fun j -> Q.to_float j.size) n.jobs;
+    frem = Array.map (fun j -> Q.to_float j.remaining) n.jobs;
+    fmach =
+      Array.map
+        (fun (j : job_spec) -> List.map (Hashtbl.find n.machine_index) j.machines)
+        n.jobs;
+    fspeed = Array.map (fun m -> Q.to_float m.speed) n.machines;
+    fjid = Array.map (fun j -> j.jid) n.jobs;
+    fmid = Array.map (fun m -> m.mid) n.machines;
+    ftotal =
+      (let t = ref 0.0 in
+       for ji = 0 to njobs - 1 do t := !t +. Q.to_float n.jobs.(ji).remaining done;
+       !t) }
+
+(* Interval structure at objective [f]: sorted time points from now on. *)
+let fpoints fn ~f =
+  let deadline ji = fn.frelease.(ji) +. (f *. fn.fsize.(ji)) in
+  (fn.fnow :: Array.to_list fn.fwstart)
+  @ List.init (Array.length fn.frem) deadline
+  |> List.filter (fun t -> t >= fn.fnow)
+  |> List.sort_uniq Float.compare
+  |> Array.of_list
+
+(* Max-flow feasibility graph at [f]; returns
+   (graph, points, job_edges, source_edges). *)
+let fbuild fn ~f =
+  let njobs = Array.length fn.frem and nmach = Array.length fn.fspeed in
+  let points = fpoints fn ~f in
+  let nints = max 0 (Array.length points - 1) in
+  let g = FFlow.create ~n:(2 + njobs + (nints * nmach)) in
+  let src_edges =
+    Array.init njobs (fun ji ->
+        FFlow.add_edge g ~src:source ~dst:(job_node ji) ~cap:fn.frem.(ji))
+  in
+  let cell_used = Array.make (max 1 (nints * nmach)) false in
+  let job_edges = ref [] in
+  for ji = 0 to njobs - 1 do
+    let dl = fn.frelease.(ji) +. (f *. fn.fsize.(ji)) in
+    for t = 0 to nints - 1 do
+      if points.(t) >= fn.fwstart.(ji) -. 1e-12 && points.(t + 1) <= dl +. 1e-12 then
+        List.iter
+          (fun mi ->
+            cell_used.((t * nmach) + mi) <- true;
+            let e =
+              FFlow.add_edge g ~src:(job_node ji) ~dst:(cell_node ~njobs ~nmach t mi)
+                ~cap:fn.frem.(ji)
+            in
+            job_edges := (ji, t, mi, e) :: !job_edges)
+          fn.fmach.(ji)
+    done
+  done;
+  for t = 0 to nints - 1 do
+    let len = points.(t + 1) -. points.(t) in
+    for mi = 0 to nmach - 1 do
+      if cell_used.((t * nmach) + mi) then
+        ignore
+          (FFlow.add_edge g ~src:(cell_node ~njobs ~nmach t mi) ~dst:sink
+             ~cap:(len *. fn.fspeed.(mi)))
+    done
+  done;
+  (g, points, !job_edges, src_edges)
+
+(* Feasibility must hold per job, not just in aggregate: with a tolerance
+   relative to the total work, the entire (microscopic) remaining work of
+   a nearly-finished job could be "forgiven", its deadline would stop
+   pushing the objective, and the job would starve until the plan drains. *)
+let ffeasible fn ~f =
+  if Array.length fn.frem = 0 then true
+  else begin
+    let g, _, _, src_edges = fbuild fn ~f in
+    ignore (FFlow.max_flow g ~source ~sink);
+    Array.for_all
+      (fun ji ->
+        FFlow.flow_on g src_edges.(ji) >= fn.frem.(ji) *. (1.0 -. 1e-9))
+      (Array.init (Array.length fn.frem) Fun.id)
+  end
+
+let fmilestones fn =
+  let njobs = Array.length fn.frem in
+  let cands = ref [] in
+  let constants = fn.fnow :: Array.to_list fn.fwstart in
+  for ji = 0 to njobs - 1 do
+    List.iter
+      (fun c ->
+        let f = (c -. fn.frelease.(ji)) /. fn.fsize.(ji) in
+        if f > 0.0 then cands := f :: !cands)
+      constants
+  done;
+  for a = 0 to njobs - 1 do
+    for b = a + 1 to njobs - 1 do
+      if fn.fsize.(a) <> fn.fsize.(b) then begin
+        let f = (fn.frelease.(b) -. fn.frelease.(a)) /. (fn.fsize.(a) -. fn.fsize.(b)) in
+        if f > 0.0 then cands := f :: !cands
+      end
+    done
+  done;
+  List.sort_uniq Float.compare !cands
+
+let optimal_float ?(floor = 0.0) fn =
+  if Array.length fn.frem = 0 then floor
+  else begin
+    let f_base =
+      Array.to_list fn.frelease
+      |> List.mapi (fun ji r -> (fn.fnow -. r) /. fn.fsize.(ji))
+      |> List.fold_left Float.max floor
+    in
+    if ffeasible fn ~f:f_base then f_base
+    else begin
+      let ms = Array.of_list (List.filter (fun m -> m > f_base) (fmilestones fn)) in
+      let len = Array.length ms in
+      let lo = ref 0 and hi = ref len in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if ffeasible fn ~f:ms.(mid) then hi := mid else lo := mid + 1
+      done;
+      let f_lo = ref (if !lo = 0 then f_base else ms.(!lo - 1)) in
+      let f_hi =
+        ref
+          (if !lo < len then ms.(!lo)
+           else begin
+             (* No feasible milestone: grow geometrically until feasible. *)
+             let h = ref (Float.max 1e-9 (2.0 *. Float.max f_base 1e-9)) in
+             while not (ffeasible fn ~f:!h) do h := !h *. 2.0 done;
+             !h
+           end)
+      in
+      (* Bisection to relative 1e-12. *)
+      for _ = 1 to 60 do
+        let mid = 0.5 *. (!f_lo +. !f_hi) in
+        if mid > !f_lo && mid < !f_hi then begin
+          if ffeasible fn ~f:mid then f_hi := mid else f_lo := mid
+        end
+      done;
+      !f_hi
+    end
+  end
+
+let optimal_max_stretch_float ?floor p =
+  let n = normalize p in
+  optimal_float ?floor (fnormalize n)
+
+let solve_float ?(floor = 0.0) ?(refine = false) p =
+  let n = normalize p in
+  let fn = fnormalize n in
+  let njobs = Array.length fn.frem in
+  if njobs = 0 then
+    { s_star = Q.of_float floor; intervals = [||]; work = [] }
+  else begin
+    let s_star = optimal_float ~floor fn in
+    let nmach = Array.length fn.fspeed in
+    let work =
+      if not refine then begin
+        let g, points, job_edges, _src_edges = fbuild fn ~f:s_star in
+        ignore (FFlow.max_flow g ~source ~sink);
+        ignore points;
+        List.filter_map
+          (fun (ji, t, mi, e) ->
+            let w = FFlow.flow_on g e in
+            if w > 1e-12 then
+              Some (fn.fjid.(ji), t, fn.fmid.(mi), Q.of_float w)
+            else None)
+          job_edges
+      end
+      else begin
+        (* System (2), quantized: capacities on a 2^36 grid relative to
+           the total demand, costs on a 2^20 grid relative to the largest
+           cost.  Quantization error is ~1e-11 of each job's work and is
+           absorbed by the snap-to-demand step below. *)
+        let points = fpoints fn ~f:s_star in
+        let nints = max 0 (Array.length points - 1) in
+        let cap_unit = fn.ftotal /. 68719476736.0 (* 2^36 *) in
+        let zcap c = int_of_float (c /. cap_unit) in
+        let max_cost =
+          let m = ref 1e-300 in
+          for ji = 0 to njobs - 1 do
+            if nints > 0 then begin
+              let c = points.(nints) /. fn.fsize.(ji) in
+              if c > !m then m := c
+            end
+          done;
+          !m
+        in
+        let cost_unit = max_cost /. 1048576.0 (* 2^20 *) in
+        let zcost c = int_of_float (c /. cost_unit) in
+        let g = IMcmf.create ~n:(2 + njobs + (nints * nmach)) in
+        for ji = 0 to njobs - 1 do
+          ignore
+            (IMcmf.add_edge g ~src:source ~dst:(job_node ji)
+               ~cap:(zcap fn.frem.(ji)) ~cost:0)
+        done;
+        let cell_used = Array.make (max 1 (nints * nmach)) false in
+        let job_edges = ref [] in
+        for ji = 0 to njobs - 1 do
+          let dl = fn.frelease.(ji) +. (s_star *. fn.fsize.(ji)) in
+          for t = 0 to nints - 1 do
+            if points.(t) >= fn.fwstart.(ji) -. 1e-12 && points.(t + 1) <= dl +. 1e-12
+            then begin
+              let mid_t = 0.5 *. (points.(t) +. points.(t + 1)) in
+              let cost = mid_t /. fn.fsize.(ji) in
+              List.iter
+                (fun mi ->
+                  cell_used.((t * nmach) + mi) <- true;
+                  let e =
+                    IMcmf.add_edge g ~src:(job_node ji)
+                      ~dst:(cell_node ~njobs ~nmach t mi)
+                      ~cap:(zcap fn.frem.(ji)) ~cost:(zcost cost)
+                  in
+                  job_edges := (ji, t, mi, e) :: !job_edges)
+                fn.fmach.(ji)
+            end
+          done
+        done;
+        for t = 0 to nints - 1 do
+          let len = points.(t + 1) -. points.(t) in
+          for mi = 0 to nmach - 1 do
+            if cell_used.((t * nmach) + mi) then
+              ignore
+                (IMcmf.add_edge g ~src:(cell_node ~njobs ~nmach t mi) ~dst:sink
+                   ~cap:(zcap (len *. fn.fspeed.(mi))) ~cost:0)
+          done
+        done;
+        ignore (IMcmf.min_cost_max_flow g ~source ~sink);
+        List.filter_map
+          (fun (ji, t, mi, e) ->
+            let w = float_of_int (IMcmf.flow_on g e) *. cap_unit in
+            if w > 1e-12 then
+              Some (fn.fjid.(ji), t, fn.fmid.(mi), Q.of_float w)
+            else None)
+          !job_edges
+      end
+    in
+    (* Float flows can fall short of the demand by rounding residue; snap
+       each job's chunks so they sum to exactly its remaining work (the
+       ~1e-9 relative capacity overrun is absorbed downstream). *)
+    let work =
+      let jid_to_rem = Hashtbl.create 16 in
+      Array.iteri (fun ji rem -> Hashtbl.replace jid_to_rem fn.fjid.(ji) rem) fn.frem;
+      let delivered = Hashtbl.create 16 in
+      List.iter
+        (fun (jid, _, _, w) ->
+          Hashtbl.replace delivered jid
+            (Q.add w (Option.value ~default:Q.zero (Hashtbl.find_opt delivered jid))))
+        work;
+      List.map
+        (fun (jid, t, mid, w) ->
+          let rem = Q.of_float (Hashtbl.find jid_to_rem jid) in
+          let got = Hashtbl.find delivered jid in
+          if Q.sign got > 0 && not (Q.equal got rem) then
+            (jid, t, mid, Q.div (Q.mul w rem) got)
+          else (jid, t, mid, w))
+        work
+    in
+    let points = fpoints fn ~f:s_star in
+    let intervals =
+      Array.init
+        (max 0 (Array.length points - 1))
+        (fun t -> { lo = Q.of_float points.(t); hi = Q.of_float points.(t + 1) })
+    in
+    { s_star = Q.of_float s_star; intervals; work }
+  end

@@ -1,0 +1,229 @@
+module Q = Gripps_numeric.Rat
+module Lp = Gripps_lp.Lp.Rat_lp
+
+type job = {
+  jid : int;
+  release : Q.t;
+  weight_inv : Q.t;
+  fraction : Q.t;
+  times : (int * Q.t) list;
+}
+
+type problem = { now : Q.t; jobs : job list }
+
+let validate p =
+  List.iter
+    (fun j ->
+      if Q.sign j.weight_inv <= 0 then
+        invalid_arg "Unrelated: non-positive weight_inv";
+      if Q.sign j.fraction < 0 || Q.gt j.fraction Q.one then
+        invalid_arg "Unrelated: fraction outside [0, 1]";
+      List.iter
+        (fun (_, t) ->
+          if Q.sign t <= 0 then invalid_arg "Unrelated: non-positive processing time")
+        j.times;
+      if Q.sign j.fraction > 0 && j.times = [] then
+        invalid_arg "Unrelated: pending job with no machine")
+    p.jobs
+
+let pending p = List.filter (fun j -> Q.sign j.fraction > 0) p.jobs
+
+let deadline j ~f = Q.add j.release (Q.mul f j.weight_inv)
+
+(* Sorted time points at objective [f], with right-limit tie-breaking by
+   slope exactly as in Stretch_solver. *)
+let points_at p ~f =
+  let pts =
+    (p.now, Q.zero)
+    :: List.concat_map
+         (fun j ->
+           let rel = if Q.gt j.release p.now then [ (j.release, Q.zero) ] else [] in
+           (deadline j ~f, j.weight_inv) :: rel)
+         (pending p)
+  in
+  List.sort_uniq
+    (fun (v1, s1) (v2, s2) ->
+      match Q.compare v1 v2 with 0 -> Q.compare s1 s2 | c -> c)
+    pts
+  |> List.filter (fun (v, s) ->
+         Q.gt v p.now || (Q.equal v p.now && Q.sign s >= 0))
+
+(* Build and solve the System (1) LP on a fixed interval structure.  When
+   [minimize] is given as (f_lo, f_hi), F is itself an LP variable bounded
+   to that bracket and minimized; otherwise the structure and lengths are
+   evaluated at the fixed [f]. *)
+type lp_mode = Decide of Q.t | Minimize of Q.t * Q.t
+
+let machines_of p =
+  List.sort_uniq Int.compare
+    (List.concat_map (fun j -> List.map fst j.times) (pending p))
+
+let solve_lp p mode =
+  let jobs = Array.of_list (pending p) in
+  if Array.length jobs = 0 then Some Q.zero
+  else begin
+    let f_struct =
+      match mode with
+      | Decide f -> f
+      | Minimize (lo, hi) ->
+        (* Sample the structure strictly inside the bracket: the point
+           ordering and window membership are constant on the open
+           interval between consecutive milestones, and the affine
+           constraints they induce remain valid (as limits) at both
+           endpoints. *)
+        Q.mul (Q.of_ints 1 2) (Q.add lo hi)
+    in
+    let pts = Array.of_list (points_at p ~f:f_struct) in
+    let nints = max 0 (Array.length pts - 1) in
+    let m = Lp.create () in
+    let f_var = match mode with Minimize _ -> Some (Lp.variable m "F") | Decide _ -> None in
+    (* Affine value of a point: constant + slope × F. *)
+    let point_expr (v0, slope) =
+      (* v0 is the value at f_struct: constant part = v0 - slope×f_struct. *)
+      match f_var with
+      | None -> Lp.const v0
+      | Some f ->
+        Lp.add
+          (Lp.const (Q.sub v0 (Q.mul slope f_struct)))
+          (Lp.scale slope (Lp.v f))
+    in
+    let vars = Hashtbl.create 64 in
+    Array.iteri
+      (fun ji j ->
+        let wstart = Q.max_rat p.now j.release in
+        for t = 0 to nints - 1 do
+          let lo_v, _ = pts.(t) and hi_v, hi_s = pts.(t + 1) in
+          (* Window membership at f_struct (right-limit consistent): the
+             interval must start at/after the job's window start and end
+             no later than its deadline. *)
+          let dl = deadline j ~f:f_struct in
+          let inside =
+            Q.ge lo_v wstart
+            && (Q.lt hi_v dl
+                || (Q.equal hi_v dl && Q.le hi_s j.weight_inv))
+          in
+          if inside then
+            List.iter
+              (fun (mid, _) -> Hashtbl.replace vars (ji, t, mid) (Lp.variable m "a"))
+              j.times
+        done)
+      jobs;
+    (* Completeness: every pending job executes its fraction. *)
+    let ok = ref true in
+    Array.iteri
+      (fun ji j ->
+        let mine =
+          Hashtbl.fold
+            (fun (ji', _, _) v acc -> if ji' = ji then Lp.v v :: acc else acc)
+            vars []
+        in
+        if mine = [] then ok := false
+        else Lp.eq m (Lp.sum mine) (Lp.const j.fraction))
+      jobs;
+    if not !ok then None
+    else begin
+      (* Capacity per (interval, machine): Σ_j α p_{i,j} <= length. *)
+      List.iter
+        (fun mid ->
+          for t = 0 to nints - 1 do
+            let terms =
+              Hashtbl.fold
+                (fun (ji, t', mid') v acc ->
+                  if t' = t && mid' = mid then begin
+                    let pij = List.assoc mid jobs.(ji).times in
+                    Lp.scale pij (Lp.v v) :: acc
+                  end
+                  else acc)
+                vars []
+            in
+            if terms <> [] then begin
+              let len = Lp.sub (point_expr pts.(t + 1)) (point_expr pts.(t)) in
+              Lp.le m (Lp.sum terms) len
+            end
+          done)
+        (machines_of p);
+      (match f_var, mode with
+       | Some f, Minimize (lo, hi) ->
+         Lp.ge m (Lp.v f) (Lp.const lo);
+         Lp.le m (Lp.v f) (Lp.const hi);
+         Lp.set_objective m Lp.Minimize (Lp.v f)
+       | None, Decide _ -> Lp.set_objective m Lp.Minimize (Lp.const Q.zero)
+       | Some _, Decide _ | None, Minimize _ -> assert false);
+      match Lp.solve m with
+      | Lp.Optimal s ->
+        Some (match f_var with Some f -> Lp.value s f | None -> Q.zero)
+      | Lp.Infeasible -> None
+      | Lp.Unbounded -> None
+    end
+  end
+
+let feasible p ~objective =
+  validate p;
+  List.for_all (fun j -> Q.ge (deadline j ~f:objective) p.now) (pending p)
+  && Option.is_some (solve_lp p (Decide objective))
+
+let milestones p =
+  let js = pending p in
+  let constants = p.now :: List.map (fun j -> Q.max_rat p.now j.release) js in
+  let cands = ref [] in
+  List.iter
+    (fun j ->
+      List.iter
+        (fun c ->
+          let f = Q.div (Q.sub c j.release) j.weight_inv in
+          if Q.sign f > 0 then cands := f :: !cands)
+        constants)
+    js;
+  let arr = Array.of_list js in
+  for a = 0 to Array.length arr - 1 do
+    for b = a + 1 to Array.length arr - 1 do
+      let ja = arr.(a) and jb = arr.(b) in
+      if not (Q.equal ja.weight_inv jb.weight_inv) then begin
+        let f =
+          Q.div (Q.sub jb.release ja.release) (Q.sub ja.weight_inv jb.weight_inv)
+        in
+        if Q.sign f > 0 then cands := f :: !cands
+      end
+    done
+  done;
+  List.sort_uniq Q.compare !cands
+
+let optimal_max_weighted_flow ?(floor = Q.zero) p =
+  validate p;
+  match pending p with
+  | [] -> floor
+  | js ->
+    let f_base =
+      List.fold_left
+        (fun acc j -> Q.max_rat acc (Q.div (Q.sub p.now j.release) j.weight_inv))
+        floor js
+    in
+    if feasible p ~objective:f_base then f_base
+    else begin
+      let ms = Array.of_list (List.filter (fun x -> Q.gt x f_base) (milestones p)) in
+      let len = Array.length ms in
+      let lo = ref 0 and hi = ref len in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if feasible p ~objective:ms.(mid) then hi := mid else lo := mid + 1
+      done;
+      if !lo < len then begin
+        let bracket_lo = if !lo = 0 then f_base else ms.(!lo - 1) in
+        match solve_lp p (Minimize (bracket_lo, ms.(!lo))) with
+        | Some f -> f
+        | None -> failwith "Unrelated: bracketed LP unexpectedly infeasible"
+      end
+      else begin
+        (* No feasible milestone: grow a feasible upper bound, then
+           minimize on the last bracket. *)
+        let lo_start = if len = 0 then f_base else ms.(len - 1) in
+        let rec grow hi =
+          if feasible p ~objective:hi then hi
+          else grow (Q.mul (Q.of_int 2) hi)
+        in
+        let hi = grow (Q.max_rat Q.one (Q.mul (Q.of_int 2) lo_start)) in
+        match solve_lp p (Minimize (lo_start, hi)) with
+        | Some f -> f
+        | None -> failwith "Unrelated: final LP unexpectedly infeasible"
+      end
+    end

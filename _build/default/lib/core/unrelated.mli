@@ -1,0 +1,42 @@
+(** Optimal max weighted flow on {e unrelated} machines (paper §4.3.1 in
+    its full generality).
+
+    The paper notes that the off-line algorithm "can in fact be solved for
+    a set of unrelated processors": machine [i] needs an arbitrary time
+    [p_{i,j}] to process job [j] (infinite — absent — when the databank is
+    missing).  Unlike the uniform-with-restrictions case, the per-interval
+    constraints Σ_j α⁽ᵗ⁾_{i,j}·p_{i,j} ≤ |I_t| carry job-dependent
+    coefficients, so System (1) is a genuine linear program rather than a
+    transportation problem; this module solves it with the exact rational
+    {!Gripps_lp.Simplex} — the milestone machinery is shared with
+    {!Stretch_solver}, and on uniform instances both solvers agree
+    (property-tested).
+
+    Intended for moderate instance sizes (the LP has
+    [jobs × intervals × machines] variables); the production path for
+    uniform platforms is {!Stretch_solver}. *)
+
+module Q = Gripps_numeric.Rat
+
+type job = {
+  jid : int;
+  release : Q.t;           (** release date [r_j] *)
+  weight_inv : Q.t;        (** [1/w_j], the deadline slope (size for stretch) *)
+  fraction : Q.t;          (** fraction of the job still to do, in [0, 1] *)
+  times : (int * Q.t) list;
+      (** [(machine, p_{i,j})]: time for the {e whole} job on that
+          machine; machines absent from the list cannot process it *)
+}
+
+type problem = { now : Q.t; jobs : job list }
+
+val optimal_max_weighted_flow : ?floor:Q.t -> problem -> Q.t
+(** Exact optimum: milestone binary search + a [min F] linear program on
+    the bracketing interval (the paper's System (1) with [F] as a
+    variable).
+    @raise Invalid_argument on malformed problems (non-positive
+    [weight_inv] or [p_{i,j}], fraction outside [0, 1], pending job with
+    no machine). *)
+
+val feasible : problem -> objective:Q.t -> bool
+(** Decide deadline feasibility at a fixed objective value (one LP). *)

@@ -1,0 +1,1 @@
+lib/engine/sim.ml: Array Float Gripps_model Instance Job List Machine Option Platform Printf Schedule

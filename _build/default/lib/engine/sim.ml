@@ -1,0 +1,183 @@
+open Gripps_model
+
+type allocation = (int * (int * float) list) list
+
+type event = Arrival of int | Completion of int | Boundary
+
+type state = {
+  inst : Instance.t;
+  mutable now : float;
+  remaining : float array;
+  released : bool array;
+  completed : float option array;
+}
+
+let instance st = st.inst
+let now st = st.now
+
+let is_released st j = st.released.(j)
+let is_completed st j = Option.is_some st.completed.(j)
+
+let remaining st j =
+  if not st.released.(j) then invalid_arg "Sim.remaining: job not released";
+  st.remaining.(j)
+
+let active_jobs st =
+  let acc = ref [] in
+  for j = Array.length st.released - 1 downto 0 do
+    if st.released.(j) && not (is_completed st j) then acc := j :: !acc
+  done;
+  !acc
+
+let completion_time st j = st.completed.(j)
+
+type plan = { allocation : allocation; horizon : float option }
+
+let idle = { allocation = []; horizon = None }
+
+type scheduler = {
+  name : string;
+  make : Instance.t -> state -> event list -> plan;
+}
+
+let stateless name f = { name; make = (fun _inst -> f) }
+
+exception Stalled of { time : float; pending : int list }
+
+let share_eps = 1e-9
+
+(* Check the scheduler's allocation against the model invariants and
+   compute per-job processing rates. *)
+let check_allocation st name (alloc : allocation) =
+  let platform = Instance.platform st.inst in
+  let nj = Instance.num_jobs st.inst in
+  let rates = Array.make nj 0.0 in
+  List.iter
+    (fun (mid, shares) ->
+      if mid < 0 || mid >= Platform.num_machines platform then
+        invalid_arg (name ^ ": allocation references unknown machine");
+      let m = Platform.machine platform mid in
+      let total = List.fold_left (fun s (_, share) -> s +. share) 0.0 shares in
+      if total > 1.0 +. share_eps then
+        invalid_arg (name ^ ": machine oversubscribed");
+      List.iter
+        (fun (jid, share) ->
+          if jid < 0 || jid >= nj then
+            invalid_arg (name ^ ": allocation references unknown job");
+          if share <= 0.0 then invalid_arg (name ^ ": non-positive share");
+          if not st.released.(jid) then
+            invalid_arg (name ^ ": job allocated before release");
+          if is_completed st jid then
+            invalid_arg (name ^ ": completed job allocated");
+          if not (Machine.hosts m (Instance.job st.inst jid).Job.databank) then
+            invalid_arg (name ^ ": job allocated to machine missing its databank");
+          rates.(jid) <- rates.(jid) +. (share *. m.Machine.speed))
+        shares)
+    alloc;
+  rates
+
+let run ?horizon scheduler inst =
+  let nj = Instance.num_jobs inst in
+  let st =
+    { inst; now = 0.0; remaining = Array.map (fun (j : Job.t) -> j.size) (Instance.jobs inst);
+      released = Array.make nj false; completed = Array.make nj None }
+  in
+  (* Residual work below the float resolution of the whole instance is
+     physically negligible (sub-microsecond of compute); treating it as
+     done prevents plans computed with 1e-9-relative tolerances from
+     leaving slivers that would only complete when the schedule drains. *)
+  let total_work = Array.fold_left ( +. ) 0.0 st.remaining in
+  let callback = scheduler.make inst in
+  let segments = ref [] in
+  let next_arrival = ref 0 in
+  (* Gather every job released at exactly the same date. *)
+  let pop_arrivals t =
+    let evs = ref [] in
+    while
+      !next_arrival < nj && (Instance.job inst !next_arrival).Job.release <= t +. 1e-12
+    do
+      st.released.(!next_arrival) <- true;
+      evs := Arrival !next_arrival :: !evs;
+      incr next_arrival
+    done;
+    List.rev !evs
+  in
+  let finished () = Array.for_all Option.is_some st.completed in
+  let plan = ref idle in
+  (* Kick off: jump to the first release date. *)
+  if nj > 0 then begin
+    st.now <- (Instance.job inst 0).Job.release;
+    let evs = pop_arrivals st.now in
+    plan := callback st evs
+  end;
+  while not (finished ()) do
+    (match horizon with
+     | Some h when st.now > h ->
+       failwith
+         (Printf.sprintf "%s: simulation passed the %g s guard" scheduler.name h)
+     | Some _ | None -> ());
+    let rates = check_allocation st scheduler.name !plan.allocation in
+    (* Earliest completion under the current rates. *)
+    let next_completion = ref infinity in
+    for j = 0 to nj - 1 do
+      if st.released.(j) && (not (is_completed st j)) && rates.(j) > 0.0 then begin
+        let t = st.now +. (st.remaining.(j) /. rates.(j)) in
+        if t < !next_completion then next_completion := t
+      end
+    done;
+    let arrival_t =
+      if !next_arrival < nj then (Instance.job inst !next_arrival).Job.release
+      else infinity
+    in
+    let horizon_t = match !plan.horizon with Some h -> h | None -> infinity in
+    (match !plan.horizon with
+     | Some h when h <= st.now +. 1e-12 ->
+       invalid_arg (scheduler.name ^ ": plan horizon not in the future")
+     | Some _ | None -> ());
+    let t_next = Float.min !next_completion (Float.min arrival_t horizon_t) in
+    if t_next = infinity then
+      raise (Stalled { time = st.now; pending = active_jobs st });
+    (* Advance work and record the segment. *)
+    let dt = t_next -. st.now in
+    if dt > 0.0 && !plan.allocation <> [] then
+      segments :=
+        { Schedule.start_time = st.now; end_time = t_next;
+          shares = !plan.allocation }
+        :: !segments;
+    let eps_t = 1e-9 *. Float.max 1.0 (abs_float t_next) in
+    let completions = ref [] in
+    for j = 0 to nj - 1 do
+      if st.released.(j) && not (is_completed st j) then begin
+        if rates.(j) > 0.0 then begin
+          let t_fin = st.now +. (st.remaining.(j) /. rates.(j)) in
+          if t_fin <= t_next +. eps_t then begin
+            st.remaining.(j) <- 0.0;
+            st.completed.(j) <- Some t_fin;
+            completions := Completion j :: !completions
+          end
+          else st.remaining.(j) <- st.remaining.(j) -. (rates.(j) *. dt)
+        end;
+        (* A rounding sliver left by a float-computed plan counts as
+           done — otherwise it would complete only when the scheduler
+           next touches the job, wrecking its stretch. *)
+        if
+          (not (is_completed st j))
+          && st.remaining.(j)
+             <= 1e-9 *. Float.max (Instance.job inst j).Job.size total_work
+        then begin
+          st.remaining.(j) <- 0.0;
+          st.completed.(j) <- Some t_next;
+          completions := Completion j :: !completions
+        end
+      end
+    done;
+    st.now <- t_next;
+    let arrivals = pop_arrivals t_next in
+    let boundary =
+      if horizon_t <= t_next +. eps_t && not (finished ()) then [ Boundary ] else []
+    in
+    let events = arrivals @ List.rev !completions @ boundary in
+    if not (finished ()) then plan := callback st events
+  done;
+  Schedule.make ~instance:inst ~segments:(List.rev !segments)
+    ~completion:(Array.copy st.completed)

@@ -1,0 +1,74 @@
+(** Event-driven simulator for divisible loads with free preemption.
+
+    The divisible model without communication costs (paper §2.1) admits an
+    exact fluid semantics: between two events every machine splits its
+    time between jobs in fixed shares, and a job's processing rate is the
+    sum of [share × speed] over machines.  The engine advances from event
+    to event (arrival, completion, plan boundary), asking the scheduler
+    for a fresh plan at each one, and records the realized
+    {!Gripps_model.Schedule.t}.
+
+    Schedulers are on-line: the callback only ever sees jobs released so
+    far (enforced by construction — unreleased jobs have no remaining-work
+    entry observable through {!active_jobs}) and the decisions it returns
+    cannot be retracted for elapsed time. *)
+
+open Gripps_model
+
+(** [(machine, [(job, share); ...])]: shares of each machine's time.
+    Machines absent from the list are idle; shares must be positive and
+    sum to at most 1 per machine. *)
+type allocation = (int * (int * float) list) list
+
+type event =
+  | Arrival of int     (** job id just released *)
+  | Completion of int  (** job id just finished *)
+  | Boundary           (** the previous plan's horizon was reached *)
+
+type state
+
+val instance : state -> Instance.t
+val now : state -> float
+
+val remaining : state -> int -> float
+(** Remaining Mflop of a released job.
+    @raise Invalid_argument for a job not yet released. *)
+
+val is_released : state -> int -> bool
+val is_completed : state -> int -> bool
+
+val active_jobs : state -> int list
+(** Released, not yet completed; increasing id (= release order). *)
+
+val completion_time : state -> int -> float option
+
+(** A plan: the allocation to apply from [now] on, valid until the next
+    arrival/completion or until [horizon] (if any), whichever comes
+    first.  [horizon], when given, must be strictly later than [now]. *)
+type plan = { allocation : allocation; horizon : float option }
+
+val idle : plan
+
+(** A scheduler: a name and a factory producing the per-run callback (the
+    callback may close over mutable per-run state such as a precomputed
+    plan queue).  The callback receives the batch of simultaneous events
+    that just fired. *)
+type scheduler = {
+  name : string;
+  make : Instance.t -> state -> event list -> plan;
+}
+
+val stateless : string -> (state -> event list -> plan) -> scheduler
+
+exception Stalled of { time : float; pending : int list }
+(** Raised when the scheduler leaves pending work unallocated with no
+    future event to wake it up. *)
+
+val run : ?horizon:float -> scheduler -> Instance.t -> Schedule.t
+(** Simulates to completion of all jobs.
+    @param horizon abort guard: simulating past this date raises
+    [Failure] (default: no guard).
+    @raise Stalled see above.
+    @raise Invalid_argument when the scheduler returns an invalid
+    allocation (oversubscribed machine, job without its databank,
+    unreleased or completed job, non-positive share, stale horizon). *)

@@ -1,0 +1,1 @@
+lib/experiments/figures.ml: Float Gripps_core Gripps_engine Gripps_model Gripps_numeric Gripps_rng Gripps_workload List Metrics Offline Online_lp Option Sim Stats

@@ -1,0 +1,1 @@
+lib/experiments/overhead.ml: Gripps_core Gripps_engine Gripps_model Gripps_rng Gripps_workload List Runner Stats Unix

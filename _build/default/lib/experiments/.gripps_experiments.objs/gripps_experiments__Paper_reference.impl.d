@@ -1,0 +1,1 @@
+lib/experiments/paper_reference.ml: Array Buffer Float Fun List Option Printf Stats Tables

@@ -1,0 +1,1 @@
+lib/experiments/render.ml: Buffer Figures List Overhead Printf Stats String Tables

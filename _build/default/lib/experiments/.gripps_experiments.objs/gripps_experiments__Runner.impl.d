@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Bender Float Greedy Gripps_core Gripps_engine Gripps_model Gripps_rng Gripps_sched Gripps_workload Instance List List_sched Metrics Offline Online_lp Sim Unix

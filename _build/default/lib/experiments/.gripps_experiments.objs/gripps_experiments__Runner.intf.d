@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Gripps_engine Gripps_model Gripps_workload Instance Sim

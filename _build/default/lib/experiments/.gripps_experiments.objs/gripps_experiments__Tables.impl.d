@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Gripps_workload List Printf Runner Stats

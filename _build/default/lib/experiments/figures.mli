@@ -1,0 +1,31 @@
+(** Figure 3 of the paper (§5.2): the value of the System (2)
+    optimization inside the on-line heuristic.
+
+    For a sweep of workload densities, both versions of the on-line
+    heuristic run on the same instances:
+    - Figure 3(a): average max-stretch degradation (%) from the exact
+      off-line optimum, for the optimized and non-optimized versions;
+    - Figure 3(b): average relative sum-stretch gain (%) of the optimized
+      version over the non-optimized one. *)
+
+type sample = {
+  density : float;
+  optimized_degradation : float;      (** percent above optimal max-stretch *)
+  non_optimized_degradation : float;  (** idem, non-optimized version *)
+  sum_stretch_gain : float;           (** percent sum-stretch saved by optimizing *)
+  instances : int;
+}
+
+val densities_of_paper : float list
+(** The 0.0125 – 4.0 range of §5.2 (a geometric sweep of 13 points). *)
+
+val sweep :
+  ?seed:int ->
+  ?instances_per_density:int ->
+  ?densities:float list ->
+  ?progress:(int -> int -> unit) ->
+  base:Gripps_workload.Config.t ->
+  unit ->
+  sample list
+(** Runs Offline (exact optimum), the optimized and the non-optimized
+    on-line heuristics on common instances for each density. *)

@@ -1,0 +1,48 @@
+module W = Gripps_workload
+
+let measure ?(seed = 20060303) ?(instances = 3) ?(horizon = 60.0) () =
+  let config =
+    W.Config.make ~sites:3 ~databases:3 ~availability:0.6 ~density:1.0 ~horizon ()
+  in
+  let results = Runner.run_config ~seed ~instances config in
+  List.filter_map
+    (fun name ->
+      let times =
+        List.concat_map
+          (fun (r : Runner.instance_result) ->
+            List.filter_map
+              (fun (m : Runner.measurement) ->
+                if m.scheduler = name then Some m.wall_time else None)
+              r.measurements)
+          results
+      in
+      match times with
+      | [] -> None
+      | _ -> Some (name, Stats.summarize times))
+    Runner.portfolio_names
+
+type scaling_sample = {
+  jobs : int;
+  offline_s : float;
+  online_s : float;
+  bender98_s : float;
+}
+
+let scaling ?(seed = 20060404) ?(horizons = [ 15.0; 30.0; 60.0; 120.0 ]) () =
+  List.map
+    (fun horizon ->
+      let config =
+        W.Config.make ~sites:3 ~databases:3 ~availability:0.6 ~density:1.0 ~horizon ()
+      in
+      let rng = Gripps_rng.Splitmix.create seed in
+      let inst = Gripps_workload.Generator.instance rng config in
+      let time s =
+        let t0 = Unix.gettimeofday () in
+        ignore (Gripps_engine.Sim.run ~horizon:1e9 s inst);
+        Unix.gettimeofday () -. t0
+      in
+      { jobs = Gripps_model.Instance.num_jobs inst;
+        offline_s = time Gripps_core.Offline.scheduler;
+        online_s = time Gripps_core.Online_lp.online;
+        bender98_s = time Gripps_core.Bender.bender98 })
+    horizons

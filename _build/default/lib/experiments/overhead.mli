@@ -1,0 +1,28 @@
+(** The §5.3 scheduling-overhead study: wall time of each scheduler on
+    3-cluster workloads.  The paper reports ≈0.28 s for the on-line
+    heuristics, 0.54 s for the off-line optimal and 19.76 s for Bender98
+    on 15-minute workloads; the shape to reproduce is
+    Bender98 ≫ Offline > on-line LP heuristics ≫ list heuristics. *)
+
+val measure :
+  ?seed:int ->
+  ?instances:int ->
+  ?horizon:float ->
+  unit ->
+  (string * Stats.summary) list
+(** Per-scheduler wall-time summaries on 3-cluster configurations
+    (portfolio order). *)
+
+type scaling_sample = {
+  jobs : int;
+  offline_s : float;
+  online_s : float;
+  bender98_s : float;
+}
+
+val scaling :
+  ?seed:int -> ?horizons:float list -> unit -> scaling_sample list
+(** Wall time of the three expensive schedulers as the workload grows
+    (3-cluster platform, increasing arrival windows) — the quantitative
+    version of the paper's remark that Bender98 becomes intractable with
+    the job count (it performs one full hindsight solve per arrival). *)

@@ -1,0 +1,311 @@
+(* Values transcribed from RR-5724 (October 2005), Tables 1-16.  Row
+   order follows the paper's tables. *)
+
+type row = {
+  scheduler : string;
+  max_mean : float;
+  max_sd : float;
+  max_max : float;
+  sum_mean : float;
+  sum_sd : float;
+  sum_max : float;
+}
+
+let r scheduler max_mean max_sd max_max sum_mean sum_sd sum_max =
+  { scheduler; max_mean; max_sd; max_max; sum_mean; sum_sd; sum_max }
+
+let table1 =
+  [ r "Offline" 1.0000 0.0003 1.0167 1.6729 0.3825 4.4468;
+    r "Online" 1.0025 0.0127 2.0388 1.0806 0.0724 2.0343;
+    r "Online-EDF" 1.0024 0.0127 2.0581 1.0775 0.0708 2.0392;
+    r "Online-EGDF" 1.0781 0.1174 2.4053 1.0021 0.0040 1.0707;
+    r "Bender98" 1.0798 0.1315 2.0978 1.0024 0.0044 1.0530;
+    r "SWRPT" 1.0845 0.1235 2.5307 1.0002 0.0012 1.0458;
+    r "SRPT" 1.0939 0.1299 2.3741 1.0044 0.0055 1.0907;
+    r "SPT" 1.1147 0.1603 2.8295 1.0027 0.0054 1.1195;
+    r "Bender02" 3.4603 3.0260 28.4016 1.2053 0.2417 5.2022;
+    r "MCT-Div" 6.3385 7.4375 73.4019 1.3732 0.5628 11.0440;
+    r "MCT" 27.0124 20.1083 129.6119 50.9840 36.9797 157.8909 ]
+
+let table2 =
+  [ r "Offline" 1.0000 0.0001 1.0057 1.4346 0.3406 3.2160;
+    r "Online" 1.0012 0.0083 1.2648 1.0604 0.0557 1.7044;
+    r "Online-EDF" 1.0011 0.0082 1.2648 1.0548 0.0530 1.7017;
+    r "Online-EGDF" 1.0557 0.1027 2.0936 1.0017 0.0037 1.0566;
+    r "SWRPT" 1.0643 0.1153 2.5307 1.0002 0.0013 1.0433;
+    r "SRPT" 1.0728 0.1205 2.1328 1.0042 0.0061 1.0907;
+    r "SPT" 1.0949 0.1595 2.8295 1.0033 0.0063 1.1195;
+    r "Bender02" 3.1209 2.8235 28.4016 1.2178 0.2922 5.2022;
+    r "MCT-Div" 6.4998 7.9212 68.3501 1.4771 0.7660 11.0440;
+    r "MCT" 10.3419 4.0266 121.6338 16.7938 4.8924 46.8819 ]
+
+let table3 =
+  [ r "Offline" 1.0000 0.0003 1.0167 1.7582 0.3548 3.9253;
+    r "Online" 1.0026 0.0113 1.2634 1.0950 0.0832 2.0343;
+    r "Online-EDF" 1.0025 0.0112 1.2634 1.0923 0.0808 2.0392;
+    r "Online-EGDF" 1.0838 0.1223 2.1460 1.0022 0.0037 1.0707;
+    r "SWRPT" 1.0884 0.1247 2.1469 1.0002 0.0010 1.0251;
+    r "SRPT" 1.0971 0.1306 2.1469 1.0044 0.0045 1.0333;
+    r "SPT" 1.1182 0.1582 2.3381 1.0025 0.0043 1.0448;
+    r "Bender02" 3.4492 2.9337 27.5690 1.1993 0.2178 3.5167;
+    r "MCT-Div" 6.3270 7.4253 73.4019 1.3367 0.4500 7.3333;
+    r "MCT" 25.0726 12.1027 83.1075 46.3988 16.8691 84.9341 ]
+
+let table4 =
+  [ r "Offline" 1.0000 0.0004 1.0165 1.8255 0.3313 4.4468;
+    r "Online" 1.0037 0.0169 2.0388 1.0865 0.0711 1.9958;
+    r "Online-EDF" 1.0037 0.0171 2.0581 1.0853 0.0699 1.9863;
+    r "Online-EGDF" 1.0949 0.1225 2.4053 1.0024 0.0046 1.0588;
+    r "SWRPT" 1.1006 0.1275 2.0754 1.0001 0.0011 1.0458;
+    r "SRPT" 1.1117 0.1351 2.3741 1.0047 0.0059 1.0333;
+    r "SPT" 1.1311 0.1609 2.4130 1.0022 0.0053 1.0625;
+    r "Bender02" 3.8102 3.2639 27.3621 1.1990 0.2056 3.5672;
+    r "MCT-Div" 6.1890 6.9315 54.1129 1.3060 0.3802 5.6269;
+    r "MCT" 45.5868 20.5669 129.6119 89.6846 33.2259 157.8909 ]
+
+let table5 =
+  [ r "Offline" 1.0000 0.0003 1.0148 1.6636 0.4310 4.4468;
+    r "Online" 1.0008 0.0057 1.1244 1.0420 0.0443 1.9958;
+    r "Online-EDF" 1.0008 0.0057 1.1244 1.0388 0.0394 1.7131;
+    r "Online-EGDF" 1.0392 0.0715 1.6490 1.0007 0.0025 1.0477;
+    r "SWRPT" 1.0413 0.0737 1.6490 1.0001 0.0010 1.0215;
+    r "SRPT" 1.0528 0.0908 1.9064 1.0021 0.0044 1.0616;
+    r "SPT" 1.0591 0.1033 1.9130 1.0012 0.0037 1.0796;
+    r "Bender02" 2.6110 2.4933 27.3621 1.0886 0.1196 2.6219;
+    r "MCT-Div" 4.2758 5.8801 57.8379 1.1587 0.2978 7.1549;
+    r "MCT" 30.7513 22.6511 129.6119 51.6552 37.0841 154.5800 ]
+
+let table6 =
+  [ r "Offline" 1.0000 0.0002 1.0087 1.6815 0.4013 3.6012;
+    r "Online" 1.0011 0.0068 1.1765 1.0546 0.0511 1.6325;
+    r "Online-EDF" 1.0010 0.0066 1.1765 1.0505 0.0463 1.5247;
+    r "Online-EGDF" 1.0493 0.0817 1.8226 1.0009 0.0026 1.0490;
+    r "SWRPT" 1.0523 0.0850 1.8226 1.0001 0.0009 1.0205;
+    r "SRPT" 1.0650 0.1027 1.8226 1.0027 0.0046 1.0521;
+    r "SPT" 1.0746 0.1185 2.0091 1.0016 0.0044 1.1001;
+    r "Bender02" 2.9802 2.7600 28.4016 1.1175 0.1321 3.0905;
+    r "MCT-Div" 5.1722 6.6865 68.3501 1.2093 0.3189 6.0890;
+    r "MCT" 29.0574 21.1960 118.9077 51.5397 36.9930 152.1818 ]
+
+let table7 =
+  [ r "Offline" 1.0000 0.0004 1.0165 1.6873 0.3835 3.9253;
+    r "Online" 1.0017 0.0086 1.1490 1.0670 0.0553 1.7945;
+    r "Online-EDF" 1.0016 0.0086 1.1556 1.0615 0.0508 1.7877;
+    r "Online-EGDF" 1.0623 0.0936 1.7260 1.0013 0.0030 1.0311;
+    r "SWRPT" 1.0671 0.0987 1.7649 1.0001 0.0009 1.0226;
+    r "SRPT" 1.0779 0.1118 2.1469 1.0035 0.0051 1.0907;
+    r "SPT" 1.0933 0.1323 2.0929 1.0022 0.0047 1.0957;
+    r "Bender02" 3.2584 2.8377 26.5854 1.1506 0.1511 2.4128;
+    r "MCT-Div" 5.8173 6.8755 60.7281 1.2690 0.3637 5.8874;
+    r "MCT" 27.7061 20.1537 107.3472 51.2116 36.9157 157.8909 ]
+
+let table8 =
+  [ r "Offline" 1.0000 0.0004 1.0167 1.6898 0.3734 3.2586;
+    r "Online" 1.0020 0.0102 1.2634 1.0744 0.0575 1.7630;
+    r "Online-EDF" 1.0020 0.0102 1.2634 1.0734 0.0571 1.7352;
+    r "Online-EGDF" 1.0739 0.1039 1.7812 1.0017 0.0035 1.0707;
+    r "SWRPT" 1.0786 0.1077 1.9008 1.0002 0.0013 1.0433;
+    r "SRPT" 1.0899 0.1195 1.9914 1.0041 0.0051 1.0440;
+    r "SPT" 1.1079 0.1445 2.4130 1.0025 0.0049 1.0583;
+    r "Bender02" 3.4825 2.9844 25.9149 1.1826 0.1767 3.1846;
+    r "MCT-Div" 6.3037 7.1902 60.4304 1.3240 0.4200 6.2201;
+    r "MCT" 26.4973 19.5775 94.3396 50.7819 36.8234 157.7347 ]
+
+let table9 =
+  [ r "Offline" 1.0000 0.0002 1.0084 1.6801 0.3566 3.3490;
+    r "Online" 1.0030 0.0118 1.2390 1.0995 0.0721 1.8607;
+    r "Online-EDF" 1.0030 0.0117 1.2390 1.0979 0.0716 1.8497;
+    r "Online-EGDF" 1.1006 0.1269 2.0188 1.0026 0.0040 1.0476;
+    r "SWRPT" 1.1069 0.1312 1.9647 1.0002 0.0012 1.0277;
+    r "SRPT" 1.1159 0.1379 1.9647 1.0056 0.0054 1.0373;
+    r "SPT" 1.1430 0.1668 2.6495 1.0034 0.0059 1.1195;
+    r "Bender02" 3.9233 3.2009 27.5690 1.2574 0.2295 4.0166;
+    r "MCT-Div" 7.4813 7.9766 55.3821 1.4696 0.5681 9.4111;
+    r "MCT" 24.9462 18.5232 95.2381 50.4874 36.8712 156.0182 ]
+
+let table10 =
+  [ r "Offline" 1.0000 0.0002 1.0070 1.6349 0.3399 2.9322;
+    r "Online" 1.0063 0.0236 2.0388 1.1461 0.0909 2.0343;
+    r "Online-EDF" 1.0063 0.0237 2.0581 1.1427 0.0905 2.0392;
+    r "Online-EGDF" 1.1433 0.1669 2.4053 1.0054 0.0056 1.0588;
+    r "SWRPT" 1.1601 0.1754 2.5307 1.0003 0.0016 1.0458;
+    r "SRPT" 1.1614 0.1695 2.3741 1.0087 0.0058 1.0561;
+    r "SPT" 1.2102 0.2190 2.8295 1.0051 0.0071 1.1148;
+    r "Bender02" 4.5031 3.4066 23.2689 1.4347 0.3627 5.2022;
+    r "MCT-Div" 8.9719 8.7093 73.4019 1.8075 0.8904 11.0440;
+    r "MCT" 23.1295 17.1353 121.6338 50.2310 37.1835 156.9455 ]
+
+let table11 =
+  [ r "Offline" 1.0000 0.0003 1.0167 1.4979 0.3444 3.3299;
+    r "Online" 1.0024 0.0113 1.3026 1.0701 0.0564 1.7044;
+    r "Online-EDF" 1.0024 0.0111 1.3026 1.0655 0.0539 1.7017;
+    r "Online-EGDF" 1.0592 0.1095 2.1947 1.0022 0.0047 1.0707;
+    r "SWRPT" 1.0639 0.1174 2.5307 1.0003 0.0018 1.0458;
+    r "SRPT" 1.0690 0.1185 2.1328 1.0035 0.0055 1.0907;
+    r "SPT" 1.0808 0.1497 2.8295 1.0021 0.0061 1.1195;
+    r "Bender02" 2.3317 2.0982 22.4182 1.1401 0.2223 5.2022;
+    r "MCT-Div" 3.2875 4.5014 62.0873 1.2246 0.4815 11.0440;
+    r "MCT" 27.0797 18.8117 129.6119 53.5436 36.7236 157.8909 ]
+
+let table12 =
+  [ r "Offline" 1.0000 0.0003 1.0166 1.7476 0.3742 4.4468;
+    r "Online" 1.0027 0.0153 2.0388 1.0870 0.0821 2.0343;
+    r "Online-EDF" 1.0026 0.0154 2.0581 1.0845 0.0807 2.0392;
+    r "Online-EGDF" 1.0854 0.1192 2.0460 1.0021 0.0038 1.0561;
+    r "SWRPT" 1.0924 0.1263 2.0659 1.0001 0.0007 1.0205;
+    r "SRPT" 1.1020 0.1314 2.1469 1.0048 0.0056 1.0565;
+    r "SPT" 1.1255 0.1625 2.4009 1.0029 0.0051 1.0796;
+    r "Bender02" 3.8022 3.1393 28.4016 1.2306 0.2509 4.3492;
+    r "MCT-Div" 7.1260 7.5863 68.3501 1.4255 0.5959 10.1591;
+    r "MCT" 26.5667 20.2844 117.3514 49.7426 37.0234 157.7347 ]
+
+let table13 =
+  [ r "Offline" 1.0000 0.0003 1.0165 1.7732 0.3662 4.1263;
+    r "Online" 1.0023 0.0111 1.2634 1.0848 0.0751 1.9958;
+    r "Online-EDF" 1.0024 0.0112 1.2634 1.0825 0.0734 1.8497;
+    r "Online-EGDF" 1.0897 0.1208 2.4053 1.0020 0.0035 1.0323;
+    r "SWRPT" 1.0971 0.1240 2.1458 1.0001 0.0005 1.0133;
+    r "SRPT" 1.1106 0.1354 2.3741 1.0050 0.0055 1.0411;
+    r "SPT" 1.1379 0.1626 2.6495 1.0031 0.0049 1.0462;
+    r "Bender02" 4.2474 3.3475 27.5690 1.2453 0.2374 3.8653;
+    r "MCT-Div" 8.6029 8.5496 73.4019 1.4696 0.5736 9.4838;
+    r "MCT" 27.3910 21.1527 111.3333 49.6653 37.0615 149.3393 ]
+
+let table14 =
+  [ r "Offline" 1.0000 0.0001 1.0041 1.6418 0.4515 4.4468;
+    r "Online" 1.0016 0.0096 1.1991 1.1178 0.0968 2.0343;
+    r "Online-EDF" 1.0015 0.0094 1.1765 1.1115 0.0957 2.0392;
+    r "Online-EGDF" 1.0742 0.1203 2.4053 1.0024 0.0038 1.0588;
+    r "SWRPT" 1.0690 0.1154 2.3263 1.0003 0.0015 1.0458;
+    r "SRPT" 1.0706 0.1126 2.1328 1.0041 0.0046 1.0565;
+    r "SPT" 1.0883 0.1461 2.6785 1.0018 0.0044 1.0864;
+    r "Bender02" 2.0534 1.9157 28.4016 1.1277 0.1771 4.3492;
+    r "MCT-Div" 3.6172 5.4143 68.3501 1.2344 0.4738 10.3450;
+    r "MCT" 14.5871 8.7936 121.6338 30.5590 18.2418 115.3582 ]
+
+let table15 =
+  [ r "Offline" 1.0000 0.0003 1.0167 1.7546 0.3262 3.7500;
+    r "Online" 1.0028 0.0151 2.0388 1.0726 0.0507 1.7044;
+    r "Online-EDF" 1.0028 0.0153 2.0581 1.0705 0.0494 1.7017;
+    r "Online-EGDF" 1.0960 0.1267 2.0936 1.0025 0.0043 1.0561;
+    r "SWRPT" 1.1025 0.1352 2.0936 1.0002 0.0012 1.0373;
+    r "SRPT" 1.1083 0.1364 2.0912 1.0047 0.0055 1.0561;
+    r "SPT" 1.1266 0.1657 2.8295 1.0024 0.0048 1.1148;
+    r "Bender02" 2.9329 2.0364 27.5690 1.1826 0.1834 4.0166;
+    r "MCT-Div" 4.9589 5.2580 73.4019 1.2980 0.4053 8.0257;
+    r "MCT" 27.0743 16.7717 91.4105 50.1104 30.3253 128.8167 ]
+
+let table16 =
+  [ r "Offline" 1.0000 0.0004 1.0165 1.6222 0.3442 3.2160;
+    r "Online" 1.0031 0.0128 1.2715 1.0515 0.0386 1.3593;
+    r "Online-EDF" 1.0030 0.0127 1.2715 1.0504 0.0384 1.3593;
+    r "Online-EGDF" 1.0642 0.1014 2.1947 1.0013 0.0039 1.0707;
+    r "SWRPT" 1.0818 0.1166 2.5307 1.0000 0.0006 1.0240;
+    r "SRPT" 1.1027 0.1359 2.3741 1.0045 0.0064 1.0907;
+    r "SPT" 1.1294 0.1649 2.5322 1.0039 0.0065 1.1195;
+    r "Bender02" 5.3951 3.6954 27.3621 1.3057 0.3060 5.2022;
+    r "MCT-Div" 10.4401 9.1034 67.1243 1.5873 0.7005 11.0440;
+    r "MCT" 39.3782 23.3925 129.6119 72.2866 44.4828 157.8909 ]
+
+let tables =
+  [| table1; table2; table3; table4; table5; table6; table7; table8; table9;
+     table10; table11; table12; table13; table14; table15; table16 |]
+
+let titles =
+  [| "aggregate statistics over all 162 platform/application configurations";
+     "configurations using 3 sites"; "configurations using 10 sites";
+     "configurations using 20 sites"; "workload density 0.75";
+     "workload density 1.00"; "workload density 1.25"; "workload density 1.50";
+     "workload density 2.00"; "workload density 3.00"; "3 reference databases";
+     "10 reference databases"; "20 reference databases";
+     "database availability 30%"; "database availability 60%";
+     "database availability 90%" |]
+
+let check_number n =
+  if n < 1 || n > 16 then invalid_arg "Paper_reference: table number outside 1-16"
+
+let table n =
+  check_number n;
+  tables.(n - 1)
+
+let title n =
+  check_number n;
+  titles.(n - 1)
+
+(* Spearman rank correlation with average ranks on ties. *)
+let ranks xs =
+  let arr = Array.of_list xs in
+  let idx = Array.init (Array.length arr) Fun.id in
+  Array.sort (fun a b -> Float.compare arr.(a) arr.(b)) idx;
+  let rk = Array.make (Array.length arr) 0.0 in
+  let i = ref 0 in
+  while !i < Array.length arr do
+    let j = ref !i in
+    while
+      !j + 1 < Array.length arr && arr.(idx.(!j + 1)) = arr.(idx.(!i))
+    do
+      incr j
+    done;
+    (* Positions i..j share the average rank. *)
+    let avg = float_of_int (!i + !j) /. 2.0 in
+    for k = !i to !j do rk.(idx.(k)) <- avg done;
+    i := !j + 1
+  done;
+  Array.to_list rk
+
+let spearman xs ys =
+  if List.length xs <> List.length ys then
+    invalid_arg "Paper_reference.spearman: length mismatch";
+  if List.length xs < 2 then invalid_arg "Paper_reference.spearman: too few points";
+  let rx = ranks xs and ry = ranks ys in
+  let n = float_of_int (List.length xs) in
+  let mean = (n -. 1.0) /. 2.0 in
+  let num = ref 0.0 and dx = ref 0.0 and dy = ref 0.0 in
+  List.iter2
+    (fun a b ->
+      num := !num +. ((a -. mean) *. (b -. mean));
+      dx := !dx +. ((a -. mean) *. (a -. mean));
+      dy := !dy +. ((b -. mean) *. (b -. mean)))
+    rx ry;
+  if !dx = 0.0 || !dy = 0.0 then 1.0 else !num /. sqrt (!dx *. !dy)
+
+type comparison = {
+  table_number : int;
+  spearman_max : float;
+  spearman_sum : float;
+  common_rows : int;
+}
+
+let compare_tables n (t : Tables.table) =
+  let published = table n in
+  let pairs =
+    List.filter_map
+      (fun (row : Tables.row) ->
+        List.find_opt (fun p -> p.scheduler = row.Tables.scheduler) published
+        |> Option.map (fun p -> (row, p)))
+      t.Tables.rows
+  in
+  let ours f = List.map (fun ((row : Tables.row), _) -> f row) pairs in
+  let theirs f = List.map (fun (_, p) -> f p) pairs in
+  { table_number = n;
+    spearman_max =
+      spearman
+        (ours (fun row -> row.Tables.max_stretch.Stats.mean))
+        (theirs (fun p -> p.max_mean));
+    spearman_sum =
+      spearman
+        (ours (fun row -> row.Tables.sum_stretch.Stats.mean))
+        (theirs (fun p -> p.sum_mean));
+    common_rows = List.length pairs }
+
+let render_comparison comps =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "Heuristic-ranking agreement with the published tables (Spearman)\n";
+  add "%8s %12s %12s %8s\n" "table" "max-stretch" "sum-stretch" "rows";
+  List.iter
+    (fun c ->
+      add "%8d %12.3f %12.3f %8d\n" c.table_number c.spearman_max c.spearman_sum
+        c.common_rows)
+    comps;
+  Buffer.contents b

@@ -1,0 +1,46 @@
+(** The published values of the paper's Tables 1–16 (Legrand, Su &
+    Vivien, RR-5724, October 2005), transcribed verbatim.
+
+    Each row carries the six reported statistics (mean / SD / max of the
+    per-instance ratio to the best observed value, for max-stretch and
+    sum-stretch).  [Bender98] appears only in Table 1 (its results were
+    limited to 3-cluster platforms).
+
+    {!compare_tables} checks a regenerated table against the published
+    one: because this reproduction runs at a much smaller scale (shorter
+    arrival windows, fewer instances), absolute ratios are milder than the
+    paper's; what must agree is the {e ordering} of the heuristics, which
+    the comparison quantifies with Spearman rank correlations. *)
+
+type row = {
+  scheduler : string;
+  max_mean : float;
+  max_sd : float;
+  max_max : float;
+  sum_mean : float;
+  sum_sd : float;
+  sum_max : float;
+}
+
+val table : int -> row list
+(** Published rows of the given paper table, top to bottom.
+    @raise Invalid_argument outside [1, 16]. *)
+
+val title : int -> string
+
+type comparison = {
+  table_number : int;
+  spearman_max : float;  (** rank correlation of the max-stretch means *)
+  spearman_sum : float;  (** rank correlation of the sum-stretch means *)
+  common_rows : int;     (** heuristics present in both tables *)
+}
+
+val compare_tables : int -> Tables.table -> comparison
+(** Compare a regenerated table with the published one over their common
+    heuristics. *)
+
+val spearman : float list -> float list -> float
+(** Spearman rank correlation (average ranks on ties).
+    @raise Invalid_argument on length mismatch or fewer than 2 points. *)
+
+val render_comparison : comparison list -> string

@@ -1,0 +1,64 @@
+let hline width = String.make width '-'
+
+let table (t : Tables.table) =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "%s\n" t.title;
+  add "(%d instances per row; ratios to the best observed value)\n" t.instances;
+  let width = 14 + (2 * 27) in
+  add "%s\n" (hline width);
+  add "%-14s| %-25s | %-25s\n" "" "Max-stretch" "Sum-stretch";
+  add "%-14s| %8s %8s %8s | %8s %8s %8s\n" "Scheduler" "Mean" "SD" "Max" "Mean" "SD" "Max";
+  add "%s\n" (hline width);
+  List.iter
+    (fun (r : Tables.row) ->
+      add "%-14s| %8.4f %8.4f %8.4f | %8.4f %8.4f %8.4f\n" r.scheduler
+        r.max_stretch.Stats.mean r.max_stretch.Stats.sd r.max_stretch.Stats.max
+        r.sum_stretch.Stats.mean r.sum_stretch.Stats.sd r.sum_stretch.Stats.max)
+    t.rows;
+  add "%s\n" (hline width);
+  Buffer.contents b
+
+let figure3a samples =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "Figure 3(a): max-stretch degradation from optimal (%%) vs workload density\n";
+  add "%10s %24s %24s\n" "density" "non-optimized (%)" "optimized (%)";
+  List.iter
+    (fun (s : Figures.sample) ->
+      add "%10.4f %24.4f %24.4f\n" s.density s.non_optimized_degradation
+        s.optimized_degradation)
+    samples;
+  Buffer.contents b
+
+let figure3b samples =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "Figure 3(b): sum-stretch gain of the optimized on-line heuristic (%%)\n";
+  add "%10s %24s\n" "density" "relative gain (%)";
+  List.iter
+    (fun (s : Figures.sample) -> add "%10.4f %24.4f\n" s.density s.sum_stretch_gain)
+    samples;
+  Buffer.contents b
+
+let overhead entries =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "Scheduling overhead (wall time per simulated workload, seconds)\n";
+  add "%-14s %10s %10s %10s\n" "Scheduler" "Mean" "SD" "Max";
+  List.iter
+    (fun (name, (s : Stats.summary)) ->
+      add "%-14s %10.4f %10.4f %10.4f\n" name s.Stats.mean s.Stats.sd s.Stats.max)
+    entries;
+  Buffer.contents b
+
+let overhead_scaling samples =
+  let b = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "Scheduling overhead vs workload size (3-cluster platform, seconds)\n";
+  add "%8s %12s %12s %12s\n" "jobs" "Offline" "Online" "Bender98";
+  List.iter
+    (fun (s : Overhead.scaling_sample) ->
+      add "%8d %12.3f %12.3f %12.3f\n" s.jobs s.offline_s s.online_s s.bender98_s)
+    samples;
+  Buffer.contents b

@@ -1,0 +1,14 @@
+(** Fixed-width text rendering of tables and figure series, matching the
+    layout of the paper's tables. *)
+
+val table : Tables.table -> string
+(** The paper's layout: one heuristic per row, Max-stretch and Sum-stretch
+    column groups with Mean / SD / Max. *)
+
+val figure3a : Figures.sample list -> string
+val figure3b : Figures.sample list -> string
+
+val overhead : (string * Stats.summary) list -> string
+(** The §5.3 scheduling-overhead comparison: per-scheduler wall time. *)
+
+val overhead_scaling : Overhead.scaling_sample list -> string

@@ -1,0 +1,78 @@
+open Gripps_model
+open Gripps_engine
+open Gripps_core
+open Gripps_sched
+module W = Gripps_workload
+
+let portfolio =
+  [ Offline.scheduler; Online_lp.online; Online_lp.online_edf;
+    Online_lp.online_egdf; Bender.bender98; List_sched.swrpt; List_sched.srpt;
+    List_sched.spt; Bender.bender02; Greedy.mct_div; Greedy.mct ]
+
+let portfolio_names = List.map (fun s -> s.Sim.name) portfolio
+
+type measurement = {
+  scheduler : string;
+  max_stretch : float;
+  sum_stretch : float;
+  wall_time : float;
+}
+
+type instance_result = {
+  config : W.Config.t;
+  num_jobs : int;
+  measurements : measurement list;
+}
+
+let run_instance ?(bender98_max_sites = 3) ?(bender98_max_jobs = 60)
+    ?(schedulers = portfolio) config inst =
+  let measurements =
+    List.filter_map
+      (fun s ->
+        if
+          s.Sim.name = "Bender98"
+          && (config.W.Config.sites > bender98_max_sites
+              || Instance.num_jobs inst > bender98_max_jobs)
+        then None
+        else begin
+          let t0 = Unix.gettimeofday () in
+          let sched = Sim.run ~horizon:1e9 s inst in
+          let wall_time = Unix.gettimeofday () -. t0 in
+          let m = Metrics.of_schedule sched in
+          Some
+            { scheduler = s.Sim.name;
+              max_stretch = m.Metrics.max_stretch;
+              sum_stretch = m.Metrics.sum_stretch;
+              wall_time }
+        end)
+      schedulers
+  in
+  { config; num_jobs = Instance.num_jobs inst; measurements }
+
+type ratio = { scheduler : string; max_ratio : float; sum_ratio : float }
+
+let ratios r =
+  match r.measurements with
+  | [] -> []
+  | ms ->
+    let best f = List.fold_left (fun acc m -> Float.min acc (f m)) infinity ms in
+    let best_max = best (fun m -> m.max_stretch) in
+    let best_sum = best (fun m -> m.sum_stretch) in
+    (* Degenerate single-job instances can have zero stretch spread; guard
+       divisions so ratios stay meaningful. *)
+    let div a b = if b > 0.0 then a /. b else 1.0 in
+    List.map
+      (fun (m : measurement) ->
+        { scheduler = m.scheduler;
+          max_ratio = div m.max_stretch best_max;
+          sum_ratio = div m.sum_stretch best_sum })
+      ms
+
+let run_config ?bender98_max_sites ?bender98_max_jobs ?schedulers ~seed ~instances
+    config =
+  List.init instances (fun k ->
+      (* One independent stream per instance: results do not shift when
+         the instance count changes. *)
+      let rng = Gripps_rng.Splitmix.create (seed + (1_000_003 * k)) in
+      let inst = W.Generator.instance rng config in
+      run_instance ?bender98_max_sites ?bender98_max_jobs ?schedulers config inst)

@@ -1,0 +1,55 @@
+(** Running the heuristic portfolio over random instances (paper §5.3).
+
+    The portfolio is the eleven heuristics of Table 1.  [Bender98] is only
+    run on platforms of at most [bender98_max_sites] clusters (default 3)
+    and on workloads of at most [bender98_max_jobs] jobs (default 60),
+    mirroring the paper, whose larger simulations were "practically
+    infeasible, due to the algorithm's prohibitive overhead costs" (it
+    solves a full hindsight optimum at every arrival). *)
+
+open Gripps_model
+open Gripps_engine
+
+val portfolio : Sim.scheduler list
+(** Offline, Online, Online-EDF, Online-EGDF, Bender98, SWRPT, SRPT, SPT,
+    Bender02, MCT-Div, MCT — the Table 1 rows. *)
+
+val portfolio_names : string list
+
+type measurement = {
+  scheduler : string;
+  max_stretch : float;
+  sum_stretch : float;
+  wall_time : float;  (** seconds spent simulating (≈ scheduling overhead) *)
+}
+
+type instance_result = {
+  config : Gripps_workload.Config.t;
+  num_jobs : int;
+  measurements : measurement list;
+}
+
+val run_instance :
+  ?bender98_max_sites:int ->
+  ?bender98_max_jobs:int ->
+  ?schedulers:Sim.scheduler list ->
+  Gripps_workload.Config.t ->
+  Instance.t ->
+  instance_result
+
+type ratio = { scheduler : string; max_ratio : float; sum_ratio : float }
+
+val ratios : instance_result -> ratio list
+(** Per-instance ratios to the best observed value of each metric across
+    the portfolio — the normalization used by every aggregate table. *)
+
+val run_config :
+  ?bender98_max_sites:int ->
+  ?bender98_max_jobs:int ->
+  ?schedulers:Sim.scheduler list ->
+  seed:int ->
+  instances:int ->
+  Gripps_workload.Config.t ->
+  instance_result list
+(** Realize [instances] random instances of the configuration (seeded
+    deterministically) and measure the portfolio on each. *)

@@ -1,0 +1,40 @@
+type summary = { mean : float; sd : float; max : float; count : int }
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let sd xs =
+  match xs with
+  | [] -> invalid_arg "Stats.sd: empty"
+  | _ ->
+    let m = mean xs in
+    let var =
+      List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+      /. float_of_int (List.length xs)
+    in
+    sqrt var
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | x :: rest ->
+    { mean = mean xs; sd = sd xs;
+      max = List.fold_left Float.max x rest;
+      count = List.length xs }
+
+let quantile xs ~q =
+  if xs = [] then invalid_arg "Stats.quantile: empty";
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0, 1]";
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then a.(lo)
+  else begin
+    let w = pos -. float_of_int lo in
+    ((1.0 -. w) *. a.(lo)) +. (w *. a.(hi))
+  end

@@ -1,0 +1,14 @@
+(** Descriptive statistics for the result tables. *)
+
+type summary = { mean : float; sd : float; max : float; count : int }
+
+val summarize : float list -> summary
+(** @raise Invalid_argument on an empty list. *)
+
+val mean : float list -> float
+val sd : float list -> float
+(** Population standard deviation (the paper reports SD over all runs). *)
+
+val quantile : float list -> q:float -> float
+(** Linear-interpolation quantile, [q] in [0, 1].
+    @raise Invalid_argument on an empty list or out-of-range [q]. *)

@@ -1,0 +1,89 @@
+module W = Gripps_workload
+
+type row = {
+  scheduler : string;
+  max_stretch : Stats.summary;
+  sum_stretch : Stats.summary;
+}
+
+type table = { title : string; rows : row list; instances : int }
+
+let sweep ?(seed = 20060101) ?(instances_per_config = 3) ?configs
+    ?(progress = fun _ _ -> ()) ~horizon () =
+  let configs =
+    match configs with
+    | Some cs -> cs
+    | None -> W.Config.paper_grid ~horizon ()
+  in
+  let total = List.length configs in
+  List.concat
+    (List.mapi
+       (fun i config ->
+         let rs =
+           Runner.run_config ~seed:(seed + (7919 * i)) ~instances:instances_per_config
+             config
+         in
+         progress (i + 1) total;
+         rs)
+       configs)
+
+let aggregate ~title results =
+  let ratios = List.concat_map Runner.ratios results in
+  let rows =
+    List.filter_map
+      (fun name ->
+        let mine = List.filter (fun (r : Runner.ratio) -> r.scheduler = name) ratios in
+        match mine with
+        | [] -> None
+        | _ ->
+          Some
+            { scheduler = name;
+              max_stretch =
+                Stats.summarize (List.map (fun (r : Runner.ratio) -> r.max_ratio) mine);
+              sum_stretch =
+                Stats.summarize (List.map (fun (r : Runner.ratio) -> r.sum_ratio) mine) })
+      Runner.portfolio_names
+  in
+  { title; rows; instances = List.length results }
+
+let table1 results =
+  aggregate ~title:"Table 1: aggregate statistics over all configurations" results
+
+let filter_config p results =
+  List.filter (fun (r : Runner.instance_result) -> p r.config) results
+
+let by_sites results sites =
+  aggregate
+    ~title:(Printf.sprintf "Aggregate statistics for configurations using %d sites" sites)
+    (filter_config (fun c -> c.W.Config.sites = sites) results)
+
+let by_density results density =
+  aggregate
+    ~title:
+      (Printf.sprintf "Aggregate statistics for configurations with workload density %.2f"
+         density)
+    (filter_config (fun c -> abs_float (c.W.Config.density -. density) < 1e-9) results)
+
+let by_databases results databases =
+  aggregate
+    ~title:
+      (Printf.sprintf "Aggregate statistics for configurations with %d reference databases"
+         databases)
+    (filter_config (fun c -> c.W.Config.databases = databases) results)
+
+let by_availability results availability =
+  aggregate
+    ~title:
+      (Printf.sprintf
+         "Aggregate statistics for configurations with database availability %.0f%%"
+         (100.0 *. availability))
+    (filter_config
+       (fun c -> abs_float (c.W.Config.availability -. availability) < 1e-9)
+       results)
+
+let all_tables results =
+  (1, table1 results)
+  :: (List.mapi (fun i s -> (2 + i, by_sites results s)) [ 3; 10; 20 ]
+     @ List.mapi (fun i d -> (5 + i, by_density results d)) [ 0.75; 1.0; 1.25; 1.5; 2.0; 3.0 ]
+     @ List.mapi (fun i d -> (11 + i, by_databases results d)) [ 3; 10; 20 ]
+     @ List.mapi (fun i a -> (14 + i, by_availability results a)) [ 0.3; 0.6; 0.9 ])

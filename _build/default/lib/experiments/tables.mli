@@ -1,0 +1,51 @@
+(** The aggregate statistic tables of the paper (Table 1 and the appendix
+    Tables 2–16).
+
+    One sweep over the 162-configuration factorial design produces all
+    sixteen tables: Table 1 aggregates everything; Tables 2–4 partition by
+    platform size, 5–10 by workload density, 11–13 by databank count,
+    14–16 by availability.  Each cell is the mean / standard deviation /
+    maximum over instances of the per-instance ratio of a heuristic's
+    metric to the best value observed on that instance. *)
+
+module W = Gripps_workload
+
+type row = {
+  scheduler : string;
+  max_stretch : Stats.summary;
+  sum_stretch : Stats.summary;
+}
+
+type table = {
+  title : string;
+  rows : row list;  (** portfolio order *)
+  instances : int;
+}
+
+val sweep :
+  ?seed:int ->
+  ?instances_per_config:int ->
+  ?configs:W.Config.t list ->
+  ?progress:(int -> int -> unit) ->
+  horizon:float ->
+  unit ->
+  Runner.instance_result list
+(** Run the full factorial design (or [configs]); [progress done total] is
+    called after each configuration. *)
+
+val table1 : Runner.instance_result list -> table
+
+val by_sites : Runner.instance_result list -> int -> table
+(** Tables 2–4: [by_sites results 3 | 10 | 20]. *)
+
+val by_density : Runner.instance_result list -> float -> table
+(** Tables 5–10: densities 0.75, 1.0, 1.25, 1.5, 2.0, 3.0. *)
+
+val by_databases : Runner.instance_result list -> int -> table
+(** Tables 11–13. *)
+
+val by_availability : Runner.instance_result list -> float -> table
+(** Tables 14–16: availabilities 0.3, 0.6, 0.9. *)
+
+val all_tables : Runner.instance_result list -> (int * table) list
+(** [(paper table number, table)] for Tables 1–16. *)

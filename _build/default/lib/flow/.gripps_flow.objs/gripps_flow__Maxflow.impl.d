@@ -1,0 +1,1 @@
+lib/flow/maxflow.ml: Array Gripps_collections Gripps_numeric List Queue

@@ -1,0 +1,1 @@
+lib/flow/mcmf.ml: Array Gripps_collections Gripps_numeric List

@@ -1,0 +1,143 @@
+(* Dinic's algorithm over an arbitrary ordered field.  Edges are stored in
+   a flat array with the residual twin of edge e at index (e lxor 1); each
+   vertex keeps the list of incident edge indices. *)
+
+module Make (F : Gripps_numeric.Field.ORDERED_FIELD) = struct
+  module Vec = struct
+    include Gripps_collections.Vec
+
+    let size = length
+  end
+
+  type t = {
+    n : int;
+    adj : int list array;  (* edge indices leaving each vertex, reversed *)
+    dst : int Vec.t;
+    cap : F.t Vec.t;   (* residual capacity *)
+    ocap : F.t Vec.t;  (* original capacity *)
+    mutable level : int array;
+    mutable iter : int list array;
+  }
+
+  let create ~n =
+    { n; adj = Array.make n []; dst = Vec.create (); cap = Vec.create ();
+      ocap = Vec.create (); level = [||]; iter = [||] }
+
+  let num_vertices g = g.n
+
+  let add_edge g ~src ~dst ~cap =
+    if src < 0 || src >= g.n || dst < 0 || dst >= g.n then
+      invalid_arg "Maxflow.add_edge: vertex out of range";
+    if F.sign cap < 0 then invalid_arg "Maxflow.add_edge: negative capacity";
+    let e = Vec.size g.dst in
+    Vec.push g.dst dst;
+    Vec.push g.cap cap;
+    Vec.push g.ocap cap;
+    g.adj.(src) <- e :: g.adj.(src);
+    Vec.push g.dst src;
+    Vec.push g.cap F.zero;
+    Vec.push g.ocap F.zero;
+    g.adj.(dst) <- (e + 1) :: g.adj.(dst);
+    e
+
+  let set_capacity g e cap =
+    if F.sign cap < 0 then invalid_arg "Maxflow.set_capacity: negative capacity";
+    Vec.set g.cap e cap;
+    Vec.set g.ocap e cap;
+    Vec.set g.cap (e lxor 1) F.zero;
+    Vec.set g.ocap (e lxor 1) F.zero
+
+  let reset_flows g =
+    for e = 0 to Vec.size g.cap - 1 do
+      Vec.set g.cap e (Vec.get g.ocap e)
+    done
+
+  let bfs g ~source ~sink =
+    let level = Array.make g.n (-1) in
+    level.(source) <- 0;
+    let q = Queue.create () in
+    Queue.push source q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun e ->
+          let w = Vec.get g.dst e in
+          if level.(w) < 0 && F.sign (Vec.get g.cap e) > 0 then begin
+            level.(w) <- level.(u) + 1;
+            Queue.push w q
+          end)
+        g.adj.(u)
+    done;
+    g.level <- level;
+    level.(sink) >= 0
+
+  (* Find an augmenting path in the level graph and push [limit] along it. *)
+  let rec dfs g u ~sink limit =
+    if u = sink then limit
+    else begin
+      let rec try_edges () =
+        match g.iter.(u) with
+        | [] -> F.zero
+        | e :: rest ->
+          let w = Vec.get g.dst e in
+          let c = Vec.get g.cap e in
+          if F.sign c > 0 && g.level.(w) = g.level.(u) + 1 then begin
+            let pushed = dfs g w ~sink (F.min limit c) in
+            if F.sign pushed > 0 then begin
+              Vec.set g.cap e (F.sub (Vec.get g.cap e) pushed);
+              Vec.set g.cap (e lxor 1) (F.add (Vec.get g.cap (e lxor 1)) pushed);
+              pushed
+            end
+            else begin
+              g.iter.(u) <- rest;
+              try_edges ()
+            end
+          end
+          else begin
+            g.iter.(u) <- rest;
+            try_edges ()
+          end
+      in
+      try_edges ()
+    end
+
+  let max_flow g ~source ~sink =
+    if source = sink then invalid_arg "Maxflow.max_flow: source = sink";
+    reset_flows g;
+    let total = ref F.zero in
+    (* An upper bound on any single augmentation: sum of source capacities. *)
+    let limit =
+      List.fold_left (fun acc e -> F.add acc (Vec.get g.ocap e)) F.zero g.adj.(source)
+    in
+    while bfs g ~source ~sink do
+      g.iter <- Array.copy g.adj;
+      let continue = ref true in
+      while !continue do
+        let pushed = dfs g source ~sink limit in
+        if F.sign pushed > 0 then total := F.add !total pushed
+        else continue := false
+      done
+    done;
+    !total
+
+  let flow_on g e = Vec.get g.cap (e lxor 1)
+  let capacity_on g e = Vec.get g.ocap e
+
+  let min_cut g ~source =
+    let reachable = Array.make g.n false in
+    reachable.(source) <- true;
+    let q = Queue.create () in
+    Queue.push source q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun e ->
+          let w = Vec.get g.dst e in
+          if (not reachable.(w)) && F.sign (Vec.get g.cap e) > 0 then begin
+            reachable.(w) <- true;
+            Queue.push w q
+          end)
+        g.adj.(u)
+    done;
+    reachable
+end

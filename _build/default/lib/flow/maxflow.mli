@@ -1,0 +1,37 @@
+(** Maximum flow (Dinic's algorithm), functorized over an ordered field.
+
+    System (1) of the paper — deadline feasibility of divisible jobs on
+    machines with restricted availability — is a transportation problem;
+    instantiated at {!Gripps_numeric.Rat} this module decides it exactly.
+    Dinic performs O(V²E) augmentations regardless of capacity values, so
+    exact rational capacities are safe. *)
+
+module Make (F : Gripps_numeric.Field.ORDERED_FIELD) : sig
+  type t
+
+  val create : n:int -> t
+  (** Graph with vertices [0 .. n-1]. *)
+
+  val num_vertices : t -> int
+
+  val add_edge : t -> src:int -> dst:int -> cap:F.t -> int
+  (** Adds a directed edge and its residual twin; returns an edge handle
+      for {!flow_on} / {!capacity_on}.
+      @raise Invalid_argument on out-of-range vertices or negative
+      capacity. *)
+
+  val set_capacity : t -> int -> F.t -> unit
+  (** Reset an edge's capacity (its flow is reset to zero as well). *)
+
+  val max_flow : t -> source:int -> sink:int -> F.t
+  (** Computes a maximum flow; the flow decomposition is then readable via
+      {!flow_on}.  Can be called again after capacity updates; flows are
+      recomputed from scratch. *)
+
+  val flow_on : t -> int -> F.t
+  val capacity_on : t -> int -> F.t
+
+  val min_cut : t -> source:int -> bool array
+  (** After {!max_flow}: characteristic vector of the source side of a
+      minimum cut (vertices reachable in the residual graph). *)
+end

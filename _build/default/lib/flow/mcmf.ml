@@ -1,0 +1,130 @@
+(* Successive shortest augmenting paths with Johnson potentials.  Because
+   all edge costs are non-negative, the initial potential is zero and each
+   iteration is a Dijkstra run on reduced costs (non-negative by
+   induction); the flow pushed per iteration is the path bottleneck. *)
+
+module Make (F : Gripps_numeric.Field.ORDERED_FIELD) = struct
+  module Heap = Gripps_collections.Heap
+  module Vec = Gripps_collections.Vec
+
+  type t = {
+    n : int;
+    adj : int list array;
+    dst : int Vec.t;
+    cap : F.t Vec.t;
+    cost : F.t Vec.t;
+    ocap : F.t Vec.t;
+  }
+
+  let create ~n =
+    { n; adj = Array.make n []; dst = Vec.create (); cap = Vec.create ();
+      cost = Vec.create (); ocap = Vec.create () }
+
+  let add_edge g ~src ~dst ~cap ~cost =
+    if src < 0 || src >= g.n || dst < 0 || dst >= g.n then
+      invalid_arg "Mcmf.add_edge: vertex out of range";
+    if F.sign cap < 0 then invalid_arg "Mcmf.add_edge: negative capacity";
+    if F.sign cost < 0 then invalid_arg "Mcmf.add_edge: negative cost";
+    let e = Vec.length g.dst in
+    Vec.push g.dst dst;
+    Vec.push g.cap cap;
+    Vec.push g.cost cost;
+    Vec.push g.ocap cap;
+    g.adj.(src) <- e :: g.adj.(src);
+    Vec.push g.dst src;
+    Vec.push g.cap F.zero;
+    Vec.push g.cost (F.neg cost);
+    Vec.push g.ocap F.zero;
+    g.adj.(dst) <- (e + 1) :: g.adj.(dst);
+    e
+
+  (* Dijkstra on reduced costs cost(e) + pot(u) - pot(w); returns distances
+     (None = unreachable) and the incoming edge of each vertex on a
+     shortest path tree. *)
+  let dijkstra g ~source pot =
+    let dist = Array.make g.n None in
+    let prev_edge = Array.make g.n (-1) in
+    let heap = Heap.create ~cmp:(fun (a, _) (b, _) -> F.compare a b) in
+    dist.(source) <- Some F.zero;
+    Heap.push heap (F.zero, source);
+    let rec drain () =
+      match Heap.pop heap with
+      | None -> ()
+      | Some (d, u) ->
+        let stale = match dist.(u) with Some du -> F.compare d du > 0 | None -> true in
+        if not stale then
+          List.iter
+            (fun e ->
+              if F.sign (Vec.get g.cap e) > 0 then begin
+                let w = Vec.get g.dst e in
+                let rc = F.add (Vec.get g.cost e) (F.sub pot.(u) pot.(w)) in
+                let cand = F.add d rc in
+                let better =
+                  match dist.(w) with
+                  | None -> true
+                  | Some dw -> F.compare cand dw < 0
+                in
+                if better then begin
+                  dist.(w) <- Some cand;
+                  prev_edge.(w) <- e;
+                  Heap.push heap (cand, w)
+                end
+              end)
+            g.adj.(u);
+        drain ()
+    in
+    drain ();
+    (dist, prev_edge)
+
+  let min_cost_max_flow g ~source ~sink =
+    if source = sink then invalid_arg "Mcmf.min_cost_max_flow: source = sink";
+    (* Restore original capacities so the call is idempotent. *)
+    for e = 0 to Vec.length g.cap - 1 do
+      Vec.set g.cap e (Vec.get g.ocap e)
+    done;
+    let pot = Array.make g.n F.zero in
+    let total_flow = ref F.zero and total_cost = ref F.zero in
+    let continue = ref true in
+    while !continue do
+      let dist, prev_edge = dijkstra g ~source pot in
+      match dist.(sink) with
+      | None -> continue := false
+      | Some _ ->
+        (* Update potentials with the new distances. *)
+        for v = 0 to g.n - 1 do
+          match dist.(v) with
+          | Some d -> pot.(v) <- F.add pot.(v) d
+          | None -> ()
+        done;
+        (* Bottleneck along the path. *)
+        let rec bottleneck v acc =
+          if v = source then acc
+          else begin
+            let e = prev_edge.(v) in
+            let acc =
+              match acc with
+              | None -> Some (Vec.get g.cap e)
+              | Some a -> Some (F.min a (Vec.get g.cap e))
+            in
+            bottleneck (Vec.get g.dst (e lxor 1)) acc
+          end
+        in
+        (match bottleneck sink None with
+         | None -> continue := false
+         | Some push ->
+           let rec apply v =
+             if v <> source then begin
+               let e = prev_edge.(v) in
+               Vec.set g.cap e (F.sub (Vec.get g.cap e) push);
+               Vec.set g.cap (e lxor 1) (F.add (Vec.get g.cap (e lxor 1)) push);
+               total_cost := F.add !total_cost (F.mul push (Vec.get g.cost e));
+               apply (Vec.get g.dst (e lxor 1))
+             end
+           in
+           apply sink;
+           total_flow := F.add !total_flow push)
+    done;
+    (!total_flow, !total_cost)
+
+  let flow_on g e = Vec.get g.cap (e lxor 1)
+end

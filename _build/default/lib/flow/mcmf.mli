@@ -1,0 +1,23 @@
+(** Min-cost max-flow (successive shortest paths with potentials),
+    functorized over an ordered field.
+
+    System (2) of the paper — minimize the sum of mean execution times
+    under max-stretch-optimal deadlines — is a transportation problem with
+    linear costs; this solver computes it exactly at
+    {!Gripps_numeric.Rat}.  Edge costs must be non-negative (true for
+    System (2), whose costs are interval midpoints). *)
+
+module Make (F : Gripps_numeric.Field.ORDERED_FIELD) : sig
+  type t
+
+  val create : n:int -> t
+
+  val add_edge : t -> src:int -> dst:int -> cap:F.t -> cost:F.t -> int
+  (** @raise Invalid_argument on out-of-range vertices, negative capacity
+      or negative cost. *)
+
+  val min_cost_max_flow : t -> source:int -> sink:int -> F.t * F.t
+  (** [(flow, cost)] of a minimum-cost maximum flow. *)
+
+  val flow_on : t -> int -> F.t
+end

@@ -1,0 +1,1 @@
+lib/lp/simplex.mli: Gripps_numeric

@@ -1,0 +1,89 @@
+module Make (F : Gripps_numeric.Field.ORDERED_FIELD) = struct
+  module S = Simplex.Make (F)
+
+  type var = int
+
+  type expr = { constant : F.t; terms : (var * F.t) list }
+
+  type objective_sense = Minimize | Maximize
+
+  type model = {
+    mutable names : string list;  (* reversed *)
+    mutable nvars : int;
+    mutable constraints : (expr * S.relation) list;  (* expr REL 0 *)
+    mutable objective : expr;
+    mutable sense : objective_sense;
+  }
+
+  let create () =
+    { names = []; nvars = 0; constraints = [];
+      objective = { constant = F.zero; terms = [] }; sense = Minimize }
+
+  let variable m name =
+    let id = m.nvars in
+    m.nvars <- id + 1;
+    m.names <- name :: m.names;
+    id
+
+  let num_variables m = m.nvars
+  let name m v = List.nth m.names (m.nvars - 1 - v)
+
+  let const c = { constant = c; terms = [] }
+  let term c x = { constant = F.zero; terms = [ (x, c) ] }
+  let v x = term F.one x
+
+  let add a b = { constant = F.add a.constant b.constant; terms = a.terms @ b.terms }
+
+  let scale k e =
+    { constant = F.mul k e.constant;
+      terms = List.map (fun (x, c) -> (x, F.mul k c)) e.terms }
+
+  let sub a b = add a (scale (F.neg F.one) b)
+  let sum es = List.fold_left add (const F.zero) es
+
+  let relate m rel lhs rhs = m.constraints <- (sub lhs rhs, rel) :: m.constraints
+  let le m lhs rhs = relate m S.Le lhs rhs
+  let ge m lhs rhs = relate m S.Ge lhs rhs
+  let eq m lhs rhs = relate m S.Eq lhs rhs
+  let num_constraints m = List.length m.constraints
+
+  let set_objective m sense e =
+    m.sense <- sense;
+    m.objective <- e
+
+  type solution = { objective : F.t; values : F.t array }
+
+  type outcome = Optimal of solution | Infeasible | Unbounded
+
+  let dense n e =
+    let row = Array.make n F.zero in
+    List.iter (fun (x, c) -> row.(x) <- F.add row.(x) c) e.terms;
+    row
+
+  let solve m =
+    let n = m.nvars in
+    let constraints =
+      List.rev_map
+        (fun (e, rel) ->
+          (* e REL 0  <=>  terms REL -constant *)
+          { S.coeffs = dense n e; relation = rel; rhs = F.neg e.constant })
+        m.constraints
+    in
+    let problem =
+      { S.num_vars = n;
+        maximize = (m.sense = Maximize);
+        objective = dense n m.objective;
+        constraints }
+    in
+    match S.solve problem with
+    | S.Infeasible -> Infeasible
+    | S.Unbounded -> Unbounded
+    | S.Optimal { objective; solution } ->
+      Optimal { objective = F.add objective m.objective.constant; values = solution }
+
+  let objective_value s = s.objective
+  let value s x = s.values.(x)
+end
+
+module Float_lp = Make (Gripps_numeric.Field.Float)
+module Rat_lp = Make (Gripps_numeric.Rat)

@@ -1,0 +1,57 @@
+(** Modeling layer over {!Simplex}: named non-negative variables and
+    linear-expression combinators, so the paper's Systems (1) and (2) can
+    be written down almost literally. *)
+
+module Make (F : Gripps_numeric.Field.ORDERED_FIELD) : sig
+  module S : module type of Simplex.Make (F)
+
+  type model
+  type var
+
+  val create : unit -> model
+
+  val variable : model -> string -> var
+  (** Fresh non-negative variable; the name is only used for display.
+      Calling twice with the same name creates two distinct variables. *)
+
+  val num_variables : model -> int
+  val name : model -> var -> string
+
+  (** {1 Linear expressions} *)
+
+  type expr
+
+  val const : F.t -> expr
+  val term : F.t -> var -> expr
+  val v : var -> expr
+  (** [v x] is [term F.one x]. *)
+
+  val add : expr -> expr -> expr
+  val sub : expr -> expr -> expr
+  val scale : F.t -> expr -> expr
+  val sum : expr list -> expr
+
+  (** {1 Constraints and objective} *)
+
+  val le : model -> expr -> expr -> unit
+  val ge : model -> expr -> expr -> unit
+  val eq : model -> expr -> expr -> unit
+  val num_constraints : model -> int
+
+  type objective_sense = Minimize | Maximize
+
+  val set_objective : model -> objective_sense -> expr -> unit
+
+  (** {1 Solving} *)
+
+  type solution
+
+  type outcome = Optimal of solution | Infeasible | Unbounded
+
+  val solve : model -> outcome
+  val objective_value : solution -> F.t
+  val value : solution -> var -> F.t
+end
+
+module Float_lp : module type of Make (Gripps_numeric.Field.Float)
+module Rat_lp : module type of Make (Gripps_numeric.Rat)

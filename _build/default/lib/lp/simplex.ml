@@ -1,0 +1,240 @@
+(* Two-phase full-tableau simplex with Bland's anti-cycling rule.
+
+   Phase 1 minimizes the sum of artificial variables added to Eq/Ge rows
+   (after making all right-hand sides non-negative); phase 2 minimizes the
+   (possibly negated) user objective.  The tableau carries a reduced-cost
+   row updated by the same pivot as the constraint rows, so the algorithm
+   is a direct transcription of the textbook method and is exact whenever
+   the field is exact. *)
+
+module Make (F : Gripps_numeric.Field.ORDERED_FIELD) = struct
+  type relation = Le | Ge | Eq
+
+  type linear_constraint = {
+    coeffs : F.t array;
+    relation : relation;
+    rhs : F.t;
+  }
+
+  type problem = {
+    num_vars : int;
+    maximize : bool;
+    objective : F.t array;
+    constraints : linear_constraint list;
+  }
+
+  type outcome =
+    | Optimal of { objective : F.t; solution : F.t array }
+    | Infeasible
+    | Unbounded
+
+  type tableau = {
+    rows : F.t array array;  (* m rows of (ncols) coefficients *)
+    rhs : F.t array;         (* m right-hand sides, kept >= 0 *)
+    cost : F.t array;        (* reduced-cost row *)
+    mutable cost_rhs : F.t;  (* negated current objective value *)
+    basis : int array;       (* column basic in each row *)
+    ncols : int;
+  }
+
+  let pivot t ~row ~col =
+    let p = t.rows.(row).(col) in
+    let inv = F.div F.one p in
+    (* Scale the pivot row. *)
+    for j = 0 to t.ncols - 1 do
+      t.rows.(row).(j) <- F.mul t.rows.(row).(j) inv
+    done;
+    t.rhs.(row) <- F.mul t.rhs.(row) inv;
+    (* Eliminate the pivot column from every other row. *)
+    for i = 0 to Array.length t.rows - 1 do
+      if i <> row then begin
+        let factor = t.rows.(i).(col) in
+        if F.sign factor <> 0 then begin
+          for j = 0 to t.ncols - 1 do
+            t.rows.(i).(j) <- F.sub t.rows.(i).(j) (F.mul factor t.rows.(row).(j))
+          done;
+          t.rhs.(i) <- F.sub t.rhs.(i) (F.mul factor t.rhs.(row))
+        end
+      end
+    done;
+    let factor = t.cost.(col) in
+    if F.sign factor <> 0 then begin
+      for j = 0 to t.ncols - 1 do
+        t.cost.(j) <- F.sub t.cost.(j) (F.mul factor t.rows.(row).(j))
+      done;
+      t.cost_rhs <- F.sub t.cost_rhs (F.mul factor t.rhs.(row))
+    end;
+    t.basis.(row) <- col
+
+  (* Bland's rule: entering column = smallest index with negative reduced
+     cost; leaving row = min ratio, ties broken by smallest basis column. *)
+  let rec iterate t ~allowed =
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.ncols - 1 do
+         if allowed j && F.sign t.cost.(j) < 0 then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      let leaving = ref (-1) in
+      let best = ref F.zero in
+      for i = 0 to Array.length t.rows - 1 do
+        if F.sign t.rows.(i).(col) > 0 then begin
+          let ratio = F.div t.rhs.(i) t.rows.(i).(col) in
+          let better =
+            !leaving < 0
+            || F.compare ratio !best < 0
+            || (F.compare ratio !best = 0 && t.basis.(i) < t.basis.(!leaving))
+          in
+          if better then begin
+            leaving := i;
+            best := ratio
+          end
+        end
+      done;
+      if !leaving < 0 then `Unbounded
+      else begin
+        pivot t ~row:!leaving ~col;
+        iterate t ~allowed
+      end
+    end
+
+  let solve p =
+    let n = p.num_vars in
+    List.iter
+      (fun c ->
+        if Array.length c.coeffs <> n then
+          invalid_arg "Simplex.solve: constraint arity mismatch")
+      p.constraints;
+    if Array.length p.objective <> n then
+      invalid_arg "Simplex.solve: objective arity mismatch";
+    let constraints = Array.of_list p.constraints in
+    let m = Array.length constraints in
+    (* Normalize rows so every rhs is >= 0. *)
+    let norm =
+      Array.map
+        (fun (c : linear_constraint) ->
+          if F.sign c.rhs < 0 then
+            { coeffs = Array.map F.neg c.coeffs;
+              relation = (match c.relation with Le -> Ge | Ge -> Le | Eq -> Eq);
+              rhs = F.neg c.rhs }
+          else c)
+        constraints
+    in
+    (* Column layout: [0, n) structural; then one slack/surplus per Le/Ge
+       row; then one artificial per Ge/Eq row. *)
+    let nslack =
+      Array.fold_left
+        (fun acc c -> match c.relation with Le | Ge -> acc + 1 | Eq -> acc)
+        0 norm
+    in
+    let nart =
+      Array.fold_left
+        (fun acc c -> match c.relation with Ge | Eq -> acc + 1 | Le -> acc)
+        0 norm
+    in
+    let ncols = n + nslack + nart in
+    let rows = Array.init m (fun _ -> Array.make ncols F.zero) in
+    let rhs = Array.make m F.zero in
+    let basis = Array.make m (-1) in
+    let art_start = n + nslack in
+    let slack = ref n and art = ref art_start in
+    Array.iteri
+      (fun i c ->
+        Array.blit c.coeffs 0 rows.(i) 0 n;
+        rhs.(i) <- c.rhs;
+        (match c.relation with
+         | Le ->
+           rows.(i).(!slack) <- F.one;
+           basis.(i) <- !slack;
+           incr slack
+         | Ge ->
+           rows.(i).(!slack) <- F.neg F.one;
+           incr slack;
+           rows.(i).(!art) <- F.one;
+           basis.(i) <- !art;
+           incr art
+         | Eq ->
+           rows.(i).(!art) <- F.one;
+           basis.(i) <- !art;
+           incr art))
+      norm;
+    let t = { rows; rhs; cost = Array.make ncols F.zero; cost_rhs = F.zero; basis; ncols } in
+    (* Phase 1: minimize the sum of artificials.  Reduced costs start as
+       c_j - sum over rows with artificial basis of row coefficients. *)
+    if nart > 0 then begin
+      for j = art_start to ncols - 1 do t.cost.(j) <- F.one done;
+      Array.iteri
+        (fun i bi ->
+          if bi >= art_start then begin
+            for j = 0 to ncols - 1 do
+              t.cost.(j) <- F.sub t.cost.(j) t.rows.(i).(j)
+            done;
+            t.cost_rhs <- F.sub t.cost_rhs t.rhs.(i)
+          end)
+        t.basis
+    end;
+    let phase1 = if nart = 0 then `Optimal else iterate t ~allowed:(fun _ -> true) in
+    match phase1 with
+    | `Unbounded ->
+      (* Phase 1 objective is bounded below by 0; unboundedness cannot
+         happen on a well-formed tableau. *)
+      assert false
+    | `Optimal ->
+      if nart > 0 && F.sign (F.neg t.cost_rhs) > 0 then Infeasible
+      else begin
+        (* Drive any remaining (zero-valued) artificials out of the basis;
+           a row with no structural pivot available is redundant and can be
+           neutralized by keeping the artificial pinned at zero. *)
+        Array.iteri
+          (fun i bi ->
+            if bi >= art_start then begin
+              let found = ref (-1) in
+              (try
+                 for j = 0 to art_start - 1 do
+                   if F.sign t.rows.(i).(j) <> 0 then begin
+                     found := j;
+                     raise Exit
+                   end
+                 done
+               with Exit -> ());
+              if !found >= 0 then pivot t ~row:i ~col:!found
+            end)
+          t.basis;
+        (* Phase 2: rebuild the cost row from the user objective (as a
+           minimization) restricted to structural + slack columns. *)
+        let minimize_obj =
+          if p.maximize then Array.map F.neg p.objective else p.objective
+        in
+        Array.fill t.cost 0 ncols F.zero;
+        t.cost_rhs <- F.zero;
+        Array.blit minimize_obj 0 t.cost 0 n;
+        Array.iteri
+          (fun i bi ->
+            if bi < n && F.sign minimize_obj.(bi) <> 0 then begin
+              let factor = minimize_obj.(bi) in
+              for j = 0 to ncols - 1 do
+                t.cost.(j) <- F.sub t.cost.(j) (F.mul factor t.rows.(i).(j))
+              done;
+              t.cost_rhs <- F.sub t.cost_rhs (F.mul factor t.rhs.(i))
+            end)
+          t.basis;
+        let allowed j = j < art_start in
+        match iterate t ~allowed with
+        | `Unbounded -> Unbounded
+        | `Optimal ->
+          let solution = Array.make n F.zero in
+          Array.iteri
+            (fun i bi -> if bi < n then solution.(bi) <- t.rhs.(i))
+            t.basis;
+          (* cost_rhs holds -(current minimized objective). *)
+          let value = F.neg t.cost_rhs in
+          let objective = if p.maximize then F.neg value else value in
+          Optimal { objective; solution }
+      end
+end

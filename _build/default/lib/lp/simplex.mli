@@ -1,0 +1,35 @@
+(** Two-phase dense simplex, functorized over an ordered field.
+
+    The paper's Systems (1) and (2) are linear programs; no LP solver
+    bindings are available offline, so this module implements one from
+    scratch.  Instantiated at {!Gripps_numeric.Rat} it is an {e exact}
+    solver (Bland's rule guarantees termination without cycling), which is
+    what removes the floating-point milestone anomaly reported in §5.3 of
+    the paper.  Instantiated at {!Gripps_numeric.Field.Float} it is a fast
+    approximate solver used for cross-checks and examples. *)
+
+module Make (F : Gripps_numeric.Field.ORDERED_FIELD) : sig
+  type relation = Le | Ge | Eq
+
+  type linear_constraint = {
+    coeffs : F.t array;  (** dense row over the problem variables *)
+    relation : relation;
+    rhs : F.t;
+  }
+
+  type problem = {
+    num_vars : int;  (** all variables are implicitly [>= 0] *)
+    maximize : bool;
+    objective : F.t array;
+    constraints : linear_constraint list;
+  }
+
+  type outcome =
+    | Optimal of { objective : F.t; solution : F.t array }
+    | Infeasible
+    | Unbounded
+
+  val solve : problem -> outcome
+  (** @raise Invalid_argument when a constraint row length differs from
+      [num_vars]. *)
+end

@@ -1,0 +1,1 @@
+lib/model/gantt.ml: Array Buffer Char Float Hashtbl Instance List Option Platform Printf Schedule

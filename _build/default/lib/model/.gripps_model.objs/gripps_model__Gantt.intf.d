@@ -1,0 +1,1 @@
+lib/model/gantt.mli: Schedule

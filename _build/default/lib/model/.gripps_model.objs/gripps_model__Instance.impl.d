@@ -1,0 +1,1 @@
+lib/model/instance.ml: Array Float Format Job List Platform

@@ -1,0 +1,1 @@
+lib/model/job.ml: Float Format Int

@@ -1,0 +1,1 @@
+lib/model/machine.ml: Array Format Fun List String

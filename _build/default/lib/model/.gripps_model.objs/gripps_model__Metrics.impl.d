@@ -1,0 +1,1 @@
+lib/model/metrics.ml: Array Float Format Instance Job Schedule

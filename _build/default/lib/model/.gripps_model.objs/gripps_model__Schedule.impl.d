@@ -1,0 +1,1 @@
+lib/model/schedule.ml: Array Format Instance List Machine Option Platform Printf

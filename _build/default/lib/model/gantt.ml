@@ -1,0 +1,74 @@
+let job_char j =
+  if j < 10 then Char.chr (Char.code '0' + j)
+  else if j < 36 then Char.chr (Char.code 'a' + j - 10)
+  else if j < 62 then Char.chr (Char.code 'A' + j - 36)
+  else '*'
+
+let render ?(width = 72) (s : Schedule.t) =
+  let platform = Instance.platform s.Schedule.instance in
+  let nm = Platform.num_machines platform in
+  let horizon =
+    List.fold_left (fun acc seg -> Float.max acc seg.Schedule.end_time) 0.0
+      s.Schedule.segments
+  in
+  if horizon <= 0.0 then "(empty schedule)\n"
+  else begin
+    let cell_len = horizon /. float_of_int width in
+    (* busy.(m).(c) = (job, time) pairs accumulated in cell c of machine m *)
+    let busy = Array.init nm (fun _ -> Array.make width []) in
+    List.iter
+      (fun (seg : Schedule.segment) ->
+        List.iter
+          (fun (mid, shares) ->
+            List.iter
+              (fun (jid, share) ->
+                (* Spread this chunk's machine-time over the cells it
+                   overlaps. *)
+                let t0 = seg.Schedule.start_time and t1 = seg.Schedule.end_time in
+                let c0 = int_of_float (t0 /. cell_len) in
+                let c1 = min (width - 1) (int_of_float (t1 /. cell_len)) in
+                for c = max 0 c0 to c1 do
+                  let cell_lo = float_of_int c *. cell_len in
+                  let cell_hi = cell_lo +. cell_len in
+                  let overlap = Float.min t1 cell_hi -. Float.max t0 cell_lo in
+                  if overlap > 0.0 then
+                    busy.(mid).(c) <- (jid, overlap *. share) :: busy.(mid).(c)
+                done)
+              shares)
+          seg.Schedule.shares)
+      s.Schedule.segments;
+    let buf = Buffer.create (nm * (width + 16)) in
+    Buffer.add_string buf
+      (Printf.sprintf "time 0 .. %.3g (one column = %.3g)\n" horizon cell_len);
+    for m = 0 to nm - 1 do
+      Buffer.add_string buf (Printf.sprintf "M%-3d|" m);
+      for c = 0 to width - 1 do
+        let per_job = Hashtbl.create 4 in
+        List.iter
+          (fun (jid, t) ->
+            Hashtbl.replace per_job jid
+              (t +. Option.value ~default:0.0 (Hashtbl.find_opt per_job jid)))
+          busy.(m).(c);
+        let total = Hashtbl.fold (fun _ t acc -> acc +. t) per_job 0.0 in
+        let best =
+          Hashtbl.fold
+            (fun jid t acc ->
+              match acc with
+              | Some (_, bt) when bt >= t -> acc
+              | Some _ | None -> Some (jid, t))
+            per_job None
+        in
+        let ch =
+          if total < 0.05 *. cell_len then '.'
+          else
+            match best with
+            | Some (jid, t) when t > 0.5 *. total -> job_char jid
+            | Some _ -> '#'
+            | None -> '.'
+        in
+        Buffer.add_char buf ch
+      done;
+      Buffer.add_string buf "|\n"
+    done;
+    Buffer.contents buf
+  end

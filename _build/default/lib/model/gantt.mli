@@ -1,0 +1,9 @@
+(** Text Gantt charts of fluid schedules, for examples and debugging.
+
+    One row per machine; time is discretized into character cells.  A cell
+    shows the job occupying most of the machine's time in that slice
+    (digits for jobs 0-9, letters beyond, ['.'] for idle, ['#'] for a
+    slice shared between several jobs with no majority owner). *)
+
+val render : ?width:int -> Schedule.t -> string
+(** @param width number of time columns (default 72). *)

@@ -1,0 +1,39 @@
+type t = { platform : Platform.t; jobs : Job.t array }
+
+let make ~platform ~jobs =
+  let sorted = List.sort Job.compare_by_release jobs in
+  let jobs =
+    Array.of_list
+      (List.mapi
+         (fun i (j : Job.t) ->
+           if j.databank < 0 || j.databank >= Platform.num_databanks platform then
+             invalid_arg "Instance.make: job databank out of range";
+           if Platform.hosts_of platform j.databank = [] then
+             invalid_arg "Instance.make: job databank hosted nowhere";
+           { j with id = i })
+         sorted)
+  in
+  { platform; jobs }
+
+let platform t = t.platform
+let jobs t = t.jobs
+let num_jobs t = Array.length t.jobs
+let job t i = t.jobs.(i)
+
+let delta t =
+  if Array.length t.jobs = 0 then 1.0
+  else begin
+    let sizes = Array.map (fun (j : Job.t) -> j.size) t.jobs in
+    let lo = Array.fold_left Float.min sizes.(0) sizes in
+    let hi = Array.fold_left Float.max sizes.(0) sizes in
+    hi /. lo
+  end
+
+let ideal_time t i =
+  let j = t.jobs.(i) in
+  j.size /. Platform.speed_for t.platform j.databank
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a%d jobs:@," Platform.pp t.platform (num_jobs t);
+  Array.iter (fun j -> Format.fprintf fmt "  %a@," Job.pp j) t.jobs;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,27 @@
+(** A scheduling problem instance: a platform plus a flow of requests.
+
+    Jobs are stored sorted by release date (the paper numbers jobs by
+    increasing release dates, §2.2). *)
+
+type t
+
+val make : platform:Platform.t -> jobs:Job.t list -> t
+(** Sorts the jobs by release date and renumbers their [id] fields to the
+    sorted positions.
+    @raise Invalid_argument when a job references a databank absent from
+    every machine (it could never run) or out of range. *)
+
+val platform : t -> Platform.t
+val jobs : t -> Job.t array
+val num_jobs : t -> int
+val job : t -> int -> Job.t
+
+val delta : t -> float
+(** The paper's Δ: ratio of the largest to the smallest job size. *)
+
+val ideal_time : t -> int -> float
+(** [ideal_time inst j]: time job [j] would take alone, using every
+    machine hosting its databank at full speed — the lower bound on its
+    flow time. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,17 @@
+type t = { id : int; release : float; size : float; databank : int }
+
+let make ~id ~release ~size ~databank =
+  if release < 0.0 then invalid_arg "Job.make: negative release date";
+  if size <= 0.0 then invalid_arg "Job.make: non-positive size";
+  if databank < 0 then invalid_arg "Job.make: negative databank index";
+  { id; release; size; databank }
+
+let stretch_weight j = 1.0 /. j.size
+
+let compare_by_release a b =
+  match Float.compare a.release b.release with
+  | 0 -> Int.compare a.id b.id
+  | c -> c
+
+let pp fmt j =
+  Format.fprintf fmt "J%d[r=%g, W=%g, db=%d]" j.id j.release j.size j.databank

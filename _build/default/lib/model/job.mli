@@ -1,0 +1,27 @@
+(** A motif-comparison request (paper §2.2).
+
+    A job [J_j] arrives at its release date [r_j], must scan [W_j] Mflop
+    worth of a given protein databank, and may be split arbitrarily across
+    the machines hosting that databank (divisible load, negligible
+    communication). *)
+
+type t = {
+  id : int;           (** position in the instance, 0-based *)
+  release : float;    (** release date [r_j], seconds *)
+  size : float;       (** amount of work [W_j], Mflop *)
+  databank : int;     (** index of the databank the motif is compared to *)
+}
+
+val make : id:int -> release:float -> size:float -> databank:int -> t
+(** @raise Invalid_argument on negative release, non-positive size or
+    negative databank index. *)
+
+val stretch_weight : t -> float
+(** The paper's weight [w_j = 1 / W_j] (§3.1): the stretch of a job is its
+    flow time multiplied by this weight. *)
+
+val compare_by_release : t -> t -> int
+(** Release date order, ties by id — the order in which an on-line
+    scheduler discovers jobs. *)
+
+val pp : Format.formatter -> t -> unit

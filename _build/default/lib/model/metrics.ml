@@ -1,0 +1,52 @@
+type t = {
+  makespan : float;
+  max_flow : float;
+  sum_flow : float;
+  max_stretch : float;
+  sum_stretch : float;
+}
+
+let flow inst ~completion j =
+  let job = Instance.job inst j in
+  let f = completion.(j) -. job.Job.release in
+  if f < -1e-6 then invalid_arg "Metrics.flow: completion before release";
+  Float.max f 0.0
+
+let stretch inst ~completion j =
+  flow inst ~completion j *. Job.stretch_weight (Instance.job inst j)
+
+let slowdown inst ~completion j =
+  flow inst ~completion j /. Instance.ideal_time inst j
+
+let of_completion inst ~completion =
+  let n = Instance.num_jobs inst in
+  if n = 0 then
+    { makespan = 0.0; max_flow = 0.0; sum_flow = 0.0; max_stretch = 0.0;
+      sum_stretch = 0.0 }
+  else begin
+    let makespan = ref 0.0 and max_flow = ref 0.0 and sum_flow = ref 0.0 in
+    let max_stretch = ref 0.0 and sum_stretch = ref 0.0 in
+    for j = 0 to n - 1 do
+      let f = flow inst ~completion j in
+      let s = stretch inst ~completion j in
+      makespan := Float.max !makespan completion.(j);
+      max_flow := Float.max !max_flow f;
+      sum_flow := !sum_flow +. f;
+      max_stretch := Float.max !max_stretch s;
+      sum_stretch := !sum_stretch +. s
+    done;
+    { makespan = !makespan; max_flow = !max_flow; sum_flow = !sum_flow;
+      max_stretch = !max_stretch; sum_stretch = !sum_stretch }
+  end
+
+let of_schedule (sched : Schedule.t) =
+  let inst = sched.Schedule.instance in
+  let completion =
+    Array.init (Instance.num_jobs inst) (Schedule.completion_exn sched)
+  in
+  of_completion inst ~completion
+
+let pp fmt m =
+  Format.fprintf fmt
+    "makespan=%.4g max_flow=%.4g sum_flow=%.4g max_stretch=%.4g sum_stretch=%.4g"
+    m.makespan m.max_flow m.sum_flow m.max_stretch m.sum_stretch

@@ -1,0 +1,34 @@
+(** Scheduling objectives (paper §3).
+
+    All functions take the completion times produced by a schedule and
+    require every job to be completed.
+
+    The stretch uses the paper's definition (§3.1): weighted flow with
+    [w_j = 1/W_j].  The alternative {!slowdown}, normalized by each job's
+    ideal time on its own machine set, is also provided — it is
+    dimensionless and lower-bounded by 1, convenient for display — but all
+    optimization and all reported tables use the paper's [S_j]. *)
+
+type t = {
+  makespan : float;
+  max_flow : float;
+  sum_flow : float;
+  max_stretch : float;
+  sum_stretch : float;
+}
+
+val flow : Instance.t -> completion:float array -> int -> float
+(** [C_j - r_j].  @raise Invalid_argument if negative beyond tolerance. *)
+
+val stretch : Instance.t -> completion:float array -> int -> float
+(** [S_j = (C_j - r_j) / W_j]. *)
+
+val slowdown : Instance.t -> completion:float array -> int -> float
+(** [(C_j - r_j) / ideal_time j >= 1]. *)
+
+val of_completion : Instance.t -> completion:float array -> t
+
+val of_schedule : Schedule.t -> t
+(** @raise Failure when some job did not complete. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/numeric/bigint_field.ml: Bigint Float

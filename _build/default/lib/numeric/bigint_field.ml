@@ -1,0 +1,37 @@
+(** {!Bigint} packaged under the {!Field.ORDERED_FIELD} signature.
+
+    Integers are not a field: [div] here is {e truncated integer
+    division}.  This adapter exists for the flow algorithms
+    ({!Gripps_flow.Maxflow}, {!Gripps_flow.Mcmf}), which only ever add,
+    subtract, compare and take minima of capacities — never divide — and
+    which run an order of magnitude faster on integers than on
+    gcd-normalizing rationals.  Callers scale rational capacities to a
+    common denominator first.  Do not instantiate division-using functors
+    (e.g. {!Gripps_lp.Simplex}) with this module. *)
+
+module B = Bigint
+
+type t = B.t
+
+let zero = B.zero
+let one = B.one
+let of_int = B.of_int
+let add = B.add
+let sub = B.sub
+let mul = B.mul
+let div = B.div
+let neg = B.neg
+let abs = B.abs
+let min = B.min
+let max = B.max
+let compare = B.compare
+let equal = B.equal
+let sign = B.sign
+
+let of_float f =
+  if Float.is_integer f then B.of_int (int_of_float f)
+  else invalid_arg "Bigint_field.of_float: not an integer"
+
+let to_float = B.to_float
+let to_string = B.to_string
+let pp = B.pp

@@ -1,0 +1,94 @@
+(** Ordered-field abstraction.
+
+    The simplex and flow solvers are functorized over this signature so the
+    same code runs in fast [float] arithmetic (simulation hot paths) and in
+    exact rational arithmetic (offline optimal max-stretch, milestone
+    comparisons). *)
+
+module type ORDERED_FIELD = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val abs : t -> t
+  val min : t -> t -> t
+  val max : t -> t -> t
+  val compare : t -> t -> int
+  val equal : t -> t -> bool
+
+  val sign : t -> int
+  (** [-1], [0] or [1].  Implementations with rounding (floats) may treat
+      tiny magnitudes as zero; exact implementations must be exact. *)
+
+  val of_float : float -> t
+  val to_float : t -> float
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+(** IEEE doubles with a small tolerance in [sign], suitable for the
+    simulation hot paths where exactness is not required. *)
+module Float : ORDERED_FIELD with type t = float = struct
+  type t = float
+
+  let eps = 1e-9
+  let zero = 0.0
+  let one = 1.0
+  let of_int = float_of_int
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg x = -.x
+  let abs = Stdlib.abs_float
+  let min = Stdlib.min
+  let max = Stdlib.max
+  let compare = Float.compare
+  let equal = Float.equal
+  let sign x = if x > eps then 1 else if x < -.eps then -1 else 0
+  let of_float x = x
+  let to_float x = x
+  let to_string = string_of_float
+  let pp fmt x = Format.fprintf fmt "%g" x
+end
+
+(** Native integers packaged under the field signature.
+
+    Not a field: [div] is truncated integer division.  This instance
+    exists for the flow algorithms, which never divide; callers quantize
+    real capacities onto an integer grid first, which bounds the number
+    of augmenting steps of the successive-shortest-path algorithm (real
+    or float capacities admit unboundedly many microscopic
+    augmentations).  Do not use with division-dependent functors. *)
+module Int : ORDERED_FIELD with type t = int = struct
+  type t = int
+
+  let zero = 0
+  let one = 1
+  let of_int n = n
+  let add = ( + )
+  let sub = ( - )
+  let mul = ( * )
+  let div = ( / )
+  let neg x = -x
+  let abs = Stdlib.abs
+  let min = Stdlib.min
+  let max = Stdlib.max
+  let compare = Stdlib.Int.compare
+  let equal = Stdlib.Int.equal
+  let sign x = Stdlib.compare x 0
+
+  let of_float f =
+    if Stdlib.Float.is_integer f then int_of_float f
+    else invalid_arg "Field.Int.of_float: not an integer"
+
+  let to_float = float_of_int
+  let to_string = string_of_int
+  let pp = Format.pp_print_int
+end

@@ -1,0 +1,123 @@
+(* Normalized rationals: den > 0, gcd (num, den) = 1, zero is 0/1. *)
+
+type t = { n : Bigint.t; d : Bigint.t }
+
+let zero = { n = Bigint.zero; d = Bigint.one }
+let one = { n = Bigint.one; d = Bigint.one }
+
+let make_norm n d =
+  (* d > 0 required here. *)
+  if Bigint.is_zero n then zero
+  else begin
+    let g = Bigint.gcd n d in
+    if Bigint.equal g Bigint.one then { n; d }
+    else { n = Bigint.div n g; d = Bigint.div d g }
+  end
+
+let make n d =
+  match Bigint.sign d with
+  | 0 -> raise Division_by_zero
+  | s when s > 0 -> make_norm n d
+  | _ -> make_norm (Bigint.neg n) (Bigint.neg d)
+
+let of_bigint n = { n; d = Bigint.one }
+let of_int i = of_bigint (Bigint.of_int i)
+let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
+let num r = r.n
+let den r = r.d
+
+let add a b =
+  make_norm
+    (Bigint.add (Bigint.mul a.n b.d) (Bigint.mul b.n a.d))
+    (Bigint.mul a.d b.d)
+
+let neg a = { a with n = Bigint.neg a.n }
+let sub a b = add a (neg b)
+
+let mul a b =
+  (* Cross-reduce before multiplying to keep limbs small. *)
+  let g1 = Bigint.gcd a.n b.d and g2 = Bigint.gcd b.n a.d in
+  let n1 = Bigint.div a.n g1 and d2 = Bigint.div b.d g1 in
+  let n2 = Bigint.div b.n g2 and d1 = Bigint.div a.d g2 in
+  let n = Bigint.mul n1 n2 and d = Bigint.mul d1 d2 in
+  if Bigint.is_zero n then zero else { n; d }
+
+let inv a =
+  match Bigint.sign a.n with
+  | 0 -> raise Division_by_zero
+  | s when s > 0 -> { n = a.d; d = a.n }
+  | _ -> { n = Bigint.neg a.d; d = Bigint.neg a.n }
+
+let div a b = mul a (inv b)
+let sign a = Bigint.sign a.n
+let is_zero a = sign a = 0
+let abs a = if sign a < 0 then neg a else a
+
+let compare a b =
+  (* a.n/a.d ? b.n/b.d  <=>  a.n*b.d ? b.n*a.d  (denominators positive). *)
+  Bigint.compare (Bigint.mul a.n b.d) (Bigint.mul b.n a.d)
+
+let equal a b = Bigint.equal a.n b.n && Bigint.equal a.d b.d
+let lt a b = compare a b < 0
+let le a b = compare a b <= 0
+let gt a b = compare a b > 0
+let ge a b = compare a b >= 0
+let min_rat a b = if le a b then a else b
+let max_rat a b = if ge a b then a else b
+let min = min_rat
+let max = max_rat
+
+let floor a =
+  let q, r = Bigint.divmod a.n a.d in
+  if Bigint.sign r < 0 then Bigint.pred q else q
+
+let ceil a =
+  let q, r = Bigint.divmod a.n a.d in
+  if Bigint.sign r > 0 then Bigint.succ q else q
+
+let of_float f =
+  if f <> f then invalid_arg "Rat.of_float: nan";
+  if f = infinity || f = neg_infinity then invalid_arg "Rat.of_float: infinite";
+  if f = 0.0 then zero
+  else begin
+    let m, e = Float.frexp f in
+    (* m * 2^53 is an exact 53-bit integer. *)
+    let n53 = Int64.to_int (Int64.of_float (Float.ldexp m 53)) in
+    let e = e - 53 in
+    if e >= 0 then of_bigint (Bigint.shift_left (Bigint.of_int n53) e)
+    else make (Bigint.of_int n53) (Bigint.shift_left Bigint.one (-e))
+  end
+
+let to_float a =
+  if is_zero a then 0.0
+  else begin
+    (* Scale so both operands fit comfortably in a double. *)
+    let bn = Bigint.numbits a.n and bd = Bigint.numbits a.d in
+    let shift = Stdlib.max 0 (Stdlib.min bn bd - 62) in
+    let nf = Bigint.to_float (Bigint.shift_right a.n shift) in
+    let df = Bigint.to_float (Bigint.shift_right a.d shift) in
+    nf /. df
+  end
+
+let to_string a =
+  if Bigint.equal a.d Bigint.one then Bigint.to_string a.n
+  else Bigint.to_string a.n ^ "/" ^ Bigint.to_string a.d
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    let n = Bigint.of_string (String.sub s 0 i) in
+    let d = Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)) in
+    make n d
+  | None ->
+    match String.index_opt s '.' with
+    | None -> of_bigint (Bigint.of_string s)
+    | Some i ->
+      let int_part = String.sub s 0 i in
+      let frac = String.sub s (i + 1) (String.length s - i - 1) in
+      if frac = "" then invalid_arg "Rat.of_string: malformed decimal";
+      let digits = String.length frac in
+      let combined = Bigint.of_string (int_part ^ frac) in
+      make combined (Bigint.pow (Bigint.of_int 10) digits)

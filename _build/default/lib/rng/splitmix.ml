@@ -1,0 +1,37 @@
+(* SplitMix64 (Steele, Lea & Flood 2014): a 64-bit state advanced by the
+   golden-gamma constant, output scrambled by two xor-shift-multiplies. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = next_int64 t in
+  { state = mix s }
+
+let float t =
+  (* 53 uniform mantissa bits. *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. 0x1.0p-53
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Splitmix.int: non-positive bound";
+  (* Rejection sampling over the top bits to avoid modulo bias. *)
+  let rec draw () =
+    let raw = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2) in
+    let v = raw mod bound in
+    if raw - v > max_int - bound + 1 then draw () else v
+  in
+  draw ()

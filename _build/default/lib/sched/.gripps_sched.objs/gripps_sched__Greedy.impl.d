@@ -1,0 +1,1 @@
+lib/sched/greedy.ml: Array Float Gripps_engine Gripps_model Instance Job List Machine Platform Sim

@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Array Gripps_engine Gripps_model Instance Job List Machine Platform Priority Sim

@@ -1,0 +1,1 @@
+lib/sched/priority.ml: Gripps_engine Gripps_model Instance Job Sim

@@ -1,0 +1,1 @@
+lib/sched/priority.mli: Gripps_engine Sim

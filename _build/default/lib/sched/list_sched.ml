@@ -1,0 +1,39 @@
+open Gripps_model
+open Gripps_engine
+
+let allocate st ~priority_order =
+  let inst = Sim.instance st in
+  let platform = Instance.platform inst in
+  let nm = Platform.num_machines platform in
+  let free = Array.make nm true in
+  let alloc = ref [] in
+  List.iter
+    (fun j ->
+      if (not (Sim.is_completed st j)) && Sim.is_released st j then begin
+        let db = (Instance.job inst j).Job.databank in
+        List.iter
+          (fun (m : Machine.t) ->
+            if free.(m.id) then begin
+              free.(m.id) <- false;
+              alloc := (m.id, [ (j, 1.0) ]) :: !alloc
+            end)
+          (Platform.hosts_of platform db)
+      end)
+    priority_order;
+  !alloc
+
+let scheduler ~name ~rule =
+  Sim.stateless name (fun st _events ->
+      let order =
+        Sim.active_jobs st
+        |> List.map (fun j -> (Priority.key_with_tiebreak rule st j, j))
+        |> List.sort compare
+        |> List.map snd
+      in
+      { Sim.allocation = allocate st ~priority_order:order; horizon = None })
+
+let fcfs = scheduler ~name:"FCFS" ~rule:Priority.fcfs
+let spt = scheduler ~name:"SPT" ~rule:Priority.spt
+let srpt = scheduler ~name:"SRPT" ~rule:Priority.srpt
+let swpt = scheduler ~name:"SWPT" ~rule:Priority.swpt
+let swrpt = scheduler ~name:"SWRPT" ~rule:Priority.swrpt

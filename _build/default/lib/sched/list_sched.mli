@@ -1,0 +1,26 @@
+(** Greedy divisible list scheduling with restricted availability.
+
+    The paper's rule (§3.2): {e while some processors are idle, select the
+    job with the highest priority and distribute its processing on all
+    appropriate processors that are available}.  Rescheduling happens at
+    every arrival and completion (free preemption). *)
+
+open Gripps_engine
+
+val scheduler : name:string -> rule:Priority.rule -> Sim.scheduler
+
+val allocate :
+  Sim.state -> priority_order:int list -> Sim.allocation
+(** The one-shot allocation the rule produces for a given priority order
+    over (a subset of) the active jobs: each job in turn grabs every
+    still-idle machine hosting its databank, at full share.  Exposed for
+    reuse by the on-line LP heuristics (Online-EGDF) and Bender's
+    algorithms, which supply their own orders. *)
+
+(** {1 Ready-made schedulers} *)
+
+val fcfs : Sim.scheduler
+val spt : Sim.scheduler
+val srpt : Sim.scheduler
+val swpt : Sim.scheduler
+val swrpt : Sim.scheduler

@@ -1,0 +1,1 @@
+lib/workload/config.ml: Array List Printf

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Config Fun Gripps_model Gripps_rng Instance Job List Machine Platform

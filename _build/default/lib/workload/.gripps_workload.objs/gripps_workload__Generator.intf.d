@@ -1,0 +1,1 @@
+lib/workload/generator.mli: Config Gripps_model Gripps_rng Instance Job Platform

@@ -1,0 +1,49 @@
+open Gripps_model
+module Splitmix = Gripps_rng.Splitmix
+module Dist = Gripps_rng.Dist
+
+type realized = { platform : Platform.t; db_sizes : float array }
+
+let platform rng (c : Config.t) =
+  let db_sizes =
+    let lo, hi = c.db_size_range in
+    Array.init c.databases (fun _ -> Dist.uniform rng ~lo ~hi)
+  in
+  let replicas =
+    Array.init c.databases (fun _ ->
+        Array.init c.sites (fun _ -> Dist.bernoulli rng ~p:c.availability))
+  in
+  (* A databank hosted nowhere could never be served: force one replica. *)
+  Array.iter
+    (fun row ->
+      if not (Array.exists Fun.id row) then row.(Splitmix.int rng c.sites) <- true)
+    replicas;
+  let machines =
+    List.init c.sites (fun site ->
+        let per_cpu = Dist.pick rng c.reference_speeds in
+        let speed = per_cpu *. float_of_int c.processors_per_site in
+        let databanks = Array.init c.databases (fun d -> replicas.(d).(site)) in
+        Machine.make ~id:site ~speed ~databanks)
+  in
+  { platform = Platform.make ~machines ~num_databanks:c.databases; db_sizes }
+
+let jobs rng (c : Config.t) r =
+  let total_speed = Platform.total_speed r.platform in
+  let per_db_work = c.density *. total_speed *. c.horizon /. float_of_int c.databases in
+  let all =
+    List.concat
+      (List.init c.databases (fun d ->
+           let size = r.db_sizes.(d) in
+           let rate = per_db_work /. (size *. c.horizon) in
+           Dist.poisson_process rng ~rate ~horizon:c.horizon
+           |> List.map (fun release ->
+                  Job.make ~id:0 ~release ~size ~databank:d)))
+  in
+  List.sort Job.compare_by_release all
+  |> List.mapi (fun i (j : Job.t) -> { j with id = i })
+
+let rec instance rng c =
+  let r = platform rng c in
+  match jobs rng c r with
+  | [] -> instance rng c
+  | js -> Instance.make ~platform:r.platform ~jobs:js

@@ -1,0 +1,27 @@
+(** Random realization of platforms and workloads from a configuration
+    (paper §5.1, "concrete simulation instances").
+
+    Deterministic given the RNG stream; every experiment seeds its own
+    {!Gripps_rng.Splitmix} so tables regenerate identically. *)
+
+open Gripps_model
+
+type realized = {
+  platform : Platform.t;     (** one machine per cluster (aggregate speed) *)
+  db_sizes : float array;    (** databank sizes, MB *)
+}
+
+val platform : Gripps_rng.Splitmix.t -> Config.t -> realized
+(** Draw cluster speeds from the reference values, databank sizes from the
+    configured range, and replicate each databank at each site with the
+    configured probability (forcing at least one replica per databank). *)
+
+val jobs : Gripps_rng.Splitmix.t -> Config.t -> realized -> Job.t list
+(** Per-databank Poisson processes over the arrival window, with rates set
+    so the expected total work matches the workload density; the merged
+    flow is sorted by release date.  Every job's size is its databank's
+    size (a motif scans the whole databank). *)
+
+val instance : Gripps_rng.Splitmix.t -> Config.t -> Instance.t
+(** [platform] + [jobs], retrying (with the same stream) in the unlikely
+    event that a draw produces no job at all. *)

@@ -1,0 +1,1 @@
+test/test_collections.ml: Alcotest Gripps_collections Int List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Fun Gripps_engine Gripps_model Instance Job List Machine Platform QCheck2 QCheck_alcotest Schedule Sim

@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Gripps_flow Gripps_lp Gripps_numeric List QCheck2 QCheck_alcotest

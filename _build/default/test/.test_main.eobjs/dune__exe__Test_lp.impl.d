@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Gripps_lp Gripps_numeric List QCheck2 QCheck_alcotest

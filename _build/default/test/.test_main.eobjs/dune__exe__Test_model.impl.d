@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Format Gantt Gripps_model Instance Job List Machine Metrics Platform Schedule String

@@ -1,0 +1,1 @@
+test/test_rat.ml: Alcotest Gripps_numeric List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Float Fun Greedy Gripps_engine Gripps_model Gripps_sched Instance Job List List_sched Machine Metrics Platform QCheck2 QCheck_alcotest Schedule Sim

@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Array Fun Gantt Gripps_core Gripps_model Gripps_numeric Instance Int Job List Machine Platform QCheck2 QCheck_alcotest Realize Schedule Snapshot Stretch_solver String

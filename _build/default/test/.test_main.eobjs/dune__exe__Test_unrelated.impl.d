@@ -1,0 +1,1 @@
+test/test_unrelated.ml: Alcotest Edf Fun Gripps_core Gripps_numeric List Printf QCheck2 QCheck_alcotest Stretch_solver Unrelated

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Gripps_model Gripps_rng Gripps_workload Instance Job List Machine Platform Printf

@@ -1,0 +1,66 @@
+module Heap = Gripps_collections.Heap
+module Vec = Gripps_collections.Vec
+
+let test_heap_basic () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "peek empty" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h);
+  List.iter (Heap.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check int) "length" 5 (Heap.length h);
+  Alcotest.(check int) "peek min" 1 (Heap.peek_exn h);
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 3; 4; 5 ] (Heap.to_sorted_list h);
+  Alcotest.(check int) "to_sorted_list non-destructive" 5 (Heap.length h)
+
+let test_heap_exn () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.check_raises "peek_exn" (Invalid_argument "Heap.peek_exn: empty heap")
+    (fun () -> ignore (Heap.peek_exn h));
+  Alcotest.check_raises "pop_exn" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Heap.pop_exn h))
+
+let test_heap_custom_order () =
+  let h = Heap.of_list ~cmp:(fun a b -> Int.compare b a) [ 1; 5; 3 ] in
+  Alcotest.(check int) "max-heap top" 5 (Heap.pop_exn h);
+  Alcotest.(check int) "next" 3 (Heap.pop_exn h)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap drains in sorted order" ~count:300
+    QCheck2.Gen.(list small_int)
+    (fun l ->
+      let h = Heap.of_list ~cmp:Int.compare l in
+      Heap.to_sorted_list h = List.sort Int.compare l)
+
+let test_vec_basic () =
+  let v = Vec.create () in
+  Alcotest.(check bool) "empty" true (Vec.is_empty v);
+  for i = 0 to 99 do Vec.push v (i * i) done;
+  Alcotest.(check int) "length" 100 (Vec.length v);
+  Alcotest.(check int) "get 7" 49 (Vec.get v 7);
+  Vec.set v 7 0;
+  Alcotest.(check int) "set" 0 (Vec.get v 7);
+  Alcotest.(check (option int)) "pop" (Some (99 * 99)) (Vec.pop v);
+  Alcotest.(check int) "length after pop" 99 (Vec.length v);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 99))
+
+let test_vec_iter_fold () =
+  let v = Vec.of_list [ 1; 2; 3; 4 ] in
+  Alcotest.(check int) "fold sum" 10 (Vec.fold_left ( + ) 0 v);
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3; 4 ] (Vec.to_list v);
+  Alcotest.(check bool) "exists" true (Vec.exists (fun x -> x = 3) v);
+  Alcotest.(check bool) "not exists" false (Vec.exists (fun x -> x = 9) v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check int) "iteri count" 4 (List.length !acc);
+  Vec.clear v;
+  Alcotest.(check bool) "clear" true (Vec.is_empty v)
+
+let suite =
+  ( "collections",
+    [ Alcotest.test_case "heap basic" `Quick test_heap_basic;
+      Alcotest.test_case "heap exceptions" `Quick test_heap_exn;
+      Alcotest.test_case "heap custom order" `Quick test_heap_custom_order;
+      QCheck_alcotest.to_alcotest prop_heap_sorts;
+      Alcotest.test_case "vec basic" `Quick test_vec_basic;
+      Alcotest.test_case "vec iter/fold" `Quick test_vec_iter_fold ] )

@@ -1,0 +1,251 @@
+(* Flow solvers: classic instances with known values, min-cut validity,
+   exact rational flows, min-cost flow vs LP cross-check, and random
+   bipartite transportation instances compared against the simplex. *)
+
+module Q = Gripps_numeric.Rat
+module FMax = Gripps_flow.Maxflow.Make (Gripps_numeric.Field.Float)
+module QMax = Gripps_flow.Maxflow.Make (Gripps_numeric.Rat)
+module FMcmf = Gripps_flow.Mcmf.Make (Gripps_numeric.Field.Float)
+module QMcmf = Gripps_flow.Mcmf.Make (Gripps_numeric.Rat)
+module FS = Gripps_lp.Simplex.Make (Gripps_numeric.Field.Float)
+
+let checkf msg expected actual = Alcotest.(check (float 1e-7)) msg expected actual
+
+let test_maxflow_classic () =
+  (* CLRS figure: max flow 23. *)
+  let g = FMax.create ~n:6 in
+  let s = 0 and t = 5 in
+  let edges =
+    [ (0, 1, 16.0); (0, 2, 13.0); (1, 2, 10.0); (2, 1, 4.0); (1, 3, 12.0);
+      (3, 2, 9.0); (2, 4, 14.0); (4, 3, 7.0); (3, 5, 20.0); (4, 5, 4.0) ]
+  in
+  List.iter (fun (u, v, c) -> ignore (FMax.add_edge g ~src:u ~dst:v ~cap:c)) edges;
+  checkf "CLRS max flow" 23.0 (FMax.max_flow g ~source:s ~sink:t)
+
+let test_maxflow_disconnected () =
+  let g = FMax.create ~n:3 in
+  ignore (FMax.add_edge g ~src:0 ~dst:1 ~cap:5.0);
+  checkf "no path" 0.0 (FMax.max_flow g ~source:0 ~sink:2)
+
+let test_maxflow_flow_conservation () =
+  let g = FMax.create ~n:4 in
+  let e1 = FMax.add_edge g ~src:0 ~dst:1 ~cap:3.0 in
+  let e2 = FMax.add_edge g ~src:0 ~dst:2 ~cap:2.0 in
+  let e3 = FMax.add_edge g ~src:1 ~dst:3 ~cap:2.0 in
+  let e4 = FMax.add_edge g ~src:2 ~dst:3 ~cap:3.0 in
+  let f = FMax.max_flow g ~source:0 ~sink:3 in
+  checkf "value" 4.0 f;
+  checkf "conservation at 1" (FMax.flow_on g e1) (FMax.flow_on g e3);
+  checkf "conservation at 2" (FMax.flow_on g e2) (FMax.flow_on g e4);
+  checkf "out of source" f (FMax.flow_on g e1 +. FMax.flow_on g e2)
+
+let test_mincut () =
+  let g = FMax.create ~n:4 in
+  ignore (FMax.add_edge g ~src:0 ~dst:1 ~cap:1.0);
+  ignore (FMax.add_edge g ~src:1 ~dst:2 ~cap:10.0);
+  ignore (FMax.add_edge g ~src:2 ~dst:3 ~cap:5.0);
+  let f = FMax.max_flow g ~source:0 ~sink:3 in
+  checkf "flow" 1.0 f;
+  let cut = FMax.min_cut g ~source:0 in
+  Alcotest.(check bool) "source side" true cut.(0);
+  Alcotest.(check bool) "bottleneck separates" false cut.(1);
+  Alcotest.(check bool) "sink side" false cut.(3)
+
+let test_maxflow_exact_rational () =
+  let q = Q.of_ints in
+  let g = QMax.create ~n:3 in
+  ignore (QMax.add_edge g ~src:0 ~dst:1 ~cap:(q 1 3));
+  ignore (QMax.add_edge g ~src:1 ~dst:2 ~cap:(q 1 7));
+  let f = QMax.max_flow g ~source:0 ~sink:2 in
+  Alcotest.(check string) "exact bottleneck" "1/7" (Q.to_string f)
+
+let test_maxflow_recompute_after_update () =
+  let g = FMax.create ~n:2 in
+  let e = FMax.add_edge g ~src:0 ~dst:1 ~cap:1.0 in
+  checkf "first run" 1.0 (FMax.max_flow g ~source:0 ~sink:1);
+  FMax.set_capacity g e 5.0;
+  checkf "after update" 5.0 (FMax.max_flow g ~source:0 ~sink:1);
+  checkf "idempotent rerun" 5.0 (FMax.max_flow g ~source:0 ~sink:1)
+
+let test_mcmf_prefers_cheap_path () =
+  (* Two parallel 2-hop paths; cheap one has capacity 1, flow 2 required. *)
+  let g = FMcmf.create ~n:4 in
+  ignore (FMcmf.add_edge g ~src:0 ~dst:1 ~cap:1.0 ~cost:1.0);
+  ignore (FMcmf.add_edge g ~src:0 ~dst:2 ~cap:2.0 ~cost:5.0);
+  ignore (FMcmf.add_edge g ~src:1 ~dst:3 ~cap:2.0 ~cost:0.0);
+  ignore (FMcmf.add_edge g ~src:2 ~dst:3 ~cap:2.0 ~cost:0.0);
+  let f, c = FMcmf.min_cost_max_flow g ~source:0 ~sink:3 in
+  checkf "flow" 3.0 f;
+  checkf "cost" 11.0 c
+
+let test_mcmf_residual_rerouting () =
+  (* Classic instance where the second augmentation must use a residual
+     (negative reduced cost) arc. *)
+  let g = FMcmf.create ~n:4 in
+  ignore (FMcmf.add_edge g ~src:0 ~dst:1 ~cap:1.0 ~cost:1.0);
+  ignore (FMcmf.add_edge g ~src:0 ~dst:2 ~cap:1.0 ~cost:10.0);
+  ignore (FMcmf.add_edge g ~src:1 ~dst:2 ~cap:1.0 ~cost:1.0);
+  ignore (FMcmf.add_edge g ~src:1 ~dst:3 ~cap:1.0 ~cost:10.0);
+  ignore (FMcmf.add_edge g ~src:2 ~dst:3 ~cap:1.0 ~cost:1.0);
+  let f, c = FMcmf.min_cost_max_flow g ~source:0 ~sink:3 in
+  checkf "flow" 2.0 f;
+  (* 0-1-2-3 (cost 3) then 0-2-...: only 0-2 then 2-3 is saturated, so
+     0-2 (10), residual 2-1 (-1), 1-3 (10) -> total 3 + 19 = 22. *)
+  checkf "cost" 22.0 c
+
+let test_mcmf_exact_rational () =
+  let q = Q.of_ints in
+  let g = QMcmf.create ~n:3 in
+  ignore (QMcmf.add_edge g ~src:0 ~dst:1 ~cap:(q 2 3) ~cost:(q 1 2));
+  ignore (QMcmf.add_edge g ~src:1 ~dst:2 ~cap:(q 2 3) ~cost:(q 1 5));
+  let f, c = QMcmf.min_cost_max_flow g ~source:0 ~sink:2 in
+  Alcotest.(check string) "flow exact" "2/3" (Q.to_string f);
+  (* 2/3 * (1/2 + 1/5) = 2/3 * 7/10 = 7/15. *)
+  Alcotest.(check string) "cost exact" "7/15" (Q.to_string c)
+
+(* Random bipartite transportation problems: compare max-flow value and
+   min-cost value against the simplex LP formulation. *)
+let transport_gen =
+  QCheck2.Gen.(
+    let* nsrc = int_range 1 3 in
+    let* ndst = int_range 1 3 in
+    let cap = map (fun i -> float_of_int i /. 2.0) (int_range 0 8) in
+    let cost = map (fun i -> float_of_int i /. 2.0) (int_range 0 6) in
+    let* supplies = list_size (return nsrc) cap in
+    let* caps = list_size (return (nsrc * ndst)) cap in
+    let* costs = list_size (return (nsrc * ndst)) cost in
+    return (nsrc, ndst, supplies, caps, costs))
+
+(* LP encoding: variables f_uv >= 0; maximize sum f_uv subject to
+   sum_v f_uv <= supply_u and f_uv <= cap_uv. *)
+let lp_of_transport (nsrc, ndst, supplies, caps, _costs) =
+  let nv = nsrc * ndst in
+  let var u v = (u * ndst) + v in
+  let supply_rows =
+    List.mapi
+      (fun u s ->
+        let row = Array.make nv 0.0 in
+        for v = 0 to ndst - 1 do row.(var u v) <- 1.0 done;
+        { FS.coeffs = row; relation = FS.Le; rhs = s })
+      supplies
+  in
+  let cap_rows =
+    List.mapi
+      (fun i c ->
+        let row = Array.make nv 0.0 in
+        row.(i) <- 1.0;
+        { FS.coeffs = row; relation = FS.Le; rhs = c })
+      caps
+  in
+  { FS.num_vars = nv; maximize = true; objective = Array.make nv 1.0;
+    constraints = supply_rows @ cap_rows }
+
+let graph_of_transport (nsrc, ndst, supplies, caps, costs) =
+  (* 0 = source, 1..nsrc = sources, nsrc+1..nsrc+ndst = sinks-1, last = sink *)
+  let n = nsrc + ndst + 2 in
+  let g = FMcmf.create ~n in
+  List.iteri
+    (fun u s -> ignore (FMcmf.add_edge g ~src:0 ~dst:(1 + u) ~cap:s ~cost:0.0))
+    supplies;
+  List.iteri
+    (fun i c ->
+      let u = i / ndst and v = i mod ndst in
+      ignore
+        (FMcmf.add_edge g ~src:(1 + u) ~dst:(1 + nsrc + v) ~cap:c
+           ~cost:(List.nth costs i)))
+    caps;
+  for v = 0 to ndst - 1 do
+    ignore
+      (FMcmf.add_edge g ~src:(1 + nsrc + v) ~dst:(n - 1) ~cap:infinity ~cost:0.0)
+  done;
+  g
+
+let prop_flow_matches_lp =
+  QCheck2.Test.make ~name:"transportation max-flow matches simplex" ~count:120
+    transport_gen
+    (fun spec ->
+      let nsrc, ndst, _, _, _ = spec in
+      let g = graph_of_transport spec in
+      let sink = nsrc + ndst + 1 in
+      let flow, _cost = FMcmf.min_cost_max_flow g ~source:0 ~sink in
+      match FS.solve (lp_of_transport spec) with
+      | FS.Optimal { objective; _ } -> abs_float (flow -. objective) < 1e-6
+      | FS.Infeasible | FS.Unbounded -> false)
+
+let suite =
+  ( "flow",
+    [ Alcotest.test_case "maxflow classic CLRS" `Quick test_maxflow_classic;
+      Alcotest.test_case "maxflow disconnected" `Quick test_maxflow_disconnected;
+      Alcotest.test_case "flow conservation" `Quick test_maxflow_flow_conservation;
+      Alcotest.test_case "min cut" `Quick test_mincut;
+      Alcotest.test_case "exact rational maxflow" `Quick test_maxflow_exact_rational;
+      Alcotest.test_case "capacity update" `Quick test_maxflow_recompute_after_update;
+      Alcotest.test_case "mcmf cheap path first" `Quick test_mcmf_prefers_cheap_path;
+      Alcotest.test_case "mcmf residual rerouting" `Quick test_mcmf_residual_rerouting;
+      Alcotest.test_case "mcmf exact rational" `Quick test_mcmf_exact_rational;
+      QCheck_alcotest.to_alcotest prop_flow_matches_lp ] )
+
+(* Min-cost optimality cross-check: balanced transportation problems where
+   the LP gives the reference optimum. *)
+let balanced_gen =
+  QCheck2.Gen.(
+    let* nsrc = int_range 1 3 in
+    let* ndst = int_range 1 3 in
+    let* supplies = list_size (return nsrc) (int_range 1 6) in
+    let* split = list_size (return (List.fold_left ( + ) 0 supplies)) (int_range 0 (ndst - 1)) in
+    let* costs = list_size (return (nsrc * ndst)) (int_range 0 9) in
+    return (nsrc, ndst, supplies, split, costs))
+
+let prop_mcmf_cost_matches_lp =
+  QCheck2.Test.make ~name:"min-cost flow cost matches LP optimum" ~count:100
+    balanced_gen
+    (fun (nsrc, ndst, supplies, split, costs) ->
+      (* Demands: distribute each unit of supply to a destination. *)
+      let demands = Array.make ndst 0 in
+      List.iter (fun v -> demands.(v) <- demands.(v) + 1) split;
+      let total = List.fold_left ( + ) 0 supplies in
+      let cost u v = float_of_int (List.nth costs ((u * ndst) + v)) in
+      (* Flow network. *)
+      let g = FMcmf.create ~n:(nsrc + ndst + 2) in
+      List.iteri
+        (fun u s ->
+          ignore
+            (FMcmf.add_edge g ~src:0 ~dst:(1 + u) ~cap:(float_of_int s) ~cost:0.0))
+        supplies;
+      for u = 0 to nsrc - 1 do
+        for v = 0 to ndst - 1 do
+          ignore
+            (FMcmf.add_edge g ~src:(1 + u) ~dst:(1 + nsrc + v)
+               ~cap:(float_of_int total) ~cost:(cost u v))
+        done
+      done;
+      for v = 0 to ndst - 1 do
+        ignore
+          (FMcmf.add_edge g ~src:(1 + nsrc + v) ~dst:(nsrc + ndst + 1)
+             ~cap:(float_of_int demands.(v)) ~cost:0.0)
+      done;
+      let flow, mc = FMcmf.min_cost_max_flow g ~source:0 ~sink:(nsrc + ndst + 1) in
+      (* Reference LP: min sum c x st row sums = supply, column sums = demand. *)
+      let nv = nsrc * ndst in
+      let var u v = (u * ndst) + v in
+      let rows =
+        List.mapi
+          (fun u s ->
+            let r = Array.make nv 0.0 in
+            for v = 0 to ndst - 1 do r.(var u v) <- 1.0 done;
+            { FS.coeffs = r; relation = FS.Le; rhs = float_of_int s })
+          supplies
+        @ List.init ndst (fun v ->
+              let r = Array.make nv 0.0 in
+              for u = 0 to nsrc - 1 do r.(var u v) <- 1.0 done;
+              { FS.coeffs = r; relation = FS.Eq; rhs = float_of_int demands.(v) })
+      in
+      let objective = Array.init nv (fun i -> -.cost (i / ndst) (i mod ndst)) in
+      match FS.solve { FS.num_vars = nv; maximize = true; objective; constraints = rows } with
+      | FS.Optimal { objective = neg_cost; _ } ->
+        abs_float (flow -. float_of_int total) < 1e-6
+        && abs_float (mc +. neg_cost) < 1e-6
+      | FS.Infeasible | FS.Unbounded -> false)
+
+let suite =
+  (fst suite, snd suite @ [ QCheck_alcotest.to_alcotest prop_mcmf_cost_matches_lp ])

@@ -1,0 +1,230 @@
+(* Simplex and modeling layer: textbook LPs with known optima, infeasible
+   and unbounded detection, exact rational optima, and random-instance
+   agreement between the float and exact-rational instantiations. *)
+
+module Q = Gripps_numeric.Rat
+module FS = Gripps_lp.Simplex.Make (Gripps_numeric.Field.Float)
+module QS = Gripps_lp.Simplex.Make (Gripps_numeric.Rat)
+module Flp = Gripps_lp.Lp.Float_lp
+module Qlp = Gripps_lp.Lp.Rat_lp
+
+let feps = 1e-7
+let checkf msg expected actual = Alcotest.(check (float feps)) msg expected actual
+
+let test_max_2d () =
+  (* max 3x + 5y st x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2, 6). *)
+  let p =
+    { FS.num_vars = 2; maximize = true; objective = [| 3.0; 5.0 |];
+      constraints =
+        [ { FS.coeffs = [| 1.0; 0.0 |]; relation = FS.Le; rhs = 4.0 };
+          { FS.coeffs = [| 0.0; 2.0 |]; relation = FS.Le; rhs = 12.0 };
+          { FS.coeffs = [| 3.0; 2.0 |]; relation = FS.Le; rhs = 18.0 } ] }
+  in
+  match FS.solve p with
+  | FS.Optimal { objective; solution } ->
+    checkf "objective" 36.0 objective;
+    checkf "x" 2.0 solution.(0);
+    checkf "y" 6.0 solution.(1)
+  | FS.Infeasible | FS.Unbounded -> Alcotest.fail "expected optimal"
+
+let test_min_with_ge () =
+  (* min 2x + 3y st x + y >= 4, x + 3y >= 6 -> optimum 9 at (3, 1). *)
+  let p =
+    { FS.num_vars = 2; maximize = false; objective = [| 2.0; 3.0 |];
+      constraints =
+        [ { FS.coeffs = [| 1.0; 1.0 |]; relation = FS.Ge; rhs = 4.0 };
+          { FS.coeffs = [| 1.0; 3.0 |]; relation = FS.Ge; rhs = 6.0 } ] }
+  in
+  match FS.solve p with
+  | FS.Optimal { objective; solution } ->
+    checkf "objective" 9.0 objective;
+    checkf "x" 3.0 solution.(0);
+    checkf "y" 1.0 solution.(1)
+  | FS.Infeasible | FS.Unbounded -> Alcotest.fail "expected optimal"
+
+let test_equality () =
+  (* max x + y st x + y = 5, x - y <= 1 -> 5, e.g. at (3, 2). *)
+  let p =
+    { FS.num_vars = 2; maximize = true; objective = [| 1.0; 1.0 |];
+      constraints =
+        [ { FS.coeffs = [| 1.0; 1.0 |]; relation = FS.Eq; rhs = 5.0 };
+          { FS.coeffs = [| 1.0; -1.0 |]; relation = FS.Le; rhs = 1.0 } ] }
+  in
+  match FS.solve p with
+  | FS.Optimal { objective; solution } ->
+    checkf "objective" 5.0 objective;
+    checkf "sum" 5.0 (solution.(0) +. solution.(1))
+  | FS.Infeasible | FS.Unbounded -> Alcotest.fail "expected optimal"
+
+let test_infeasible () =
+  let p =
+    { FS.num_vars = 1; maximize = true; objective = [| 1.0 |];
+      constraints =
+        [ { FS.coeffs = [| 1.0 |]; relation = FS.Le; rhs = 1.0 };
+          { FS.coeffs = [| 1.0 |]; relation = FS.Ge; rhs = 2.0 } ] }
+  in
+  match FS.solve p with
+  | FS.Infeasible -> ()
+  | FS.Optimal _ | FS.Unbounded -> Alcotest.fail "expected infeasible"
+
+let test_unbounded () =
+  let p =
+    { FS.num_vars = 2; maximize = true; objective = [| 1.0; 0.0 |];
+      constraints = [ { FS.coeffs = [| 0.0; 1.0 |]; relation = FS.Le; rhs = 1.0 } ] }
+  in
+  match FS.solve p with
+  | FS.Unbounded -> ()
+  | FS.Optimal _ | FS.Infeasible -> Alcotest.fail "expected unbounded"
+
+let test_degenerate_no_cycle () =
+  (* Beale's classical cycling example; Bland's rule must terminate. *)
+  let p =
+    { FS.num_vars = 4; maximize = false;
+      objective = [| -0.75; 150.0; -0.02; 6.0 |];
+      constraints =
+        [ { FS.coeffs = [| 0.25; -60.0; -0.04; 9.0 |]; relation = FS.Le; rhs = 0.0 };
+          { FS.coeffs = [| 0.5; -90.0; -0.02; 3.0 |]; relation = FS.Le; rhs = 0.0 };
+          { FS.coeffs = [| 0.0; 0.0; 1.0; 0.0 |]; relation = FS.Le; rhs = 1.0 } ] }
+  in
+  match FS.solve p with
+  | FS.Optimal { objective; _ } -> checkf "Beale optimum" (-0.05) objective
+  | FS.Infeasible | FS.Unbounded -> Alcotest.fail "expected optimal"
+
+let test_exact_rational () =
+  (* max x + y st 3x + y <= 1, x + 3y <= 1: optimum exactly 1/2 at (1/4, 1/4). *)
+  let q = Q.of_ints in
+  let p =
+    { QS.num_vars = 2; maximize = true; objective = [| q 1 1; q 1 1 |];
+      constraints =
+        [ { QS.coeffs = [| q 3 1; q 1 1 |]; relation = QS.Le; rhs = q 1 1 };
+          { QS.coeffs = [| q 1 1; q 3 1 |]; relation = QS.Le; rhs = q 1 1 } ] }
+  in
+  match QS.solve p with
+  | QS.Optimal { objective; solution } ->
+    Alcotest.(check string) "objective exact" "1/2" (Q.to_string objective);
+    Alcotest.(check string) "x exact" "1/4" (Q.to_string solution.(0));
+    Alcotest.(check string) "y exact" "1/4" (Q.to_string solution.(1))
+  | QS.Infeasible | QS.Unbounded -> Alcotest.fail "expected optimal"
+
+let test_modeling_layer () =
+  let m = Flp.create () in
+  let x = Flp.variable m "x" and y = Flp.variable m "y" in
+  Flp.le m Flp.(add (v x) (v y)) (Flp.const 10.0);
+  Flp.le m (Flp.v x) (Flp.const 6.0);
+  Flp.set_objective m Flp.Maximize Flp.(add (scale 2.0 (v x)) (v y));
+  Alcotest.(check int) "vars" 2 (Flp.num_variables m);
+  Alcotest.(check int) "constraints" 2 (Flp.num_constraints m);
+  Alcotest.(check string) "name" "x" (Flp.name m x);
+  match Flp.solve m with
+  | Flp.Optimal s ->
+    checkf "objective" 16.0 (Flp.objective_value s);
+    checkf "x" 6.0 (Flp.value s x);
+    checkf "y" 4.0 (Flp.value s y)
+  | Flp.Infeasible | Flp.Unbounded -> Alcotest.fail "expected optimal"
+
+let test_modeling_constant_in_objective () =
+  let m = Flp.create () in
+  let x = Flp.variable m "x" in
+  Flp.le m (Flp.v x) (Flp.const 3.0);
+  Flp.set_objective m Flp.Maximize Flp.(add (v x) (const 100.0));
+  match Flp.solve m with
+  | Flp.Optimal s -> checkf "objective with constant" 103.0 (Flp.objective_value s)
+  | Flp.Infeasible | Flp.Unbounded -> Alcotest.fail "expected optimal"
+
+(* Random LPs: max c.x st A x <= b with b > 0 (so x = 0 is feasible) plus
+   upper bounds on every variable (so the optimum is bounded).  Properties:
+   the solution is feasible, the optimum is >= the value at the origin, and
+   the float and exact-rational solvers agree. *)
+let random_lp_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 4 in
+    let* mrows = int_range 1 4 in
+    let coef = map (fun i -> float_of_int i /. 4.0) (int_range (-8) 12) in
+    let pos = map (fun i -> float_of_int i /. 2.0) (int_range 1 10) in
+    let* obj = array_size (return n) coef in
+    let* rows = list_size (return mrows) (array_size (return n) coef) in
+    let* rhs = list_size (return mrows) pos in
+    let* ub = array_size (return n) pos in
+    return (n, obj, rows, rhs, ub))
+
+let build_float (n, obj, rows, rhs, ub) =
+  let bound_rows =
+    List.init n (fun i ->
+        let c = Array.make n 0.0 in
+        c.(i) <- 1.0;
+        { FS.coeffs = c; relation = FS.Le; rhs = ub.(i) })
+  in
+  { FS.num_vars = n; maximize = true; objective = obj;
+    constraints =
+      List.map2 (fun c r -> { FS.coeffs = c; relation = FS.Le; rhs = r }) rows rhs
+      @ bound_rows }
+
+let build_rat (n, obj, rows, rhs, ub) =
+  let qa = Array.map Q.of_float in
+  let bound_rows =
+    List.init n (fun i ->
+        let c = Array.make n Q.zero in
+        c.(i) <- Q.one;
+        { QS.coeffs = c; relation = QS.Le; rhs = Q.of_float ub.(i) })
+  in
+  { QS.num_vars = n; maximize = true; objective = qa obj;
+    constraints =
+      List.map2
+        (fun c r -> { QS.coeffs = qa c; relation = QS.Le; rhs = Q.of_float r })
+        rows rhs
+      @ bound_rows }
+
+let feasible fp x =
+  List.for_all
+    (fun (c : FS.linear_constraint) ->
+      let dot = ref 0.0 in
+      Array.iteri (fun i v -> dot := !dot +. (v *. x.(i))) c.coeffs;
+      !dot <= c.rhs +. 1e-6)
+    fp.FS.constraints
+  && Array.for_all (fun v -> v >= -1e-9) x
+
+let prop_random_lp_agreement =
+  QCheck2.Test.make ~name:"float and exact simplex agree on random LPs" ~count:150
+    random_lp_gen
+    (fun spec ->
+      let fp = build_float spec and qp = build_rat spec in
+      match (FS.solve fp, QS.solve qp) with
+      | FS.Optimal f, QS.Optimal q ->
+        feasible fp f.solution
+        && abs_float (f.objective -. Q.to_float q.objective) < 1e-6
+      | FS.Infeasible, QS.Infeasible | FS.Unbounded, QS.Unbounded -> true
+      | (FS.Optimal _ | FS.Infeasible | FS.Unbounded), _ -> false)
+
+let prop_beats_origin =
+  QCheck2.Test.make ~name:"optimum dominates the feasible origin" ~count:150
+    random_lp_gen
+    (fun spec ->
+      let fp = build_float spec in
+      match FS.solve fp with
+      | FS.Optimal { objective; _ } -> objective >= -1e-9
+      | FS.Infeasible | FS.Unbounded -> false)
+
+let test_exact_rational_modeling () =
+  let m = Qlp.create () in
+  let x = Qlp.variable m "x" in
+  Qlp.eq m Qlp.(scale (Q.of_ints 3 1) (v x)) (Qlp.const Q.one);
+  Qlp.set_objective m Qlp.Maximize (Qlp.v x);
+  match Qlp.solve m with
+  | Qlp.Optimal s ->
+    Alcotest.(check string) "x = 1/3 exactly" "1/3" (Q.to_string (Qlp.value s x))
+  | Qlp.Infeasible | Qlp.Unbounded -> Alcotest.fail "expected optimal"
+
+let suite =
+  ( "lp",
+    [ Alcotest.test_case "max 2d textbook" `Quick test_max_2d;
+      Alcotest.test_case "min with >= rows" `Quick test_min_with_ge;
+      Alcotest.test_case "equality constraint" `Quick test_equality;
+      Alcotest.test_case "infeasible" `Quick test_infeasible;
+      Alcotest.test_case "unbounded" `Quick test_unbounded;
+      Alcotest.test_case "Beale degeneracy (no cycling)" `Quick test_degenerate_no_cycle;
+      Alcotest.test_case "exact rational optimum" `Quick test_exact_rational;
+      Alcotest.test_case "modeling layer" `Quick test_modeling_layer;
+      Alcotest.test_case "objective constant" `Quick test_modeling_constant_in_objective;
+      Alcotest.test_case "rational modeling exactness" `Quick test_exact_rational_modeling;
+      QCheck_alcotest.to_alcotest prop_random_lp_agreement;
+      QCheck_alcotest.to_alcotest prop_beats_origin ] )

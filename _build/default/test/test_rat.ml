@@ -1,0 +1,114 @@
+(* Rat: field axioms, exact float conversion, ordering. *)
+
+module B = Gripps_numeric.Bigint
+module Q = Gripps_numeric.Rat
+
+let q = Q.of_ints
+let check_q msg expected actual = Alcotest.(check string) msg expected (Q.to_string actual)
+
+let test_normalization () =
+  check_q "6/4 = 3/2" "3/2" (q 6 4);
+  check_q "-6/4" "-3/2" (q (-6) 4);
+  check_q "6/-4" "-3/2" (q 6 (-4));
+  check_q "-6/-4" "3/2" (q (-6) (-4));
+  check_q "0/7" "0" (q 0 7);
+  check_q "int form" "5" (q 5 1);
+  Alcotest.check_raises "zero denominator" Division_by_zero (fun () -> ignore (q 1 0))
+
+let test_arith () =
+  check_q "1/2 + 1/3" "5/6" (Q.add (q 1 2) (q 1 3));
+  check_q "1/2 - 1/3" "1/6" (Q.sub (q 1 2) (q 1 3));
+  check_q "2/3 * 9/4" "3/2" (Q.mul (q 2 3) (q 9 4));
+  check_q "1/2 / 1/3" "3/2" (Q.div (q 1 2) (q 1 3));
+  check_q "inv -2/5" "-5/2" (Q.inv (q (-2) 5));
+  Alcotest.check_raises "inv zero" Division_by_zero (fun () -> ignore (Q.inv Q.zero));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () -> ignore (Q.div Q.one Q.zero))
+
+let test_compare () =
+  Alcotest.(check bool) "1/3 < 1/2" true (Q.lt (q 1 3) (q 1 2));
+  Alcotest.(check bool) "-1/2 < 1/3" true (Q.lt (q (-1) 2) (q 1 3));
+  Alcotest.(check bool) "equal cross forms" true (Q.equal (q 2 4) (q 1 2));
+  Alcotest.(check int) "sign neg" (-1) (Q.sign (q (-3) 7));
+  check_q "min" "1/3" (Q.min_rat (q 1 2) (q 1 3));
+  check_q "max" "1/2" (Q.max_rat (q 1 2) (q 1 3))
+
+let test_floor_ceil () =
+  Alcotest.(check string) "floor 7/2" "3" (B.to_string (Q.floor (q 7 2)));
+  Alcotest.(check string) "ceil 7/2" "4" (B.to_string (Q.ceil (q 7 2)));
+  Alcotest.(check string) "floor -7/2" "-4" (B.to_string (Q.floor (q (-7) 2)));
+  Alcotest.(check string) "ceil -7/2" "-3" (B.to_string (Q.ceil (q (-7) 2)));
+  Alcotest.(check string) "floor 4" "4" (B.to_string (Q.floor (q 4 1)))
+
+let test_of_float_exact () =
+  check_q "0.5" "1/2" (Q.of_float 0.5);
+  check_q "0.25" "1/4" (Q.of_float 0.25);
+  check_q "3.0" "3" (Q.of_float 3.0);
+  check_q "-1.5" "-3/2" (Q.of_float (-1.5));
+  check_q "0.0" "0" (Q.of_float 0.0);
+  (* 0.1 is NOT 1/10 in binary; conversion must be exact, not pretty. *)
+  check_q "0.1 exact" "3602879701896397/36028797018963968" (Q.of_float 0.1);
+  Alcotest.check_raises "nan" (Invalid_argument "Rat.of_float: nan") (fun () ->
+      ignore (Q.of_float nan))
+
+let test_of_string () =
+  check_q "frac" "3/2" (Q.of_string "3/2");
+  check_q "frac unnormalized" "3/2" (Q.of_string "6/4");
+  check_q "int" "-7" (Q.of_string "-7");
+  check_q "decimal" "5/4" (Q.of_string "1.25");
+  check_q "neg decimal" "-3/2" (Q.of_string "-1.5")
+
+let float_gen = QCheck2.Gen.float_range (-1e6) 1e6
+
+let prop_of_float_roundtrip =
+  QCheck2.Test.make ~name:"of_float/to_float exact round-trip" ~count:500 float_gen
+    (fun f -> Q.to_float (Q.of_float f) = f)
+
+let rat_gen =
+  QCheck2.Gen.(
+    let* n = int_range (-10_000) 10_000 in
+    let* d = int_range 1 10_000 in
+    return (q n d))
+
+let prop_field_axioms =
+  QCheck2.Test.make ~name:"field axioms" ~count:300
+    QCheck2.Gen.(triple rat_gen rat_gen rat_gen)
+    (fun (a, b, c) ->
+      Q.equal (Q.add a b) (Q.add b a)
+      && Q.equal (Q.add (Q.add a b) c) (Q.add a (Q.add b c))
+      && Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c))
+      && Q.equal (Q.add a (Q.neg a)) Q.zero
+      && (Q.is_zero a || Q.equal (Q.mul a (Q.inv a)) Q.one))
+
+let prop_compare_antisymmetric =
+  QCheck2.Test.make ~name:"ordering consistent with arithmetic" ~count:300
+    QCheck2.Gen.(triple rat_gen rat_gen rat_gen)
+    (fun (a, b, c) ->
+      Q.compare a b = -Q.compare b a
+      && (Q.compare a b <> Q.compare b c || Q.compare a c = Q.compare a b
+          || Q.compare a b = 0)
+      && Q.compare (Q.add a c) (Q.add b c) = Q.compare a b)
+
+let prop_exact_sum_of_floats =
+  QCheck2.Test.make ~name:"rational sums of floats are exact" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 20) float_gen)
+    (fun fs ->
+      (* Summing forward and backward gives the same exact rational, while
+         float sums would differ; this is the property the offline solver
+         relies on. *)
+      let sum l = List.fold_left (fun acc f -> Q.add acc (Q.of_float f)) Q.zero l in
+      Q.equal (sum fs) (sum (List.rev fs)))
+
+let qcheck_cases =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_of_float_roundtrip; prop_field_axioms; prop_compare_antisymmetric;
+      prop_exact_sum_of_floats ]
+
+let suite =
+  ( "rat",
+    [ Alcotest.test_case "normalization" `Quick test_normalization;
+      Alcotest.test_case "arithmetic" `Quick test_arith;
+      Alcotest.test_case "comparison" `Quick test_compare;
+      Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
+      Alcotest.test_case "of_float exactness" `Quick test_of_float_exact;
+      Alcotest.test_case "of_string" `Quick test_of_string ]
+    @ qcheck_cases )

@@ -1,0 +1,213 @@
+(* The unrelated-machines LP solver (§4.3.1 in full generality) and the
+   EDF uniprocessor feasibility checker, cross-checked against the flow
+   solver on their common domain. *)
+
+open Gripps_core
+module Q = Gripps_numeric.Rat
+module S = Stretch_solver
+module U = Unrelated
+
+let q = Q.of_ints
+
+(* --- EDF ---------------------------------------------------------------- *)
+
+let ejob r d w = { Edf.release = q r 1; deadline = q d 1; work = q w 1 }
+
+let test_edf_basic () =
+  Alcotest.(check bool) "empty" true (Edf.feasible []);
+  Alcotest.(check bool) "single fits" true (Edf.feasible [ ejob 0 2 2 ]);
+  Alcotest.(check bool) "single misses" false (Edf.feasible [ ejob 0 2 3 ]);
+  (* Two jobs needing preemption: J1 (r=0, d=10, w=5), J2 (r=1, d=3, w=2). *)
+  Alcotest.(check bool) "preemption required" true
+    (Edf.feasible [ ejob 0 10 5; ejob 1 3 2 ]);
+  (* Same but J2 too big. *)
+  Alcotest.(check bool) "overload detected" false
+    (Edf.feasible [ ejob 0 4 3; ejob 1 3 2 ]);
+  Alcotest.(check bool) "zero work ignored" true
+    (Edf.feasible [ { Edf.release = Q.zero; deadline = Q.zero; work = Q.zero } ]);
+  Alcotest.check_raises "negative work" (Invalid_argument "Edf.feasible: negative work")
+    (fun () -> ignore (Edf.feasible [ { (ejob 0 1 1) with Edf.work = q (-1) 1 } ]))
+
+let test_edf_exact_boundary () =
+  (* Total work exactly fills [0, 3]. *)
+  Alcotest.(check bool) "tight fit" true (Edf.feasible [ ejob 0 3 1; ejob 0 3 2 ]);
+  Alcotest.(check bool) "one epsilon over" false
+    (Edf.feasible
+       [ ejob 0 3 1;
+         { Edf.release = Q.zero; deadline = q 3 1; work = Q.add (q 2 1) (q 1 1000) } ])
+
+(* Property: on a unit-speed uniprocessor, the flow solver's feasibility
+   equals EDF feasibility with deadlines d_j(F). *)
+let uni_gen =
+  QCheck2.Gen.(
+    let* jobs =
+      list_size (int_range 1 6) (pair (int_range 0 8) (int_range 1 8))
+    in
+    let* probe_num = int_range 1 8 in
+    return (jobs, probe_num))
+
+let uni_problem jobs =
+  { S.now = Q.zero;
+    jobs =
+      List.mapi
+        (fun i (r, w) ->
+          { S.jid = i; release = Q.of_int r; size = Q.of_int w;
+            remaining = Q.of_int w; machines = [ 0 ] })
+        jobs;
+    machines = [ { S.mid = 0; speed = Q.one } ] }
+
+let prop_solver_matches_edf =
+  QCheck2.Test.make ~name:"System (1) on one machine == EDF feasibility" ~count:150
+    uni_gen
+    (fun (jobs, probe_num) ->
+      let p = uni_problem jobs in
+      let f = q probe_num 2 in
+      let edf_jobs =
+        List.mapi
+          (fun i (r, w) ->
+            ignore i;
+            { Edf.release = Q.of_int r;
+              deadline = Q.add (Q.of_int r) (Q.mul f (Q.of_int w));
+              work = Q.of_int w })
+          jobs
+      in
+      S.feasible p ~stretch:f = Edf.feasible edf_jobs)
+
+let prop_optimum_is_edf_boundary =
+  QCheck2.Test.make ~name:"S* is the EDF feasibility boundary on one machine"
+    ~count:80
+    QCheck2.Gen.(list_size (int_range 1 5) (pair (int_range 0 8) (int_range 1 8)))
+    (fun jobs ->
+      let p = uni_problem jobs in
+      let s = S.optimal_max_stretch p in
+      let deadlines f =
+        List.map
+          (fun (r, w) ->
+            { Edf.release = Q.of_int r;
+              deadline = Q.add (Q.of_int r) (Q.mul f (Q.of_int w));
+              work = Q.of_int w })
+          jobs
+      in
+      let eps = q 1 1_000_000_000 in
+      Edf.feasible (deadlines s)
+      && ((Q.sign s = 0) || not (Edf.feasible (deadlines (Q.sub s eps)))))
+
+(* --- Unrelated machines ------------------------------------------------- *)
+
+let test_unrelated_single_machine () =
+  (* One machine: identical to the uniprocessor case J0 (W=2), J1 (W=1,
+     r=1): S* = 3/2. *)
+  let p =
+    { U.now = Q.zero;
+      jobs =
+        [ { U.jid = 0; release = Q.zero; weight_inv = q 2 1; fraction = Q.one;
+            times = [ (0, q 2 1) ] };
+          { U.jid = 1; release = Q.one; weight_inv = Q.one; fraction = Q.one;
+            times = [ (0, Q.one) ] } ] }
+  in
+  Alcotest.(check string) "S* = 3/2" "3/2"
+    (Q.to_string (U.optimal_max_weighted_flow p))
+
+let test_unrelated_affinity () =
+  (* Two machines; J0 is fast on M0 (time 1) and slow on M1 (time 10);
+     J1 only runs on M0 (time 1).  Both released at 0, weight_inv = 1.
+     Placing J1 then J0 on M0 sequentially gives max weighted flow 2; but
+     the LP can split J0 across both machines concurrently with J1 on M0:
+     F < 2 becomes reachable. *)
+  let p =
+    { U.now = Q.zero;
+      jobs =
+        [ { U.jid = 0; release = Q.zero; weight_inv = Q.one; fraction = Q.one;
+            times = [ (0, Q.one); (1, q 10 1) ] };
+          { U.jid = 1; release = Q.zero; weight_inv = Q.one; fraction = Q.one;
+            times = [ (0, Q.one) ] } ] }
+  in
+  let s = U.optimal_max_weighted_flow p in
+  Alcotest.(check bool)
+    (Printf.sprintf "parallel split beats serial (S* = %s)" (Q.to_string s))
+    true
+    (Q.lt s (q 2 1));
+  Alcotest.(check bool) "feasible at S*" true (U.feasible p ~objective:s);
+  let eps = q 1 1_000_000 in
+  Alcotest.(check bool) "infeasible below" false
+    (U.feasible p ~objective:(Q.sub s eps))
+
+let test_unrelated_validation () =
+  Alcotest.check_raises "no machine"
+    (Invalid_argument "Unrelated: pending job with no machine") (fun () ->
+      ignore
+        (U.optimal_max_weighted_flow
+           { U.now = Q.zero;
+             jobs =
+               [ { U.jid = 0; release = Q.zero; weight_inv = Q.one;
+                   fraction = Q.one; times = [] } ] }));
+  Alcotest.check_raises "bad fraction"
+    (Invalid_argument "Unrelated: fraction outside [0, 1]") (fun () ->
+      ignore
+        (U.feasible ~objective:Q.one
+           { U.now = Q.zero;
+             jobs =
+               [ { U.jid = 0; release = Q.zero; weight_inv = Q.one;
+                   fraction = q 3 2; times = [ (0, Q.one) ] } ] }))
+
+(* Property: on uniform-with-restrictions instances the LP solver agrees
+   exactly with the flow solver. *)
+let restricted_gen =
+  QCheck2.Gen.(
+    let* nmach = int_range 1 3 in
+    let* speeds = list_size (return nmach) (int_range 1 3) in
+    let* jobs =
+      list_size (int_range 1 4)
+        (triple (int_range 0 6) (int_range 1 6) (int_range 1 ((1 lsl nmach) - 1)))
+    in
+    return (speeds, jobs))
+
+let prop_unrelated_matches_flow_on_uniform =
+  QCheck2.Test.make
+    ~name:"unrelated LP == flow solver on uniform restricted instances" ~count:40
+    restricted_gen
+    (fun (speeds, jobs) ->
+      let speeds = List.map Q.of_int speeds in
+      let flow_problem =
+        { S.now = Q.zero;
+          jobs =
+            List.mapi
+              (fun i (r, w, mask) ->
+                { S.jid = i; release = Q.of_int r; size = Q.of_int w;
+                  remaining = Q.of_int w;
+                  machines =
+                    List.init (List.length speeds) Fun.id
+                    |> List.filter (fun m -> mask land (1 lsl m) <> 0) })
+              jobs;
+          machines = List.mapi (fun m s -> { S.mid = m; speed = s }) speeds }
+      in
+      let lp_problem =
+        { U.now = Q.zero;
+          jobs =
+            List.mapi
+              (fun i (r, w, mask) ->
+                { U.jid = i; release = Q.of_int r; weight_inv = Q.of_int w;
+                  fraction = Q.one;
+                  times =
+                    List.mapi (fun m s -> (m, s)) speeds
+                    |> List.filter_map (fun (m, s) ->
+                           if mask land (1 lsl m) <> 0 then
+                             (* p_{i,j} = W_j / speed_i *)
+                             Some (m, Q.div (Q.of_int w) s)
+                           else None) })
+              jobs }
+      in
+      Q.equal
+        (S.optimal_max_stretch flow_problem)
+        (U.optimal_max_weighted_flow lp_problem))
+
+let suite =
+  ( "unrelated-edf",
+    [ Alcotest.test_case "edf basic" `Quick test_edf_basic;
+      Alcotest.test_case "edf exact boundary" `Quick test_edf_exact_boundary;
+      QCheck_alcotest.to_alcotest prop_solver_matches_edf;
+      QCheck_alcotest.to_alcotest prop_optimum_is_edf_boundary;
+      Alcotest.test_case "unrelated single machine" `Quick test_unrelated_single_machine;
+      Alcotest.test_case "unrelated affinity split" `Quick test_unrelated_affinity;
+      Alcotest.test_case "unrelated validation" `Quick test_unrelated_validation;
+      QCheck_alcotest.to_alcotest prop_unrelated_matches_flow_on_uniform ] )
