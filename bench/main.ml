@@ -117,6 +117,32 @@ let scheduler_tests () =
         (Staged.stage (fun () -> ignore (Gripps_engine.Sim.run ~horizon:1e9 s inst))))
     E.Runner.portfolio
 
+(* Fault-injection overhead: the same instance and scheduler fault-free
+   and under a seeded outage trace, for both loss semantics.  Measures
+   what the availability bookkeeping and the extra replans cost. *)
+let fault_tests () =
+  let module Sim = Gripps_engine.Sim in
+  let module Fault = Gripps_engine.Fault in
+  let c = W.Config.make ~sites:3 ~databases:3 ~availability:0.6 ~density:1.0 ~horizon () in
+  let inst = W.Generator.instance (Gripps_rng.Splitmix.create 53) c in
+  let machines =
+    Gripps_model.Platform.num_machines (Gripps_model.Instance.platform inst)
+  in
+  let faults =
+    Fault.poisson
+      (Gripps_rng.Splitmix.create 11)
+      ~mtbf:(horizon /. 2.0) ~mttr:(horizon /. 10.0) ~machines ~until:horizon
+  in
+  let bench name ?faults ?loss s =
+    Test.make ~name
+      (Staged.stage (fun () -> ignore (Sim.run ~horizon:1e9 ?faults ?loss s inst)))
+  in
+  [ bench "faults:SWRPT-reliable" Gripps_sched.List_sched.swrpt;
+    bench "faults:SWRPT-crash" ~faults ~loss:Fault.Crash Gripps_sched.List_sched.swrpt;
+    bench "faults:SWRPT-pause" ~faults ~loss:Fault.Pause Gripps_sched.List_sched.swrpt;
+    bench "faults:Online-reliable" Gripps_core.Online_lp.online;
+    bench "faults:Online-crash" ~faults ~loss:Fault.Crash Gripps_core.Online_lp.online ]
+
 (* Ablations for the design choices called out in DESIGN.md:
    - exact rational vs floating-point solver pipeline;
    - virtual-machine aggregation on vs off;
@@ -244,4 +270,5 @@ let () =
   print_reproduction ();
   Printf.printf "=== bechamel timings ===\n%!";
   run_bechamel
-    (table_tests () @ figure_tests () @ scheduler_tests () @ ablation_tests ())
+    (table_tests () @ figure_tests () @ scheduler_tests () @ fault_tests ()
+     @ ablation_tests ())

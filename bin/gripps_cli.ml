@@ -5,7 +5,8 @@
      optimal   print the exact optimal max-stretch of a random instance
      table     regenerate one (or all) of the paper's Tables 1-16
      figure    regenerate Figure 3(a)/3(b)
-     overhead  regenerate the section 5.3 scheduling-overhead comparison *)
+     overhead  regenerate the section 5.3 scheduling-overhead comparison
+     faults    resilience sweep: degradation under machine failures *)
 
 open Cmdliner
 open Gripps_model
@@ -204,6 +205,50 @@ let overhead_cmd =
     (Cmd.info "overhead" ~doc:"Regenerate the section 5.3 scheduling-overhead study.")
     Term.(ret (const action $ seed_t $ instances_t 3 $ horizon_t 60.0))
 
+(* ---- faults ----------------------------------------------------------- *)
+
+let faults_cmd =
+  let mtbf_t =
+    Arg.(
+      value
+      & opt (list float) [ 3600.0; 900.0; 300.0 ]
+      & info [ "mtbf" ] ~docv:"S1,S2,..."
+          ~doc:"Per-machine mean-time-between-failures grid, seconds.")
+  in
+  let mttr_t =
+    Arg.(
+      value
+      & opt float 60.0
+      & info [ "mttr" ] ~docv:"SECONDS" ~doc:"Mean time to repair.")
+  in
+  let pause_t =
+    Arg.(
+      value & flag
+      & info [ "pause" ]
+          ~doc:
+            "Pause semantics: in-flight work survives an outage (default: \
+             crash, work since the last event is lost).")
+  in
+  let action seed sites databases availability density horizon instances mtbf_grid
+      mttr pause =
+    let c = config ~sites ~databases ~availability ~density ~horizon in
+    let loss = if pause then Fault.Pause else Fault.Crash in
+    let sweep =
+      E.Resilience.run ~loss ~mtbf_grid ~mttr ~seed ~instances c
+    in
+    print_string (E.Resilience.render sweep);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Resilience sweep: per-heuristic max-stretch degradation as the \
+          machine failure rate grows.")
+    Term.(
+      ret
+        (const action $ seed_t $ sites_t $ databases_t $ availability_t $ density_t
+         $ horizon_t 60.0 $ instances_t 3 $ mtbf_t $ mttr_t $ pause_t))
+
 (* ---- validate --------------------------------------------------------- *)
 
 let validate_cmd =
@@ -234,6 +279,7 @@ let main =
        ~doc:
          "Reproduction of 'Minimizing the stretch when scheduling flows of \
           biological requests' (Legrand, Su, Vivien).")
-    [ run_cmd; optimal_cmd; table_cmd; figure_cmd; overhead_cmd; validate_cmd ]
+    [ run_cmd; optimal_cmd; table_cmd; figure_cmd; overhead_cmd; faults_cmd;
+      validate_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -36,7 +36,12 @@ let bender98 =
             List.exists
               (fun e ->
                 match e with
-                | Sim.Arrival _ -> true
+                (* Failures and recoveries don't change the hindsight
+                   problem (it ignores work performed and machine state),
+                   but they do invalidate the deadline-driven priorities'
+                   assumptions, so recompute anyway — it is cheap relative
+                   to the arrival-driven recomputation. *)
+                | Sim.Arrival _ | Sim.Failure _ | Sim.Recovery _ -> true
                 | Sim.Completion _ | Sim.Boundary -> false)
               events
           then begin
@@ -46,15 +51,19 @@ let bender98 =
             let problem =
               (Snapshot.of_instance ~subset:(fun jid -> Sim.is_released st jid) inst).Snapshot.problem
             in
-            let s_star = Stretch_solver.optimal_max_stretch_float problem in
-            let alpha = sqrt (arrived_delta inst st) in
-            Hashtbl.reset deadlines;
-            List.iter
-              (fun jid ->
-                let j = Instance.job inst jid in
-                let d = j.Job.release +. (alpha *. s_star *. j.Job.size) in
-                Hashtbl.replace deadlines jid d)
-              (Sim.active_jobs st)
+            (* Guardrail: if the hindsight solve blows its budget, keep
+               the previous deadlines — the list scheduler still runs. *)
+            (match Stretch_solver.optimal_max_stretch_float problem with
+            | s_star ->
+              let alpha = sqrt (arrived_delta inst st) in
+              Hashtbl.reset deadlines;
+              List.iter
+                (fun jid ->
+                  let j = Instance.job inst jid in
+                  let d = j.Job.release +. (alpha *. s_star *. j.Job.size) in
+                  Hashtbl.replace deadlines jid d)
+                (Sim.active_jobs st)
+            | exception Stretch_solver.Budget_exhausted _ -> ())
           end;
           let order =
             Sim.active_jobs st

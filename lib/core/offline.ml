@@ -4,7 +4,19 @@ module Q = Gripps_numeric.Rat
 let optimal_max_stretch inst =
   Stretch_solver.optimal_max_stretch (Snapshot.of_instance inst).Snapshot.problem
 
-let make_scheduler name ~refine =
+(* Degradation chain for the clairvoyant solve: the exact rational
+   pipeline falls back to the float pipeline under the same budget, and
+   the float pipeline falls back to greedy list scheduling (an empty plan
+   makes [Plan_player.step] run its SWRPT mop-up). *)
+let solve_guarded ?(budget = Stretch_solver.default_budget) ~refine problem =
+  match Stretch_solver.solve ~budget ~refine problem with
+  | a -> Some a
+  | exception Stretch_solver.Budget_exhausted _ -> (
+    match Stretch_solver.solve_float ~budget ~refine problem with
+    | a -> Some a
+    | exception Stretch_solver.Budget_exhausted _ -> None)
+
+let make_scheduler ?budget name ~refine =
   { Sim.name;
     make =
       (fun inst ->
@@ -14,13 +26,16 @@ let make_scheduler name ~refine =
           if not !planned then begin
             planned := true;
             let snap = Snapshot.of_instance inst in
-            let a = Stretch_solver.solve ~refine snap.Snapshot.problem in
-            Plan_player.set_plan player
-              (Snapshot.expand_commitments snap
-                 (Realize.commitments a ~policy:Realize.Terminal_first
-                    ~sizes:(Snapshot.sizes_fn inst) ~speeds:snap.Snapshot.vspeed))
+            match solve_guarded ?budget ~refine snap.Snapshot.problem with
+            | Some a ->
+              Plan_player.set_plan player
+                (Snapshot.expand_commitments snap
+                   (Realize.commitments a ~policy:Realize.Terminal_first
+                      ~sizes:(Snapshot.sizes_fn inst) ~speeds:snap.Snapshot.vspeed))
+            | None -> Plan_player.set_plan player []
           end;
           Plan_player.step player st) }
 
 let scheduler = make_scheduler "Offline" ~refine:false
 let scheduler_refined = make_scheduler "Offline-Refined" ~refine:true
+let scheduler_budgeted budget = make_scheduler ~budget "Offline-Budgeted" ~refine:false

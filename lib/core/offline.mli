@@ -20,3 +20,9 @@ val scheduler : Sim.scheduler
 val scheduler_refined : Sim.scheduler
 (** Variant realizing the System (2) refinement instead (an upper bound on
     what the on-line heuristics can hope for on the sum-stretch side). *)
+
+val scheduler_budgeted : Stretch_solver.budget -> Sim.scheduler
+(** [Offline] with a solver guardrail: the exact pipeline falls back to
+    the float pipeline when the budget is blown, and the float pipeline
+    falls back to greedy SWRPT list scheduling — the run always completes,
+    only the quality degrades. *)

@@ -1,32 +1,54 @@
 open Gripps_engine
 open Gripps_sched
 
-let has_arrival events =
+(* Arrivals change the pending-work problem; so do machine failures and
+   recoveries (the snapshot excludes down machines, so the LP must be
+   re-solved on either edge).  Completions and boundaries never do. *)
+let needs_replan events =
   List.exists
-    (fun e -> match e with Sim.Arrival _ -> true | Sim.Completion _ | Sim.Boundary -> false)
+    (fun e ->
+      match e with
+      | Sim.Arrival _ | Sim.Failure _ | Sim.Recovery _ -> true
+      | Sim.Completion _ | Sim.Boundary -> false)
     events
 
 (* The on-line heuristics run in doubles (as the paper's implementation
-   did): only the clairvoyant Offline optimum needs exact arithmetic. *)
-let solve_state st ~refine =
+   did): only the clairvoyant Offline optimum needs exact arithmetic.
+
+   Returns [None] when no plan can be computed right now: either every
+   machine is down (the caller idles until a recovery triggers the next
+   replan) or the solver blew its budget (the caller degrades to greedy
+   SWRPT list scheduling — the plan player's own fallback). *)
+let solve_state ?budget st ~refine =
   let snap = Snapshot.of_state st in
-  let floor = Gripps_numeric.Rat.to_float (Snapshot.stretch_floor st) in
-  (snap, Stretch_solver.solve_float ~floor ~refine snap.Snapshot.problem)
+  if snap.Snapshot.problem.Stretch_solver.machines = [] then None
+  else begin
+    let floor = Gripps_numeric.Rat.to_float (Snapshot.stretch_floor st) in
+    match Stretch_solver.solve_float ?budget ~floor ~refine snap.Snapshot.problem with
+    | a -> Some (snap, a)
+    | exception Stretch_solver.Budget_exhausted _ -> None
+  end
 
 (* Online and Online-EDF: solve + realize into commitments, replayed by a
-   plan player until the next arrival. *)
-let playback_scheduler name ~policy ~refine =
+   plan player until the next arrival, failure or recovery. *)
+let playback_scheduler ?budget name ~policy ~refine =
   { Sim.name;
     make =
       (fun inst ->
         let player = Plan_player.create () in
         let sizes = Snapshot.sizes_fn inst in
         fun st events ->
-          if has_arrival events then begin
-            let snap, a = solve_state st ~refine in
-            Plan_player.set_plan player
-              (Snapshot.expand_commitments snap
-                 (Realize.commitments a ~policy ~sizes ~speeds:snap.Snapshot.vspeed))
+          if needs_replan events then begin
+            match solve_state ?budget st ~refine with
+            | Some (snap, a) ->
+              Plan_player.set_plan player
+                (Snapshot.expand_commitments snap
+                   (Realize.commitments a ~policy ~sizes ~speeds:snap.Snapshot.vspeed))
+            | None ->
+              (* Degraded mode: an empty plan makes [Plan_player.step]
+                 fall through to its SWRPT mop-up (or to idling when
+                 every machine is down). *)
+              Plan_player.set_plan player []
           end;
           Plan_player.step player st) }
 
@@ -39,6 +61,10 @@ let online_edf =
 let online_non_optimized =
   playback_scheduler "Online-NonOpt" ~policy:Realize.Terminal_first ~refine:false
 
+let online_budgeted budget =
+  playback_scheduler ~budget "Online-Budgeted" ~policy:Realize.Terminal_first
+    ~refine:true
+
 (* Online-EGDF: keep only the global completion-interval order and run the
    greedy distribution rule at every event. *)
 let online_egdf =
@@ -48,13 +74,15 @@ let online_egdf =
         let sizes = Snapshot.sizes_fn inst in
         let order = ref [] in
         fun st events ->
-          if has_arrival events then begin
-            let _snap, a = solve_state st ~refine:true in
-            order := Realize.completion_order a ~sizes
+          if needs_replan events then begin
+            match solve_state st ~refine:true with
+            | Some (_snap, a) -> order := Realize.completion_order a ~sizes
+            | None -> order := []
           end;
           let alive = List.filter (fun j -> not (Sim.is_completed st j)) !order in
-          (* Safety: any active job missing from the order (cannot happen
-             for solver output, but cheap to guarantee) goes last. *)
+          (* Safety: any active job missing from the order (possible after
+             a degraded replan, guaranteed absent for solver output) goes
+             last. *)
           let missing =
             List.filter (fun j -> not (List.mem j alive)) (Sim.active_jobs st)
           in

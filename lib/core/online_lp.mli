@@ -19,7 +19,13 @@
 
     [online_non_optimized] stops after step 2 and realizes the raw
     feasibility witness instead of the System (2) optimum — the baseline
-    of the Figure 3 comparison. *)
+    of the Figure 3 comparison.
+
+    {b Fault tolerance.}  All heuristics replan on machine failures and
+    recoveries as well as on arrivals.  When every machine is down they
+    idle until the next recovery; when the solver blows its iteration/time
+    budget they degrade to greedy SWRPT list scheduling for the rest of
+    the inter-event period (service degrades, the run completes). *)
 
 open Gripps_engine
 
@@ -27,3 +33,8 @@ val online : Sim.scheduler
 val online_edf : Sim.scheduler
 val online_egdf : Sim.scheduler
 val online_non_optimized : Sim.scheduler
+
+val online_budgeted : Stretch_solver.budget -> Sim.scheduler
+(** [Online] with an explicit solver budget instead of
+    {!Stretch_solver.default_budget}; exercises the degradation path
+    (with [max_iters = 0] it behaves exactly like SWRPT). *)

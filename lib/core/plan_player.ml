@@ -32,7 +32,9 @@ let step t st =
       List.iter
         (fun (c : Realize.commitment) ->
           if c.start_ <= now +. time_eps then begin
-            if not (Sim.is_completed st c.job) then
+            (* Down machines keep their commitments (work resumes if they
+               recover mid-window) but must not appear in the allocation. *)
+            if (not (Sim.is_completed st c.job)) && Sim.machine_up st m then
               allocation := (m, [ (c.job, 1.0) ]) :: !allocation;
             if c.stop < !next_edge then next_edge := c.stop
           end

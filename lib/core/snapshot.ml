@@ -9,16 +9,20 @@ type t = {
 }
 
 (* Group machines by identical databank-hosting vectors.  The virtual
-   machine inherits the smallest member id (stable, deterministic). *)
-let aggregate platform =
+   machine inherits the smallest member id (stable, deterministic).
+   [include_] filters the machines considered at all — the on-line path
+   uses it to exclude machines that are currently down. *)
+let aggregate ?(include_ = fun (_ : Machine.t) -> true) platform =
   let groups = Hashtbl.create 16 in
   Array.iter
     (fun (m : Machine.t) ->
-      let key = Array.to_list m.databanks in
-      let speed, ids =
-        Option.value ~default:(0.0, []) (Hashtbl.find_opt groups key)
-      in
-      Hashtbl.replace groups key (speed +. m.speed, m.id :: ids))
+      if include_ m then begin
+        let key = Array.to_list m.databanks in
+        let speed, ids =
+          Option.value ~default:(0.0, []) (Hashtbl.find_opt groups key)
+        in
+        Hashtbl.replace groups key (speed +. m.speed, m.id :: ids)
+      end)
     (Platform.machines platform);
   let specs = ref [] and members_tbl = Hashtbl.create 16 in
   Hashtbl.iter
@@ -49,16 +53,23 @@ let job_spec vhosts (j : Job.t) ~remaining =
     remaining;
     machines = vhosts j.databank }
 
-let make_snapshot platform ~now ~jobs =
-  let specs, members_tbl, vhosts = aggregate platform in
+let make_snapshot ?include_ platform ~now ~jobs =
+  let specs, members_tbl, vhosts = aggregate ?include_ platform in
   let speed_tbl = Hashtbl.create 16 in
   List.iter
     (fun (s : Stretch_solver.machine_spec) -> Hashtbl.replace speed_tbl s.mid s.speed)
     specs;
-  { problem =
-      { Stretch_solver.now;
-        jobs = List.map (fun (j, rem) -> job_spec vhosts j ~remaining:rem) jobs;
-        machines = specs };
+  (* A job whose every capable machine is excluded (all down) cannot be
+     planned now; it is dropped from the problem and waits for a
+     Recovery-triggered replan. *)
+  let jobs =
+    List.filter_map
+      (fun (j, rem) ->
+        let spec = job_spec vhosts j ~remaining:rem in
+        if spec.Stretch_solver.machines = [] then None else Some spec)
+      jobs
+  in
+  { problem = { Stretch_solver.now; jobs; machines = specs };
     members = (fun vid -> Hashtbl.find members_tbl vid);
     vspeed = (fun vid -> Hashtbl.find speed_tbl vid) }
 
@@ -71,6 +82,7 @@ let of_state st =
            (Instance.job inst jid, Q.of_float (Sim.remaining st jid)))
   in
   make_snapshot platform ~now:(Q.of_float (Sim.now st)) ~jobs
+    ~include_:(fun (m : Machine.t) -> Sim.machine_up st m.Machine.id)
 
 let stretch_floor st =
   let inst = Sim.instance st in

@@ -28,7 +28,12 @@ type t = {
 val of_state : Sim.state -> t
 (** The pending-work problem at the current simulation date: active jobs
     with their remaining work, original release dates and sizes (so
-    deadlines keep their on-line meaning). *)
+    deadlines keep their on-line meaning).  Machines that are currently
+    down ({!Sim.machine_up}) are excluded from the problem; a job whose
+    every capable machine is down is dropped entirely (it waits,
+    unplanned, until a recovery triggers the next replan).  When every
+    machine is down the problem has no machines — callers must treat that
+    as "idle until recovery" rather than invoke the solver. *)
 
 val stretch_floor : Sim.state -> Q.t
 (** Largest stretch already realized by a completed job: no schedule of

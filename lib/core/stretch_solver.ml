@@ -30,6 +30,32 @@ type assignment = {
    sorting by (value at F, slope) yields the order valid on [F, F + ε),
    which is exactly what the Newton iteration needs when starting from a
    milestone. *)
+(* ------------------------------------------------------------------ *)
+(* Guardrail budgets.  Both solver pipelines iterate (milestone probes, *)
+(* Newton steps, bisection): a budget caps the number of iterations and *)
+(* the wall time so a pathological instance degrades service (callers   *)
+(* fall back to a cheaper pipeline) instead of hanging the run.         *)
+(* ------------------------------------------------------------------ *)
+
+type budget = { max_iters : int; max_seconds : float }
+
+let default_budget = { max_iters = 100_000; max_seconds = infinity }
+
+exception Budget_exhausted of { stage : string; iters : int; elapsed : float }
+
+(* A ticker counts one solver iteration (feasibility probe or Newton
+   step) per call and raises once the budget is blown. *)
+let make_ticker budget stage =
+  let count = ref 0 and t0 = Sys.time () in
+  fun () ->
+    incr count;
+    if
+      !count > budget.max_iters
+      || (budget.max_seconds < infinity && Sys.time () -. t0 > budget.max_seconds)
+    then
+      raise
+        (Budget_exhausted { stage; iters = !count; elapsed = Sys.time () -. t0 })
+
 type point = { a : Q.t; b : Q.t }
 
 let point_value p ~f = Q.add p.a (Q.mul p.b f)
@@ -325,11 +351,9 @@ type newton_outcome =
   | Converged of Q.t * built
   | Exceeded
 
-let newton_bounded n ~f:f0 ~hi =
-  let max_iters = 100_000 in
+let newton_bounded ~tick n ~f:f0 ~hi =
   let rec go f iter =
-    if iter > max_iters then
-      failwith "Stretch_solver: parametric search failed to converge";
+    tick ();
     let b, flow = max_flow_at n ~f in
     if B.equal flow b.total_scaled then
       if iter = 0 then Feasible_at_start b else Converged (f, b)
@@ -364,7 +388,7 @@ let newton_bounded n ~f:f0 ~hi =
 (* Full search: float-guided milestone bracket, certified and refined by
    the exact Newton iteration.  Returns the optimum and the solved flow
    network at the optimum. *)
-let find_optimum ?(floor = Q.zero) n =
+let find_optimum ?(floor = Q.zero) ~tick n =
   (* Smallest F at which every pending deadline is >= now. *)
   let f_base =
     Array.fold_left
@@ -376,9 +400,11 @@ let find_optimum ?(floor = Q.zero) n =
   (* Locate the first feasible milestone with the float fast path; the
      exact loop below repairs any misjudgment. *)
   let lo = ref 0 and hi = ref len in
+  tick ();
   if not (feasible_float n ~f:(Q.to_float f_base)) then begin
     while !lo < !hi do
       let mid = (!lo + !hi) / 2 in
+      tick ();
       if feasible_float n ~f:(Q.to_float ms.(mid)) then hi := mid else lo := mid + 1
     done
   end;
@@ -386,7 +412,7 @@ let find_optimum ?(floor = Q.zero) n =
     if i > len then failwith "Stretch_solver: no feasible stretch";
     let start = if i = 0 then f_base else ms.(i - 1) in
     let bound = if i < len then Some ms.(i) else None in
-    match newton_bounded n ~f:start ~hi:bound with
+    match newton_bounded ~tick n ~f:start ~hi:bound with
     | Converged (f, b) -> (f, b)
     | Feasible_at_start b ->
       if i = 0 then (f_base, b) else attempt (i - 1)
@@ -394,9 +420,10 @@ let find_optimum ?(floor = Q.zero) n =
   in
   attempt !lo
 
-let optimal_max_stretch ?(floor = Q.zero) p =
+let optimal_max_stretch ?(budget = default_budget) ?(floor = Q.zero) p =
   let n = normalize p in
-  if Array.length n.jobs = 0 then floor else fst (find_optimum ~floor n)
+  if Array.length n.jobs = 0 then floor
+  else fst (find_optimum ~floor ~tick:(make_ticker budget "exact") n)
 
 let feasible p ~stretch =
   let n = normalize p in
@@ -405,13 +432,13 @@ let feasible p ~stretch =
     n.jobs
   && feasible_norm n ~f:stretch
 
-let solve ?(floor = Q.zero) ?(refine = false) p =
+let solve ?(budget = default_budget) ?(floor = Q.zero) ?(refine = false) p =
   let n = normalize p in
   if Array.length n.jobs = 0 then { s_star = floor; intervals = [||]; work = [] }
   else begin
     (* find_optimum hands back the flow network already solved at the
        optimum, saving one max-flow in the unrefined path. *)
-    let s_star, b = find_optimum ~floor n in
+    let s_star, b = find_optimum ~floor ~tick:(make_ticker budget "exact") n in
     let intervals =
       Array.map
         (fun (lo, hi) ->
@@ -608,7 +635,7 @@ let fmilestones fn =
   done;
   List.sort_uniq Float.compare !cands
 
-let optimal_float ?(floor = 0.0) fn =
+let optimal_float ?(floor = 0.0) ~tick fn =
   if Array.length fn.frem = 0 then floor
   else begin
     let f_base =
@@ -616,6 +643,7 @@ let optimal_float ?(floor = 0.0) fn =
       |> List.mapi (fun ji r -> (fn.fnow -. r) /. fn.fsize.(ji))
       |> List.fold_left Float.max floor
     in
+    tick ();
     if ffeasible fn ~f:f_base then f_base
     else begin
       let ms = Array.of_list (List.filter (fun m -> m > f_base) (fmilestones fn)) in
@@ -623,6 +651,7 @@ let optimal_float ?(floor = 0.0) fn =
       let lo = ref 0 and hi = ref len in
       while !lo < !hi do
         let mid = (!lo + !hi) / 2 in
+        tick ();
         if ffeasible fn ~f:ms.(mid) then hi := mid else lo := mid + 1
       done;
       let f_lo = ref (if !lo = 0 then f_base else ms.(!lo - 1)) in
@@ -630,9 +659,11 @@ let optimal_float ?(floor = 0.0) fn =
         ref
           (if !lo < len then ms.(!lo)
            else begin
-             (* No feasible milestone: grow geometrically until feasible. *)
+             (* No feasible milestone: grow geometrically until feasible.
+                The tick also bounds this loop, which could otherwise spin
+                forever on a degenerate problem. *)
              let h = ref (Float.max 1e-9 (2.0 *. Float.max f_base 1e-9)) in
-             while not (ffeasible fn ~f:!h) do h := !h *. 2.0 done;
+             while (tick (); not (ffeasible fn ~f:!h)) do h := !h *. 2.0 done;
              !h
            end)
       in
@@ -640,6 +671,7 @@ let optimal_float ?(floor = 0.0) fn =
       for _ = 1 to 60 do
         let mid = 0.5 *. (!f_lo +. !f_hi) in
         if mid > !f_lo && mid < !f_hi then begin
+          tick ();
           if ffeasible fn ~f:mid then f_hi := mid else f_lo := mid
         end
       done;
@@ -647,18 +679,18 @@ let optimal_float ?(floor = 0.0) fn =
     end
   end
 
-let optimal_max_stretch_float ?floor p =
+let optimal_max_stretch_float ?(budget = default_budget) ?floor p =
   let n = normalize p in
-  optimal_float ?floor (fnormalize n)
+  optimal_float ?floor ~tick:(make_ticker budget "float") (fnormalize n)
 
-let solve_float ?(floor = 0.0) ?(refine = false) p =
+let solve_float ?(budget = default_budget) ?(floor = 0.0) ?(refine = false) p =
   let n = normalize p in
   let fn = fnormalize n in
   let njobs = Array.length fn.frem in
   if njobs = 0 then
     { s_star = Q.of_float floor; intervals = [||]; work = [] }
   else begin
-    let s_star = optimal_float ~floor fn in
+    let s_star = optimal_float ~floor ~tick:(make_ticker budget "float") fn in
     let nmach = Array.length fn.fspeed in
     let work =
       if not refine then begin

@@ -52,14 +52,36 @@ type assignment = {
       (** [(jid, interval index, machine id, work)] with positive work *)
 }
 
-val optimal_max_stretch : ?floor:Q.t -> problem -> Q.t
+(** {1 Guardrail budgets}
+
+    Both pipelines iterate (milestone feasibility probes, Newton steps,
+    bisection).  A budget caps the iteration count and the wall time so a
+    pathological instance degrades service instead of hanging the run:
+    callers catch {!Budget_exhausted} and fall back to a cheaper pipeline
+    (exact → float → greedy list scheduling). *)
+
+type budget = {
+  max_iters : int;      (** max feasibility probes / Newton steps *)
+  max_seconds : float;  (** wall-clock cap; [infinity] disables it *)
+}
+
+val default_budget : budget
+(** [{ max_iters = 100_000; max_seconds = infinity }] — generous enough
+    that well-posed instances never hit it. *)
+
+exception Budget_exhausted of { stage : string; iters : int; elapsed : float }
+(** Raised by the solving entry points when their [?budget] is blown.
+    [stage] is ["exact"] or ["float"]. *)
+
+val optimal_max_stretch : ?budget:budget -> ?floor:Q.t -> problem -> Q.t
 (** Smallest [F >= floor] (default floor 0) such that every pending job
     can meet [d̄_j(F)].  @raise Invalid_argument on malformed problems
     (negative remaining work, job with no machine, non-positive size or
     speed, release after [now] is allowed — the job is simply not
-    schedulable before its release). *)
+    schedulable before its release).
+    @raise Budget_exhausted when the budget is blown. *)
 
-val solve : ?floor:Q.t -> ?refine:bool -> problem -> assignment
+val solve : ?budget:budget -> ?floor:Q.t -> ?refine:bool -> problem -> assignment
 (** Like {!optimal_max_stretch} but also returns a witness schedule
     skeleton.  With [refine = true] (default [false]) the witness is the
     System (2) optimum: among all schedules achieving [s_star], it
@@ -80,11 +102,11 @@ val feasible : problem -> stretch:Q.t -> bool
     solvers — and are 1–2 orders of magnitude faster; the on-line
     schedulers use them. *)
 
-val optimal_max_stretch_float : ?floor:float -> problem -> float
+val optimal_max_stretch_float : ?budget:budget -> ?floor:float -> problem -> float
 (** Approximate optimum (feasible side of a 1e-12-wide bisection
     bracket). *)
 
-val solve_float : ?floor:float -> ?refine:bool -> problem -> assignment
+val solve_float : ?budget:budget -> ?floor:float -> ?refine:bool -> problem -> assignment
 (** Like {!solve} but computed in doubles; the returned rationals are
     exact images of the float computation.  Tiny (≤1e-9 relative)
     shortfalls of work may remain in the witness; the simulator's plan

@@ -2,7 +2,12 @@ open Gripps_model
 
 type allocation = (int * (int * float) list) list
 
-type event = Arrival of int | Completion of int | Boundary
+type event =
+  | Arrival of int
+  | Completion of int
+  | Boundary
+  | Failure of int
+  | Recovery of int
 
 type state = {
   inst : Instance.t;
@@ -10,6 +15,8 @@ type state = {
   remaining : float array;
   released : bool array;
   completed : float option array;
+  up : bool array;
+  lost : float array;
 }
 
 let instance st = st.inst
@@ -21,6 +28,12 @@ let is_completed st j = Option.is_some st.completed.(j)
 let remaining st j =
   if not st.released.(j) then invalid_arg "Sim.remaining: job not released";
   st.remaining.(j)
+
+let machine_up st m =
+  if m < 0 || m >= Array.length st.up then invalid_arg "Sim.machine_up: bad machine";
+  st.up.(m)
+
+let lost_work st j = st.lost.(j)
 
 let active_jobs st =
   let acc = ref [] in
@@ -44,6 +57,15 @@ let stateless name f = { name; make = (fun _inst -> f) }
 
 exception Stalled of { time : float; pending : int list }
 
+exception
+  Horizon_exceeded of {
+    scheduler : string;
+    time : float;
+    guard : float;
+    pending : int list;
+    last_event : event option;
+  }
+
 let share_eps = 1e-9
 
 (* Check the scheduler's allocation against the model invariants and
@@ -56,6 +78,8 @@ let check_allocation st name (alloc : allocation) =
     (fun (mid, shares) ->
       if mid < 0 || mid >= Platform.num_machines platform then
         invalid_arg (name ^ ": allocation references unknown machine");
+      if not st.up.(mid) then
+        invalid_arg (name ^ ": allocation references down machine");
       let m = Platform.machine platform mid in
       let total = List.fold_left (fun s (_, share) -> s +. share) 0.0 shares in
       if total > 1.0 +. share_eps then
@@ -76,12 +100,25 @@ let check_allocation st name (alloc : allocation) =
     alloc;
   rates
 
-let run ?horizon scheduler inst =
+type report = { schedule : Schedule.t; lost : float array }
+
+let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
   let nj = Instance.num_jobs inst in
+  let platform = Instance.platform inst in
+  let nm = Platform.num_machines platform in
   let st =
     { inst; now = 0.0; remaining = Array.map (fun (j : Job.t) -> j.size) (Instance.jobs inst);
-      released = Array.make nj false; completed = Array.make nj None }
+      released = Array.make nj false; completed = Array.make nj None;
+      up = Array.make nm true; lost = Array.make nj 0.0 }
   in
+  (* The effective fault trace: explicit edges merged with the platform's
+     static downtime intervals. *)
+  let trace = ref (Fault.merge faults (Fault.of_platform platform)) in
+  List.iter
+    (fun (e : Fault.edge) ->
+      if e.machine >= nm then
+        invalid_arg (scheduler.name ^ ": fault trace references unknown machine"))
+    !trace;
   (* Residual work below the float resolution of the whole instance is
      physically negligible (sub-microsecond of compute); treating it as
      done prevents plans computed with 1e-9-relative tolerances from
@@ -90,6 +127,7 @@ let run ?horizon scheduler inst =
   let callback = scheduler.make inst in
   let segments = ref [] in
   let next_arrival = ref 0 in
+  let last_event = ref None in
   (* Gather every job released at exactly the same date. *)
   let pop_arrivals t =
     let evs = ref [] in
@@ -102,19 +140,43 @@ let run ?horizon scheduler inst =
     done;
     List.rev !evs
   in
+  (* Apply every availability edge due at [t], emitting Failure/Recovery
+     for real state flips (duplicate edges are silently absorbed). *)
+  let pop_faults t =
+    let evs = ref [] in
+    let continue_ = ref true in
+    while !continue_ do
+      match !trace with
+      | e :: rest when e.Fault.time <= t +. 1e-12 ->
+        trace := rest;
+        if e.Fault.up <> st.up.(e.Fault.machine) then begin
+          st.up.(e.Fault.machine) <- e.Fault.up;
+          evs :=
+            (if e.Fault.up then Recovery e.Fault.machine else Failure e.Fault.machine)
+            :: !evs
+        end
+      | _ :: _ | [] -> continue_ := false
+    done;
+    List.rev !evs
+  in
   let finished () = Array.for_all Option.is_some st.completed in
   let plan = ref idle in
-  (* Kick off: jump to the first release date. *)
+  (* Kick off: jump to the first release date, applying any availability
+     edge that predates it. *)
   if nj > 0 then begin
     st.now <- (Instance.job inst 0).Job.release;
-    let evs = pop_arrivals st.now in
+    let fault_evs = pop_faults st.now in
+    let evs = pop_arrivals st.now @ fault_evs in
+    (match List.rev evs with e :: _ -> last_event := Some e | [] -> ());
     plan := callback st evs
   end;
   while not (finished ()) do
     (match horizon with
      | Some h when st.now > h ->
-       failwith
-         (Printf.sprintf "%s: simulation passed the %g s guard" scheduler.name h)
+       raise
+         (Horizon_exceeded
+            { scheduler = scheduler.name; time = st.now; guard = h;
+              pending = active_jobs st; last_event = !last_event })
      | Some _ | None -> ());
     let rates = check_allocation st scheduler.name !plan.allocation in
     (* Earliest completion under the current rates. *)
@@ -129,33 +191,77 @@ let run ?horizon scheduler inst =
       if !next_arrival < nj then (Instance.job inst !next_arrival).Job.release
       else infinity
     in
+    let fault_t = match !trace with e :: _ -> e.Fault.time | [] -> infinity in
     let horizon_t = match !plan.horizon with Some h -> h | None -> infinity in
     (match !plan.horizon with
      | Some h when h <= st.now +. 1e-12 ->
        invalid_arg (scheduler.name ^ ": plan horizon not in the future")
      | Some _ | None -> ());
-    let t_next = Float.min !next_completion (Float.min arrival_t horizon_t) in
+    let t_next =
+      Float.min !next_completion (Float.min arrival_t (Float.min horizon_t fault_t))
+    in
     if t_next = infinity then
       raise (Stalled { time = st.now; pending = active_jobs st });
-    (* Advance work and record the segment. *)
     let dt = t_next -. st.now in
-    if dt > 0.0 && !plan.allocation <> [] then
+    (* Machines dying at [t_next] under crash semantics lose the whole
+       segment's work: it is re-added to the jobs' remaining work and the
+       segment records no delivery from those machines. *)
+    let crashing = Array.make nm false in
+    let any_crash = ref false in
+    if loss = Fault.Crash then begin
+      let rec scan = function
+        | (e : Fault.edge) :: rest when e.Fault.time <= t_next +. 1e-12 ->
+          if (not e.Fault.up) && st.up.(e.Fault.machine) then begin
+            crashing.(e.Fault.machine) <- true;
+            any_crash := true
+          end;
+          scan rest
+        | _ :: _ | [] -> ()
+      in
+      scan !trace
+    end;
+    let lost_rates = Array.make nj 0.0 in
+    if !any_crash then
+      List.iter
+        (fun (mid, shares) ->
+          if crashing.(mid) then begin
+            let speed = (Platform.machine platform mid).Machine.speed in
+            List.iter
+              (fun (jid, share) ->
+                lost_rates.(jid) <- lost_rates.(jid) +. (share *. speed))
+              shares
+          end)
+        !plan.allocation;
+    (* Advance work and record the segment (crashed machines deliver
+       nothing, so their shares are dropped from the record). *)
+    let delivered =
+      if !any_crash then List.filter (fun (mid, _) -> not crashing.(mid)) !plan.allocation
+      else !plan.allocation
+    in
+    if dt > 0.0 && delivered <> [] then
       segments :=
-        { Schedule.start_time = st.now; end_time = t_next;
-          shares = !plan.allocation }
+        { Schedule.start_time = st.now; end_time = t_next; shares = delivered }
         :: !segments;
     let eps_t = 1e-9 *. Float.max 1.0 (abs_float t_next) in
     let completions = ref [] in
     for j = 0 to nj - 1 do
       if st.released.(j) && not (is_completed st j) then begin
         if rates.(j) > 0.0 then begin
-          let t_fin = st.now +. (st.remaining.(j) /. rates.(j)) in
-          if t_fin <= t_next +. eps_t then begin
-            st.remaining.(j) <- 0.0;
-            st.completed.(j) <- Some t_fin;
-            completions := Completion j :: !completions
+          if lost_rates.(j) > 0.0 then begin
+            (* Part of this job's rate evaporates with the crash: only the
+               surviving machines' work counts. *)
+            st.remaining.(j) <- st.remaining.(j) -. ((rates.(j) -. lost_rates.(j)) *. dt);
+            st.lost.(j) <- st.lost.(j) +. (lost_rates.(j) *. dt)
           end
-          else st.remaining.(j) <- st.remaining.(j) -. (rates.(j) *. dt)
+          else begin
+            let t_fin = st.now +. (st.remaining.(j) /. rates.(j)) in
+            if t_fin <= t_next +. eps_t then begin
+              st.remaining.(j) <- 0.0;
+              st.completed.(j) <- Some t_fin;
+              completions := Completion j :: !completions
+            end
+            else st.remaining.(j) <- st.remaining.(j) -. (rates.(j) *. dt)
+          end
         end;
         (* A rounding sliver left by a float-computed plan counts as
            done — otherwise it would complete only when the scheduler
@@ -173,11 +279,18 @@ let run ?horizon scheduler inst =
     done;
     st.now <- t_next;
     let arrivals = pop_arrivals t_next in
+    let fault_evs = pop_faults t_next in
     let boundary =
       if horizon_t <= t_next +. eps_t && not (finished ()) then [ Boundary ] else []
     in
-    let events = arrivals @ List.rev !completions @ boundary in
+    let events = arrivals @ List.rev !completions @ fault_evs @ boundary in
+    (match List.rev events with e :: _ -> last_event := Some e | [] -> ());
     if not (finished ()) then plan := callback st events
   done;
-  Schedule.make ~instance:inst ~segments:(List.rev !segments)
-    ~completion:(Array.copy st.completed)
+  { schedule =
+      Schedule.make ~instance:inst ~segments:(List.rev !segments)
+        ~completion:(Array.copy st.completed);
+    lost = Array.copy st.lost }
+
+let run ?horizon ?faults ?loss scheduler inst =
+  (run_report ?horizon ?faults ?loss scheduler inst).schedule

@@ -4,14 +4,22 @@
     exact fluid semantics: between two events every machine splits its
     time between jobs in fixed shares, and a job's processing rate is the
     sum of [share × speed] over machines.  The engine advances from event
-    to event (arrival, completion, plan boundary), asking the scheduler
-    for a fresh plan at each one, and records the realized
-    {!Gripps_model.Schedule.t}.
+    to event (arrival, completion, plan boundary, machine failure/repair),
+    asking the scheduler for a fresh plan at each one, and records the
+    realized {!Gripps_model.Schedule.t}.
 
     Schedulers are on-line: the callback only ever sees jobs released so
     far (enforced by construction — unreleased jobs have no remaining-work
     entry observable through {!active_jobs}) and the decisions it returns
-    cannot be retracted for elapsed time. *)
+    cannot be retracted for elapsed time.
+
+    {b Faults.}  A {!Fault.trace} (explicit, or encoded as platform
+    downtime intervals) makes machines fail and recover mid-run.  The
+    scheduler is re-invoked with {!Failure}/{!Recovery} events exactly as
+    it is on arrivals, allocations on down machines are rejected, and the
+    {!Fault.loss} semantics decides whether in-flight work on a dying
+    machine survives ([Pause]) or is re-added to the job's remaining work
+    ([Crash]). *)
 
 open Gripps_model
 
@@ -24,6 +32,8 @@ type event =
   | Arrival of int     (** job id just released *)
   | Completion of int  (** job id just finished *)
   | Boundary           (** the previous plan's horizon was reached *)
+  | Failure of int     (** machine id just went down *)
+  | Recovery of int    (** machine id just came back up *)
 
 type state
 
@@ -37,14 +47,23 @@ val remaining : state -> int -> float
 val is_released : state -> int -> bool
 val is_completed : state -> int -> bool
 
+val machine_up : state -> int -> bool
+(** Is the machine currently available?  Schedulers must not allocate work
+    on a down machine.  @raise Invalid_argument on a bad machine id. *)
+
+val lost_work : state -> int -> float
+(** Mflop of the job's work destroyed so far by crash-semantics failures
+    (always 0 under [Pause]). *)
+
 val active_jobs : state -> int list
 (** Released, not yet completed; increasing id (= release order). *)
 
 val completion_time : state -> int -> float option
 
 (** A plan: the allocation to apply from [now] on, valid until the next
-    arrival/completion or until [horizon] (if any), whichever comes
-    first.  [horizon], when given, must be strictly later than [now]. *)
+    arrival/completion/failure/recovery or until [horizon] (if any),
+    whichever comes first.  [horizon], when given, must be strictly later
+    than [now]. *)
 type plan = { allocation : allocation; horizon : float option }
 
 val idle : plan
@@ -62,13 +81,51 @@ val stateless : string -> (state -> event list -> plan) -> scheduler
 
 exception Stalled of { time : float; pending : int list }
 (** Raised when the scheduler leaves pending work unallocated with no
-    future event to wake it up. *)
+    future event (arrival, plan boundary, or machine repair) to wake it
+    up. *)
 
-val run : ?horizon:float -> scheduler -> Instance.t -> Schedule.t
+exception
+  Horizon_exceeded of {
+    scheduler : string;
+    time : float;            (** simulation date when the guard fired *)
+    guard : float;           (** the [?horizon] value *)
+    pending : int list;      (** jobs still unfinished *)
+    last_event : event option;  (** last event dispatched to the scheduler *)
+  }
+(** Raised when the simulation advances past the [?horizon] abort guard —
+    the diagnostic payload identifies where and on whose watch the run was
+    dragged out. *)
+
+type report = {
+  schedule : Schedule.t;
+  lost : float array;  (** per-job Mflop destroyed by crashes *)
+}
+
+val run_report :
+  ?horizon:float ->
+  ?faults:Fault.trace ->
+  ?loss:Fault.loss ->
+  scheduler ->
+  Instance.t ->
+  report
 (** Simulates to completion of all jobs.
     @param horizon abort guard: simulating past this date raises
-    [Failure] (default: no guard).
+    {!Horizon_exceeded} (default: no guard).
+    @param faults availability edges injected during the run (default
+    none), merged with the platform's static downtime intervals.
+    @param loss what happens to in-flight work when a machine dies
+    (default [Crash]).
     @raise Stalled see above.
     @raise Invalid_argument when the scheduler returns an invalid
-    allocation (oversubscribed machine, job without its databank,
-    unreleased or completed job, non-positive share, stale horizon). *)
+    allocation (oversubscribed machine, down machine, job without its
+    databank, unreleased or completed job, non-positive share, stale
+    horizon), or when the fault trace references an unknown machine. *)
+
+val run :
+  ?horizon:float ->
+  ?faults:Fault.trace ->
+  ?loss:Fault.loss ->
+  scheduler ->
+  Instance.t ->
+  Schedule.t
+(** {!run_report} without the fault diagnostics. *)

@@ -1,0 +1,164 @@
+open Gripps_model
+open Gripps_engine
+open Gripps_core
+open Gripps_sched
+module W = Gripps_workload
+
+(* Default heuristic panel for the resilience sweep: the cheap list
+   schedulers, the greedy baselines, and the LP-driven Online variants
+   (which exercise the replan-on-failure path).  Offline and Bender98 are
+   left out by default — their cost is the subject of the overhead study,
+   not this one — but callers may pass any panel. *)
+let default_panel =
+  [ Online_lp.online; Online_lp.online_egdf; List_sched.swrpt; List_sched.srpt;
+    Greedy.mct_div; Greedy.mct ]
+
+type cell = {
+  scheduler : string;
+  mtbf : float;  (* [infinity] marks the fault-free baseline *)
+  mean_max_stretch : float;
+  mean_sum_stretch : float;
+  mean_lost : float;
+  degradation : float;
+}
+
+type sweep = {
+  config : W.Config.t;
+  loss : Fault.loss;
+  mttr : float;
+  mtbf_grid : float list;
+  instances : int;
+  cells : cell list;
+}
+
+let total_lost (r : Sim.report) = Array.fold_left ( +. ) 0.0 r.Sim.lost
+
+let run ?(schedulers = default_panel) ?(loss = Fault.Crash)
+    ?(mtbf_grid = [ 3600.0; 900.0; 300.0 ]) ?(mttr = 60.0) ~seed ~instances
+    config =
+  if instances <= 0 then invalid_arg "Resilience.run: non-positive instances";
+  List.iter
+    (fun m -> if not (m > 0.0) then invalid_arg "Resilience.run: non-positive mtbf")
+    mtbf_grid;
+  (* levels.(0) is the fault-free baseline. *)
+  let levels = Array.of_list (infinity :: mtbf_grid) in
+  let nlevels = Array.length levels in
+  (* acc.(level) binds scheduler name -> (max, sum, lost) samples. *)
+  let acc = Array.init nlevels (fun _ -> Hashtbl.create 8) in
+  for k = 0 to instances - 1 do
+    let rng = Gripps_rng.Splitmix.create (seed + (1_000_003 * k)) in
+    let inst = W.Generator.instance rng config in
+    let machines = Platform.num_machines (Instance.platform inst) in
+    Array.iteri
+      (fun i mtbf ->
+        (* The same instance faces every fault level; each level draws its
+           trace from its own derived stream so adding levels never
+           perturbs the others. *)
+        let faults =
+          if mtbf = infinity then []
+          else
+            Fault.poisson
+              (Gripps_rng.Splitmix.create (seed + (1_000_003 * k) + (7919 * i)))
+              ~mtbf ~mttr ~machines ~until:config.W.Config.horizon
+        in
+        List.iter
+          (fun s ->
+            let report = Sim.run_report ~horizon:1e9 ~faults ~loss s inst in
+            let m = Metrics.of_schedule report.Sim.schedule in
+            let samples =
+              Option.value ~default:[] (Hashtbl.find_opt acc.(i) s.Sim.name)
+            in
+            Hashtbl.replace acc.(i) s.Sim.name
+              ((m.Metrics.max_stretch, m.Metrics.sum_stretch, total_lost report)
+               :: samples))
+          schedulers)
+      levels
+  done;
+  let mean_of select name table =
+    match Hashtbl.find_opt table name with
+    | None | Some [] -> nan
+    | Some samples -> Stats.mean (List.map select samples)
+  in
+  let cells =
+    List.concat_map
+      (fun (s : Sim.scheduler) ->
+        let name = s.Sim.name in
+        let baseline_max = mean_of (fun (m, _, _) -> m) name acc.(0) in
+        List.init nlevels (fun i ->
+            let mean_max = mean_of (fun (m, _, _) -> m) name acc.(i) in
+            { scheduler = name;
+              mtbf = levels.(i);
+              mean_max_stretch = mean_max;
+              mean_sum_stretch = mean_of (fun (_, s, _) -> s) name acc.(i);
+              mean_lost = mean_of (fun (_, _, l) -> l) name acc.(i);
+              degradation =
+                (if baseline_max > 0.0 then mean_max /. baseline_max else 1.0) }))
+      schedulers
+  in
+  { config; loss; mttr; mtbf_grid; instances; cells }
+
+let render sweep =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "Resilience sweep: %s\n" (W.Config.describe sweep.config));
+  Buffer.add_string buf
+    (Printf.sprintf "loss = %s, mttr = %.0f s, %d instance%s per level\n\n"
+       (match sweep.loss with Fault.Crash -> "crash" | Fault.Pause -> "pause")
+       sweep.mttr sweep.instances
+       (if sweep.instances > 1 then "s" else ""));
+  let levels = infinity :: sweep.mtbf_grid in
+  let level_label mtbf =
+    if mtbf = infinity then "no faults" else Printf.sprintf "mtbf %.0fs" mtbf
+  in
+  (* Header: one column group (max-stretch, degradation, lost MB) per
+     fault level; the baseline shows only the max-stretch. *)
+  Buffer.add_string buf (Printf.sprintf "%-14s" "Scheduler");
+  List.iter
+    (fun mtbf ->
+      if mtbf = infinity then
+        Buffer.add_string buf (Printf.sprintf " | %10s" (level_label mtbf))
+      else Buffer.add_string buf (Printf.sprintf " | %24s" (level_label mtbf)))
+    levels;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Printf.sprintf "%-14s" "");
+  List.iter
+    (fun mtbf ->
+      if mtbf = infinity then Buffer.add_string buf (Printf.sprintf " | %10s" "S_max")
+      else
+        Buffer.add_string buf
+          (Printf.sprintf " | %8s %6s %8s" "S_max" "degr" "lost MB"))
+    levels;
+  Buffer.add_char buf '\n';
+  let schedulers =
+    List.sort_uniq compare (List.map (fun c -> c.scheduler) sweep.cells)
+  in
+  (* Preserve first-appearance order rather than alphabetical. *)
+  let schedulers =
+    List.filter
+      (fun n -> List.mem n schedulers)
+      (List.fold_left
+         (fun seen c -> if List.mem c.scheduler seen then seen else seen @ [ c.scheduler ])
+         [] sweep.cells)
+  in
+  List.iter
+    (fun name ->
+      Buffer.add_string buf (Printf.sprintf "%-14s" name);
+      List.iter
+        (fun mtbf ->
+          match
+            List.find_opt
+              (fun c -> c.scheduler = name && c.mtbf = mtbf)
+              sweep.cells
+          with
+          | None -> Buffer.add_string buf (Printf.sprintf " | %24s" "-")
+          | Some c ->
+            if mtbf = infinity then
+              Buffer.add_string buf (Printf.sprintf " | %10.3f" c.mean_max_stretch)
+            else
+              Buffer.add_string buf
+                (Printf.sprintf " | %8.3f %5.2fx %8.1f" c.mean_max_stretch
+                   c.degradation c.mean_lost))
+        levels;
+      Buffer.add_char buf '\n')
+    schedulers;
+  Buffer.contents buf

@@ -1,0 +1,50 @@
+(** Resilience study: how much each heuristic's service degrades as the
+    machine failure rate grows.
+
+    Every fault level replays the {e same} instances (same seed-derived
+    workload streams) under a level-specific failure trace, so the columns
+    of the rendered table are directly comparable: the degradation factor
+    is mean max-stretch at the level divided by the scheduler's own
+    fault-free mean.  Crash semantics additionally report the mean work
+    destroyed by failures ({!Gripps_engine.Sim.report} lost array). *)
+
+open Gripps_engine
+module W = Gripps_workload
+
+val default_panel : Sim.scheduler list
+(** Online, Online-EGDF, SWRPT, SRPT, MCT-Div, MCT. *)
+
+type cell = {
+  scheduler : string;
+  mtbf : float;               (** [infinity] marks the fault-free baseline *)
+  mean_max_stretch : float;
+  mean_sum_stretch : float;
+  mean_lost : float;          (** mean total work destroyed, MB (0 under pause) *)
+  degradation : float;        (** mean max-stretch / fault-free mean max-stretch *)
+}
+
+type sweep = {
+  config : W.Config.t;
+  loss : Fault.loss;
+  mttr : float;
+  mtbf_grid : float list;
+  instances : int;
+  cells : cell list;
+}
+
+val run :
+  ?schedulers:Sim.scheduler list ->
+  ?loss:Fault.loss ->
+  ?mtbf_grid:float list ->
+  ?mttr:float ->
+  seed:int ->
+  instances:int ->
+  W.Config.t ->
+  sweep
+(** Defaults: {!default_panel}, crash losses, mtbf grid
+    [3600; 900; 300] s, mttr 60 s.  Deterministic for a fixed seed.
+    @raise Invalid_argument on non-positive [instances] or mtbf values. *)
+
+val render : sweep -> string
+(** Fixed-width degradation table, one heuristic per row and one column
+    group per fault level. *)

@@ -25,7 +25,7 @@ type instance_result = {
 }
 
 let run_instance ?(bender98_max_sites = 3) ?(bender98_max_jobs = 60)
-    ?(schedulers = portfolio) config inst =
+    ?(schedulers = portfolio) ?(faults = []) ?(loss = Fault.Crash) config inst =
   let measurements =
     List.filter_map
       (fun s ->
@@ -36,7 +36,7 @@ let run_instance ?(bender98_max_sites = 3) ?(bender98_max_jobs = 60)
         then None
         else begin
           let t0 = Unix.gettimeofday () in
-          let sched = Sim.run ~horizon:1e9 s inst in
+          let sched = Sim.run ~horizon:1e9 ~faults ~loss s inst in
           let wall_time = Unix.gettimeofday () -. t0 in
           let m = Metrics.of_schedule sched in
           Some
@@ -75,4 +75,15 @@ let run_config ?bender98_max_sites ?bender98_max_jobs ?schedulers ~seed ~instanc
          the instance count changes. *)
       let rng = Gripps_rng.Splitmix.create (seed + (1_000_003 * k)) in
       let inst = W.Generator.instance rng config in
-      run_instance ?bender98_max_sites ?bender98_max_jobs ?schedulers config inst)
+      (* Fault draws continue the same stream, after the workload draws. *)
+      let faults =
+        W.Generator.fault_trace rng config
+          ~machines:(Platform.num_machines (Instance.platform inst))
+      in
+      let loss =
+        match config.W.Config.faults with
+        | Some f -> f.W.Config.loss
+        | None -> Fault.Crash
+      in
+      run_instance ?bender98_max_sites ?bender98_max_jobs ?schedulers ~faults ~loss
+        config inst)

@@ -33,9 +33,14 @@ val run_instance :
   ?bender98_max_sites:int ->
   ?bender98_max_jobs:int ->
   ?schedulers:Sim.scheduler list ->
+  ?faults:Fault.trace ->
+  ?loss:Fault.loss ->
   Gripps_workload.Config.t ->
   Instance.t ->
   instance_result
+(** [faults] (default none) and [loss] (default {!Fault.Crash}) inject the
+    same machine-failure trace into every scheduler's run, so the
+    portfolio is compared under identical outages. *)
 
 type ratio = { scheduler : string; max_ratio : float; sum_ratio : float }
 
@@ -52,4 +57,7 @@ val run_config :
   Gripps_workload.Config.t ->
   instance_result list
 (** Realize [instances] random instances of the configuration (seeded
-    deterministically) and measure the portfolio on each. *)
+    deterministically) and measure the portfolio on each.  When the
+    configuration carries a {!Gripps_workload.Config.fault_axis}, each
+    instance also gets a deterministic fault trace drawn from the same
+    stream. *)

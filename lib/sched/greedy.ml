@@ -42,15 +42,17 @@ let mct =
             (fun ev ->
               match ev with
               | Sim.Arrival j -> place st j
-              | Sim.Completion _ | Sim.Boundary -> ())
+              | Sim.Completion _ | Sim.Boundary | Sim.Failure _ | Sim.Recovery _ -> ())
             events;
           let allocation = ref [] in
           for m = 0 to nm - 1 do
-            (* Drop completed prefix, run the head. *)
+            (* Drop completed prefix, run the head (a down machine's queue
+               waits for its repair — MCT never migrates). *)
             queues.(m) <- List.filter (fun j -> not (Sim.is_completed st j)) queues.(m);
             match queues.(m) with
-            | j :: _ -> allocation := (m, [ (j, 1.0) ]) :: !allocation
-            | [] -> ()
+            | j :: _ when Sim.machine_up st m ->
+              allocation := (m, [ (j, 1.0) ]) :: !allocation
+            | _ :: _ | [] -> ()
           done;
           { Sim.allocation = !allocation; horizon = None }) }
 
@@ -138,7 +140,7 @@ let mct_div =
                 let job = Instance.job inst j in
                 let capable = Platform.hosts_of platform job.Job.databank in
                 ignore (pour comms ~capable ~t0:(Sim.now st) ~size:job.Job.size ~j)
-              | Sim.Completion _ | Sim.Boundary -> ())
+              | Sim.Completion _ | Sim.Boundary | Sim.Failure _ | Sim.Recovery _ -> ())
             events;
           (* Play back commitments covering the current date. *)
           let t = Sim.now st in
@@ -149,12 +151,27 @@ let mct_div =
             List.iter
               (fun (s, e, j) ->
                 if s <= t +. 1e-12 then begin
-                  if not (Sim.is_completed st j) then
+                  if (not (Sim.is_completed st j)) && Sim.machine_up st m then
                     allocation := (m, [ (j, 1.0) ]) :: !allocation;
                   if e < !next_edge then next_edge := e
                 end
                 else if s < !next_edge then next_edge := s)
               comms.(m)
           done;
-          let horizon = if !next_edge = infinity then None else Some !next_edge in
-          { Sim.allocation = !allocation; horizon }) }
+          (* Commitments never account for failures: crashed work or time
+             spent down can leave residual work after the plan drains.
+             Mop it up with SWRPT list scheduling instead of stalling. *)
+          if !allocation = [] && !next_edge = infinity && Sim.active_jobs st <> [] then begin
+            let order =
+              Sim.active_jobs st
+              |> List.map (fun j -> (Priority.key_with_tiebreak Priority.swrpt st j, j))
+              |> List.sort compare
+              |> List.map snd
+            in
+            { Sim.allocation = List_sched.allocate st ~priority_order:order;
+              horizon = None }
+          end
+          else begin
+            let horizon = if !next_edge = infinity then None else Some !next_edge in
+            { Sim.allocation = !allocation; horizon }
+          end) }

@@ -13,7 +13,7 @@ let allocate st ~priority_order =
         let db = (Instance.job inst j).Job.databank in
         List.iter
           (fun (m : Machine.t) ->
-            if free.(m.id) then begin
+            if free.(m.id) && Sim.machine_up st m.id then begin
               free.(m.id) <- false;
               alloc := (m.id, [ (j, 1.0) ]) :: !alloc
             end)

@@ -13,9 +13,11 @@ val allocate :
   Sim.state -> priority_order:int list -> Sim.allocation
 (** The one-shot allocation the rule produces for a given priority order
     over (a subset of) the active jobs: each job in turn grabs every
-    still-idle machine hosting its databank, at full share.  Exposed for
-    reuse by the on-line LP heuristics (Online-EGDF) and Bender's
-    algorithms, which supply their own orders. *)
+    still-idle {e up} machine hosting its databank, at full share (down
+    machines are never allocated, so list scheduling degrades gracefully
+    under failures).  Exposed for reuse by the on-line LP heuristics
+    (Online-EGDF) and Bender's algorithms, which supply their own
+    orders. *)
 
 (** {1 Ready-made schedulers} *)
 

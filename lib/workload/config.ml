@@ -1,3 +1,9 @@
+type fault_axis = {
+  mtbf : float;
+  mttr : float;
+  loss : Gripps_engine.Fault.loss;
+}
+
 type t = {
   sites : int;
   processors_per_site : int;
@@ -7,15 +13,21 @@ type t = {
   horizon : float;
   db_size_range : float * float;
   reference_speeds : float array;
+  faults : fault_axis option;
 }
 
 (* Six per-processor reference speeds (MB/s), mimicking the spread of the
    six GriPPS benchmark platforms of [11]. *)
 let gripps_reference_speeds = [| 0.6; 0.9; 1.2; 1.5; 1.9; 2.4 |]
 
+let fault_axis ?(loss = Gripps_engine.Fault.Crash) ~mtbf ~mttr () =
+  if not (mtbf > 0.0) then invalid_arg "Config.fault_axis: non-positive mtbf";
+  if not (mttr > 0.0) then invalid_arg "Config.fault_axis: non-positive mttr";
+  { mtbf; mttr; loss }
+
 let make ?(processors_per_site = 10) ?(horizon = 900.0)
     ?(db_size_range = (10.0, 1000.0)) ?(reference_speeds = gripps_reference_speeds)
-    ~sites ~databases ~availability ~density () =
+    ?faults ~sites ~databases ~availability ~density () =
   if sites <= 0 then invalid_arg "Config.make: non-positive sites";
   if processors_per_site <= 0 then
     invalid_arg "Config.make: non-positive processors_per_site";
@@ -29,7 +41,9 @@ let make ?(processors_per_site = 10) ?(horizon = 900.0)
   if Array.length reference_speeds = 0 then
     invalid_arg "Config.make: no reference speeds";
   { sites; processors_per_site; databases; availability; density; horizon;
-    db_size_range; reference_speeds }
+    db_size_range; reference_speeds; faults }
+
+let with_faults c faults = { c with faults = Some faults }
 
 let default =
   make ~sites:3 ~databases:3 ~availability:0.6 ~density:1.0 ()
@@ -59,5 +73,12 @@ let paper_grid ?(scale_window = true) ~horizon () =
     [ 3; 10; 20 ]
 
 let describe c =
-  Printf.sprintf "%d sites x %d cpus, %d dbs, avail %.0f%%, density %.2f"
-    c.sites c.processors_per_site c.databases (100.0 *. c.availability) c.density
+  let base =
+    Printf.sprintf "%d sites x %d cpus, %d dbs, avail %.0f%%, density %.2f"
+      c.sites c.processors_per_site c.databases (100.0 *. c.availability) c.density
+  in
+  match c.faults with
+  | None -> base
+  | Some f ->
+    Printf.sprintf "%s, faults mtbf %.0fs mttr %.0fs (%s)" base f.mtbf f.mttr
+      (match f.loss with Gripps_engine.Fault.Crash -> "crash" | Pause -> "pause")

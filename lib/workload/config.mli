@@ -14,6 +14,15 @@
     above 1 overloads the platform while requests keep arriving, exactly
     the regime where stretch-based fairness matters. *)
 
+type fault_axis = {
+  mtbf : float;  (** per-machine mean time between failures, seconds *)
+  mttr : float;  (** mean time to repair, seconds *)
+  loss : Gripps_engine.Fault.loss;  (** crash (work lost) or pause (preserved) *)
+}
+(** The fault-model axis: each machine fails as an independent alternating
+    renewal process (exponential uptime of mean [mtbf], exponential repair
+    of mean [mttr]) during the arrival window. *)
+
 type t = {
   sites : int;                 (** number of clusters *)
   processors_per_site : int;   (** identical processors per cluster (paper: 10) *)
@@ -23,6 +32,7 @@ type t = {
   horizon : float;             (** arrival window, seconds (paper: 900) *)
   db_size_range : float * float;  (** databank sizes, MB (paper: 10–1000) *)
   reference_speeds : float array; (** per-processor speeds, MB/s (empirical) *)
+  faults : fault_axis option;  (** fault model; [None] = reliable machines *)
 }
 
 val default : t
@@ -30,11 +40,17 @@ val default : t
     900 s window, 10–1000 MB databanks, the six GriPPS-like reference
     speeds. *)
 
+val fault_axis :
+  ?loss:Gripps_engine.Fault.loss -> mtbf:float -> mttr:float -> unit -> fault_axis
+(** [loss] defaults to {!Gripps_engine.Fault.Crash}.
+    @raise Invalid_argument on non-positive [mtbf] or [mttr]. *)
+
 val make :
   ?processors_per_site:int ->
   ?horizon:float ->
   ?db_size_range:float * float ->
   ?reference_speeds:float array ->
+  ?faults:fault_axis ->
   sites:int ->
   databases:int ->
   availability:float ->
@@ -43,6 +59,8 @@ val make :
   t
 (** @raise Invalid_argument on non-positive counts, availability outside
     (0, 1], or a degenerate size range. *)
+
+val with_faults : t -> fault_axis -> t
 
 val paper_grid : ?scale_window:bool -> horizon:float -> unit -> t list
 (** The full factorial design of §5.3: sites ∈ {3, 10, 20} × databases ∈

@@ -47,3 +47,10 @@ let rec instance rng c =
   match jobs rng c r with
   | [] -> instance rng c
   | js -> Instance.make ~platform:r.platform ~jobs:js
+
+let fault_trace rng (c : Config.t) ~machines =
+  match c.faults with
+  | None -> []
+  | Some f ->
+    Gripps_engine.Fault.poisson rng ~mtbf:f.Config.mtbf ~mttr:f.Config.mttr
+      ~machines ~until:c.horizon

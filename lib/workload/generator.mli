@@ -25,3 +25,9 @@ val jobs : Gripps_rng.Splitmix.t -> Config.t -> realized -> Job.t list
 val instance : Gripps_rng.Splitmix.t -> Config.t -> Instance.t
 (** [platform] + [jobs], retrying (with the same stream) in the unlikely
     event that a draw produces no job at all. *)
+
+val fault_trace :
+  Gripps_rng.Splitmix.t -> Config.t -> machines:int -> Gripps_engine.Fault.trace
+(** The fault trace for the configuration's {!Config.fault_axis}, drawn on
+    the arrival window (empty when [faults = None]).  Deterministic given
+    the stream, like everything else here. *)

@@ -76,7 +76,11 @@ let test_simultaneous_arrivals_batched () =
           fun st events ->
             let arrivals =
               List.filter_map
-                (fun e -> match e with Sim.Arrival j -> Some j | Sim.Completion _ | Sim.Boundary -> None)
+                (fun e ->
+                  match e with
+                  | Sim.Arrival j -> Some j
+                  | Sim.Completion _ | Sim.Boundary | Sim.Failure _ | Sim.Recovery _
+                    -> None)
                 events
             in
             if arrivals <> [] then batches := arrivals :: !batches;
@@ -161,6 +165,68 @@ let test_rejects_wrong_databank () =
     (Invalid_argument "bad-db: job allocated to machine missing its databank")
     (fun () -> ignore (run_all bad inst))
 
+(* Remaining invalid-allocation rejections: each guard of the engine's
+   [check_allocation] has a test pinning its message. *)
+
+let one_job_inst () =
+  Instance.make ~platform:(Platform.single ~speed:1.0) ~jobs:[ mk_job ~size:1.0 () ]
+
+let reject_test name make_alloc expected =
+  let bad =
+    Sim.stateless name (fun st _events ->
+        { Sim.allocation = make_alloc st; horizon = None })
+  in
+  Alcotest.check_raises expected (Invalid_argument (name ^ ": " ^ expected))
+    (fun () -> ignore (run_all bad (one_job_inst ())))
+
+let test_rejects_unknown_machine () =
+  reject_test "bad-m" (fun _ -> [ (3, [ (0, 1.0) ]) ]) "allocation references unknown machine"
+
+let test_rejects_unknown_job () =
+  reject_test "bad-j" (fun _ -> [ (0, [ (9, 1.0) ]) ]) "allocation references unknown job"
+
+let test_rejects_nonpositive_share () =
+  reject_test "bad-s" (fun _ -> [ (0, [ (0, 0.0) ]) ]) "non-positive share"
+
+let test_rejects_unreleased_job () =
+  let bad =
+    Sim.stateless "early" (fun _st _events ->
+        { Sim.allocation = [ (0, [ (1, 1.0) ]) ]; horizon = None })
+  in
+  let inst =
+    Instance.make ~platform:(Platform.single ~speed:1.0)
+      ~jobs:[ mk_job ~size:1.0 (); mk_job ~id:1 ~release:10.0 ~size:1.0 () ]
+  in
+  Alcotest.check_raises "unreleased"
+    (Invalid_argument "early: job allocated before release") (fun () ->
+      ignore (run_all bad inst))
+
+let test_rejects_completed_job () =
+  (* Keep allocating job 0 after it completes at t = 1. *)
+  let bad =
+    Sim.stateless "zombie" (fun _st _events ->
+        { Sim.allocation = [ (0, [ (0, 1.0) ]) ]; horizon = None })
+  in
+  let inst =
+    Instance.make ~platform:(Platform.single ~speed:1.0)
+      ~jobs:[ mk_job ~size:1.0 (); mk_job ~id:1 ~size:5.0 () ]
+  in
+  Alcotest.check_raises "completed"
+    (Invalid_argument "zombie: completed job allocated") (fun () ->
+      ignore (run_all bad inst))
+
+let test_rejects_stale_horizon () =
+  let bad =
+    Sim.stateless "stale" (fun st _events ->
+        match Sim.active_jobs st with
+        | [] -> Sim.idle
+        | j :: _ ->
+          { Sim.allocation = [ (0, [ (j, 1.0) ]) ]; horizon = Some (Sim.now st) })
+  in
+  Alcotest.check_raises "stale horizon"
+    (Invalid_argument "stale: plan horizon not in the future") (fun () ->
+      ignore (run_all bad (one_job_inst ())))
+
 let test_remaining_unreleased_hidden () =
   let spy_ok = ref true in
   let spy =
@@ -226,6 +292,13 @@ let suite =
       Alcotest.test_case "stalled detection" `Quick test_stalled_detection;
       Alcotest.test_case "rejects oversubscription" `Quick test_rejects_oversubscription;
       Alcotest.test_case "rejects wrong databank" `Quick test_rejects_wrong_databank;
+      Alcotest.test_case "rejects unknown machine" `Quick test_rejects_unknown_machine;
+      Alcotest.test_case "rejects unknown job" `Quick test_rejects_unknown_job;
+      Alcotest.test_case "rejects non-positive share" `Quick
+        test_rejects_nonpositive_share;
+      Alcotest.test_case "rejects unreleased job" `Quick test_rejects_unreleased_job;
+      Alcotest.test_case "rejects completed job" `Quick test_rejects_completed_job;
+      Alcotest.test_case "rejects stale horizon" `Quick test_rejects_stale_horizon;
       Alcotest.test_case "unreleased jobs hidden" `Quick test_remaining_unreleased_hidden;
       QCheck_alcotest.to_alcotest prop_conservation ] )
 
@@ -241,9 +314,12 @@ let test_horizon_guard () =
   let inst =
     Instance.make ~platform:(Platform.single ~speed:1.0) ~jobs:[ mk_job ~size:1.0 () ]
   in
-  Alcotest.check_raises "guard fires"
-    (Failure "procrastinate: simulation passed the 500 s guard") (fun () ->
-      ignore (Sim.run ~horizon:500.0 lazy_boundary inst))
+  match Sim.run ~horizon:500.0 lazy_boundary inst with
+  | _ -> Alcotest.fail "expected Horizon_exceeded"
+  | exception Sim.Horizon_exceeded { scheduler; guard; pending; _ } ->
+    Alcotest.(check string) "scheduler name" "procrastinate" scheduler;
+    Alcotest.(check (float 0.0)) "guard value" 500.0 guard;
+    Alcotest.(check (list int)) "pending jobs" [ 0 ] pending
 
 (* Determinism: identical runs produce identical schedules. *)
 let test_run_deterministic () =
