@@ -5,11 +5,18 @@
    - Figure 3(a)/(b) (optimized vs non-optimized on-line heuristic);
    - the §5.3 scheduling-overhead comparison.
 
+   Invoked as `main.exe perf [OUT.json]` it instead runs only the tracked
+   solver benchmark (lib/experiments/perf.ml): times the exact/float
+   solvers on the pinned corpus, writes BENCH_stretch.json (or OUT.json)
+   and exits non-zero if the warm-started solver disagrees with a cold
+   solve — the mode the CI perf smoke job runs.
+
    Scale knobs (environment variables):
      GRIPPS_BENCH_INSTANCES   instances per configuration   (default 3)
      GRIPPS_BENCH_HORIZON     arrival window in seconds     (default 30)
      GRIPPS_BENCH_FIG_INST    instances per density point   (default 10)
      GRIPPS_BENCH_QUOTA      bechamel quota per timing test (default 0.5 s)
+     GRIPPS_PERF_REPEATS      timed repetitions in perf mode (default 5)
 
    The bechamel section registers one Test.make per table and figure
    (timing its aggregation + rendering from the measured sweep) and one
@@ -266,9 +273,31 @@ let run_bechamel tests =
       Printf.printf "%-28s %16s\n" name time)
     (List.sort compare rows)
 
+(* Tracked solver benchmark (CI smoke mode): corpus timings + warm/cold
+   cross-check, written as BENCH_stretch.json. *)
+let run_perf () =
+  let out = if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_stretch.json" in
+  let progress name = Printf.eprintf "perf: measuring %s...\n%!" name in
+  let r = E.Perf.run ~progress () in
+  print_string (E.Perf.render r);
+  E.Perf.write_json ~path:out r;
+  Printf.eprintf "perf: wrote %s\n%!" out;
+  if not r.E.Perf.all_baseline_match then
+    Printf.eprintf
+      "perf: note: optimum differs from the recorded baseline (expected \
+       when the platform's libm differs from the reference machine's)\n%!";
+  if not r.E.Perf.all_cold_warm_match then begin
+    Printf.eprintf
+      "perf: error: warm-started solver disagrees with cold solve\n%!";
+    exit 1
+  end
+
 let () =
-  print_reproduction ();
-  Printf.printf "=== bechamel timings ===\n%!";
-  run_bechamel
-    (table_tests () @ figure_tests () @ scheduler_tests () @ fault_tests ()
-     @ ablation_tests ())
+  if Array.length Sys.argv > 1 && Sys.argv.(1) = "perf" then run_perf ()
+  else begin
+    print_reproduction ();
+    Printf.printf "=== bechamel timings ===\n%!";
+    run_bechamel
+      (table_tests () @ figure_tests () @ scheduler_tests () @ fault_tests ()
+       @ ablation_tests ())
+  end

@@ -6,6 +6,7 @@
      table     regenerate one (or all) of the paper's Tables 1-16
      figure    regenerate Figure 3(a)/3(b)
      overhead  regenerate the section 5.3 scheduling-overhead comparison
+     perf      tracked solver benchmark against the recorded baseline
      faults    resilience sweep: degradation under machine failures *)
 
 open Cmdliner
@@ -205,6 +206,62 @@ let overhead_cmd =
     (Cmd.info "overhead" ~doc:"Regenerate the section 5.3 scheduling-overhead study.")
     Term.(ret (const action $ seed_t $ instances_t 3 $ horizon_t 60.0))
 
+(* ---- perf ------------------------------------------------------------- *)
+
+let perf_cmd =
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the machine-readable BENCH_stretch.json document on \
+                stdout instead of the table.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:"Also write the JSON document to $(docv).")
+  in
+  let repeats_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "repeats" ] ~docv:"K"
+          ~doc:"Timed repetitions per measurement (median; default \
+                \\$GRIPPS_PERF_REPEATS or 5).")
+  in
+  let action json out repeats =
+    let progress name = Printf.eprintf "measuring %s...\n%!" name in
+    let r = E.Perf.run ?repeats ~progress () in
+    if json then print_string (E.Perf.to_json r)
+    else print_string (E.Perf.render r);
+    (match out with
+     | Some path ->
+       E.Perf.write_json ~path r;
+       Printf.eprintf "wrote %s\n%!" path
+     | None -> ());
+    if not r.E.Perf.all_baseline_match then
+      Printf.eprintf
+        "note: optimum differs from the recorded baseline (expected when \
+         the platform's libm differs from the reference machine's)\n%!";
+    if not r.E.Perf.all_cold_warm_match then begin
+      Printf.eprintf
+        "error: warm-started solver disagrees with cold solve — this is a \
+         bug\n%!";
+      exit 1
+    end;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:
+         "Benchmark the exact/float solvers and the on-line heuristic on a \
+          pinned corpus, against the tracked pre-optimization baseline. \
+          Exits non-zero if the warm-started solver disagrees with a cold \
+          solve.")
+    Term.(ret (const action $ json_t $ out_t $ repeats_t))
+
 (* ---- faults ----------------------------------------------------------- *)
 
 let faults_cmd =
@@ -279,7 +336,7 @@ let main =
        ~doc:
          "Reproduction of 'Minimizing the stretch when scheduling flows of \
           biological requests' (Legrand, Su, Vivien).")
-    [ run_cmd; optimal_cmd; table_cmd; figure_cmd; overhead_cmd; faults_cmd;
-      validate_cmd ]
+    [ run_cmd; optimal_cmd; table_cmd; figure_cmd; overhead_cmd; perf_cmd;
+      faults_cmd; validate_cmd ]
 
 let () = exit (Cmd.eval main)

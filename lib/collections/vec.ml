@@ -49,3 +49,26 @@ let of_list l =
   v
 
 let clear v = v.size <- 0
+
+let sort cmp v =
+  (* Array.sort needs an exact-size array: the slack beyond [size] holds
+     stale slots that must not participate. *)
+  let a = to_array v in
+  Array.sort cmp a;
+  v.data <- a
+
+let dedup_sorted eq v =
+  if v.size > 1 then begin
+    let w = ref 1 in
+    for r = 1 to v.size - 1 do
+      if not (eq v.data.(!w - 1) v.data.(r)) then begin
+        v.data.(!w) <- v.data.(r);
+        incr w
+      end
+    done;
+    v.size <- !w
+  end
+
+let sort_uniq cmp v =
+  sort cmp v;
+  dedup_sorted (fun a b -> cmp a b = 0) v

@@ -22,3 +22,13 @@ val to_list : 'a t -> 'a list
 val to_array : 'a t -> 'a array
 val of_list : 'a list -> 'a t
 val clear : 'a t -> unit
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** In-place (not stable) sort of the live prefix. *)
+
+val dedup_sorted : ('a -> 'a -> bool) -> 'a t -> unit
+(** Collapse runs of adjacent equal elements; on sorted input this leaves
+    each equivalence class's first representative. *)
+
+val sort_uniq : ('a -> 'a -> int) -> 'a t -> unit
+(** [sort] followed by [dedup_sorted] under the same ordering. *)

@@ -1,5 +1,6 @@
 module Q = Gripps_numeric.Rat
 module B = Gripps_numeric.Bigint
+module Vec = Gripps_collections.Vec
 module ZFlow = Gripps_flow.Maxflow.Make (Gripps_numeric.Bigint_field)
 module ZMcmf = Gripps_flow.Mcmf.Make (Gripps_numeric.Bigint_field)
 module FFlow = Gripps_flow.Maxflow.Make (Gripps_numeric.Field.Float)
@@ -56,14 +57,54 @@ let make_ticker budget stage =
       raise
         (Budget_exhausted { stage; iters = !count; elapsed = Sys.time () -. t0 })
 
+(* ------------------------------------------------------------------ *)
+(* Instrumentation.  Global counters over every solver run since the    *)
+(* last [reset_stats]; the perf harness and the §5.3 overhead study     *)
+(* read them to attribute wall time to probes vs. network work.         *)
+(* ------------------------------------------------------------------ *)
+
+type stats = {
+  exact_probes : int;
+  float_probes : int;
+  graph_builds : int;
+  warm_updates : int;
+  augmenting_paths : int;
+  rat_fast_hits : int;
+  rat_fast_falls : int;
+}
+
+let exact_probe_count = ref 0
+let float_probe_count = ref 0
+let build_count = ref 0
+let warm_update_count = ref 0
+let augmenting_path_count = ref 0
+
+let reset_stats () =
+  exact_probe_count := 0;
+  float_probe_count := 0;
+  build_count := 0;
+  warm_update_count := 0;
+  augmenting_path_count := 0;
+  Q.reset_stats ()
+
+let stats () =
+  let r = Q.stats () in
+  { exact_probes = !exact_probe_count;
+    float_probes = !float_probe_count;
+    graph_builds = !build_count;
+    warm_updates = !warm_update_count;
+    augmenting_paths = !augmenting_path_count;
+    rat_fast_hits = r.Q.fast_hits;
+    rat_fast_falls = r.Q.fast_falls }
+
+(* Debug/bench knob: with [warm_enabled := false] every exact probe
+   rebuilds the flow network from scratch (the pre-warm-start pipeline);
+   the perf harness uses it to verify that warm and cold paths agree. *)
+let warm_enabled = ref true
+
 type point = { a : Q.t; b : Q.t }
 
 let point_value p ~f = Q.add p.a (Q.mul p.b f)
-
-let point_compare_at ~f p q =
-  match Q.compare (point_value p ~f) (point_value q ~f) with
-  | 0 -> Q.compare p.b q.b
-  | c -> c
 
 let validate p =
   if p.machines = [] then invalid_arg "Stretch_solver: no machines";
@@ -112,40 +153,94 @@ let deadline_point j = { a = j.release; b = j.size }
 let window_start n j = Q.max_rat n.now j.release
 
 type structure = {
-  points : point array;
+  points : point array;  (* strictly increasing by (value at f, slope) *)
   ints : (point * point) array;
 }
 
-let build_structure n ~f =
-  let pts = ref [ { a = n.now; b = Q.zero } ] in
+(* Interval geometry at objective [f]: the sorted point array together
+   with the cached value of every point at [f] and, per job, the indices
+   of its window-start and deadline points.  A job's window covers
+   interval [t] iff [start_idx <= t && t + 1 <= dead_idx] — two integer
+   comparisons instead of a symbolic rational comparison per
+   (job × interval) pair, and each point's value is computed once per
+   objective instead of once per comparison. *)
+type geometry = {
+  s : structure;
+  values : Q.t array;    (* values.(i) = value of points.(i) at [f] *)
+  start_idx : int array;
+  dead_idx : int array;  (* -1 when the deadline lies before [now] *)
+}
+
+let build_geometry n ~f =
+  let v = Vec.create () in
+  Vec.push v (n.now, { a = n.now; b = Q.zero });
   Array.iter
     (fun j ->
-      if Q.gt j.release n.now then pts := { a = j.release; b = Q.zero } :: !pts;
-      pts := deadline_point j :: !pts)
+      if Q.gt j.release n.now then
+        Vec.push v (j.release, { a = j.release; b = Q.zero });
+      let d = deadline_point j in
+      Vec.push v (point_value d ~f, d))
     n.jobs;
-  let now_pt = { a = n.now; b = Q.zero } in
-  let points =
-    List.sort_uniq (point_compare_at ~f) !pts
-    |> List.filter (fun p -> point_compare_at ~f p now_pt >= 0)
-    |> Array.of_list
+  (* Sorting by (value, slope) yields the order valid on [f, f + ε); a
+     pair equal on both is the same affine function, so dedup under the
+     same key matches the symbolic sort_uniq of the points themselves. *)
+  let cmp (va, pa) (vb, pb) =
+    match Q.compare va vb with 0 -> Q.compare pa.b pb.b | c -> c
+  in
+  Vec.sort_uniq cmp v;
+  (* Drop points before the current date (slopes are all >= 0, so only a
+     strictly smaller value sorts below the now-point). *)
+  let first = ref 0 in
+  while !first < Vec.length v && Q.lt (fst (Vec.get v !first)) n.now do
+    incr first
+  done;
+  let npts = Vec.length v - !first in
+  let points = Array.init npts (fun i -> snd (Vec.get v (!first + i))) in
+  let values = Array.init npts (fun i -> fst (Vec.get v (!first + i))) in
+  let find value slope =
+    let lo = ref 0 and hi = ref (npts - 1) and res = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let c =
+        match Q.compare values.(mid) value with
+        | 0 -> Q.compare points.(mid).b slope
+        | c -> c
+      in
+      if c = 0 then begin
+        res := mid;
+        lo := !hi + 1
+      end
+      else if c < 0 then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !res
+  in
+  let start_idx =
+    Array.map
+      (fun j ->
+        let i = find (window_start n j) Q.zero in
+        if i < 0 then
+          failwith "Stretch_solver: internal error (missing start point)";
+        i)
+      n.jobs
+  in
+  let dead_idx =
+    Array.map
+      (fun j ->
+        let d = deadline_point j in
+        find (point_value d ~f) d.b)
+      n.jobs
   in
   let ints =
-    Array.init (max 0 (Array.length points - 1)) (fun t ->
-        (points.(t), points.(t + 1)))
+    Array.init (max 0 (npts - 1)) (fun t -> (points.(t), points.(t + 1)))
   in
-  { points; ints }
+  { s = { points; ints }; values; start_idx; dead_idx }
 
 (* Node numbering for the flow graphs. *)
 let source = 0
 let sink = 1
 let job_node ji = 2 + ji
 let cell_node ~njobs ~nmach t mi = 2 + njobs + (t * nmach) + mi
-
-(* Does job j's window cover interval (lo, hi), symbolically at F+ε? *)
-let job_covers n ~f j (lo, hi) =
-  let start = { a = window_start n j; b = Q.zero } in
-  point_compare_at ~f lo start >= 0
-  && point_compare_at ~f hi (deadline_point j) <= 0
 
 (* ------------------------------------------------------------------ *)
 (* Exact graphs.  All capacities are rationals; we scale them to a     *)
@@ -156,32 +251,46 @@ let job_covers n ~f j (lo, hi) =
 
 let lcm a b = B.mul (B.div a (B.gcd a b)) b
 
+(* A persistent flow network for one interval structure.  Capacities sit
+   on an integer grid: [z = q / grid], with [grid] chosen at build time
+   so every capacity is integral.  Warm re-installations at a new
+   objective may refine the grid by an integer factor (the flow already
+   routed is rescaled in place by {!ZFlow.scale_capacities}). *)
 type built = {
   graph : ZFlow.t;
-  to_z : Q.t -> B.t;  (* scale a rational capacity to the integer grid *)
-  of_z : B.t -> Q.t;  (* convert an integer flow back to work units *)
+  mutable grid : Q.t;   (* work units per integer flow unit *)
   job_edges : (int * int * int * int) list;  (* jobindex, t, machindex, edge *)
   cell_edges : (int * int * int) list;       (* t, machindex, edge to sink *)
   structure : structure;
-  total_scaled : B.t;
+  start_idx : int array;
+  dead_idx : int array;
+  mutable values : Q.t array;  (* point values at the installed objective *)
+  mutable f : Q.t;             (* objective the capacities encode *)
+  mutable total_scaled : B.t;
+  mutable solved : bool;       (* residual state holds a valid flow *)
+  mutable aug_seen : int;
 }
 
-(* The rational capacities of the graph at F = f. *)
-let capacities n ~f =
-  let s = build_structure n ~f in
-  let cell_caps =
-    Array.map
-      (fun (lo, hi) ->
-        let len = Q.sub (point_value hi ~f) (point_value lo ~f) in
-        Array.map (fun m -> Q.mul len m.speed) n.machines)
-      s.ints
-  in
-  (s, cell_caps)
+let to_z b q =
+  let r = Q.div q b.grid in
+  if not (B.equal (Q.den r) B.one) then
+    failwith "Stretch_solver: internal error (capacity off the integer grid)";
+  Q.num r
 
-let build_graph n ~f =
-  let s, cell_caps = capacities n ~f in
+let of_z b w = Q.mul (Q.of_bigint w) b.grid
+
+let cell_cap n (values : Q.t array) t mi =
+  let len = Q.sub values.(t + 1) values.(t) in
+  Q.mul len n.machines.(mi).speed
+
+let build_graph n (geo : geometry) ~f =
+  incr build_count;
   let njobs = Array.length n.jobs and nmach = Array.length n.machines in
-  let nints = Array.length s.ints in
+  let nints = Array.length geo.s.ints in
+  let cell_caps =
+    Array.init nints (fun t ->
+        Array.init nmach (fun mi -> cell_cap n geo.values t mi))
+  in
   (* Common denominator of every capacity, then strip the common factor of
      the numerators to keep the integers as small as possible. *)
   let scale = ref B.one in
@@ -193,64 +302,129 @@ let build_graph n ~f =
   Array.iter (fun j -> shrink := B.gcd !shrink (raw_z j.remaining)) n.jobs;
   Array.iter (Array.iter (fun c -> shrink := B.gcd !shrink (raw_z c))) cell_caps;
   let shrink = if B.is_zero !shrink then B.one else !shrink in
-  let to_z q = B.div (raw_z q) shrink in
-  let of_z w = Q.make (B.mul w shrink) raw_scale in
+  let zq q = B.div (raw_z q) shrink in
   let g = ZFlow.create ~n:(2 + njobs + (nints * nmach)) in
   Array.iteri
     (fun ji j ->
-      ignore (ZFlow.add_edge g ~src:source ~dst:(job_node ji) ~cap:(to_z j.remaining)))
+      ignore (ZFlow.add_edge g ~src:source ~dst:(job_node ji) ~cap:(zq j.remaining)))
     n.jobs;
   let cell_edges = ref [] and job_edges = ref [] in
   (* Zero-length intervals (ties at a milestone) are kept: their capacity
      is 0 at [f] but grows for F > f, and the Newton step must account for
      that growth when measuring the cut's slope. *)
-  Array.iteri
-    (fun t (_lo, _hi) ->
-      Array.iteri
-        (fun mi _m ->
-          let e =
-            ZFlow.add_edge g ~src:(cell_node ~njobs ~nmach t mi) ~dst:sink
-              ~cap:(to_z cell_caps.(t).(mi))
-          in
-          cell_edges := (t, mi, e) :: !cell_edges)
-        n.machines)
-    s.ints;
+  for t = 0 to nints - 1 do
+    for mi = 0 to nmach - 1 do
+      let e =
+        ZFlow.add_edge g ~src:(cell_node ~njobs ~nmach t mi) ~dst:sink
+          ~cap:(zq cell_caps.(t).(mi))
+      in
+      cell_edges := (t, mi, e) :: !cell_edges
+    done
+  done;
   Array.iteri
     (fun ji j ->
-      let zrem = to_z j.remaining in
-      Array.iteri
-        (fun t (lo, hi) ->
-          if job_covers n ~f j (lo, hi) then
-            List.iter
-              (fun mid ->
-                let mi = Hashtbl.find n.machine_index mid in
-                let e =
-                  ZFlow.add_edge g ~src:(job_node ji)
-                    ~dst:(cell_node ~njobs ~nmach t mi) ~cap:zrem
-                in
-                job_edges := (ji, t, mi, e) :: !job_edges)
-              j.machines)
-        s.ints)
+      let zrem = zq j.remaining in
+      for t = geo.start_idx.(ji) to geo.dead_idx.(ji) - 1 do
+        List.iter
+          (fun mid ->
+            let mi = Hashtbl.find n.machine_index mid in
+            let e =
+              ZFlow.add_edge g ~src:(job_node ji)
+                ~dst:(cell_node ~njobs ~nmach t mi) ~cap:zrem
+            in
+            job_edges := (ji, t, mi, e) :: !job_edges)
+          j.machines
+      done)
     n.jobs;
-  { graph = g; to_z; of_z; job_edges = !job_edges; cell_edges = !cell_edges;
-    structure = s; total_scaled = to_z n.total }
+  { graph = g; grid = Q.make shrink raw_scale; job_edges = !job_edges;
+    cell_edges = !cell_edges; structure = geo.s; start_idx = geo.start_idx;
+    dead_idx = geo.dead_idx; values = geo.values; f;
+    total_scaled = zq n.total; solved = false; aug_seen = 0 }
 
-let max_flow_at n ~f =
-  let b = build_graph n ~f in
-  let flow = ZFlow.max_flow b.graph ~source ~sink in
-  (b, flow)
+(* Re-install the capacities of an existing network at a new objective
+   with the same structure, preserving the flow (warm start).  Only the
+   cell -> sink capacities depend on F. *)
+let install b n ~f ~values =
+  incr warm_update_count;
+  (* The point order must still hold at [f] (crossing-free invariant). *)
+  Array.iteri
+    (fun i v ->
+      if i > 0 && Q.gt values.(i - 1) v then
+        failwith "Stretch_solver: internal error (structure crossed)")
+    values;
+  (* Refine the integer grid when the new capacities need it. *)
+  let k = ref B.one in
+  List.iter
+    (fun (t, mi, _e) -> k := lcm !k (Q.den (Q.div (cell_cap n values t mi) b.grid)))
+    b.cell_edges;
+  if not (B.equal !k B.one) then begin
+    ZFlow.scale_capacities b.graph !k;
+    b.grid <- Q.div b.grid (Q.of_bigint !k);
+    b.total_scaled <- B.mul b.total_scaled !k
+  end;
+  List.iter
+    (fun (t, mi, e) ->
+      ZFlow.update_capacity b.graph ~source ~sink e (to_z b (cell_cap n values t mi)))
+    b.cell_edges;
+  b.values <- values;
+  b.f <- f
+
+let sync_augmentations b =
+  let a = ZFlow.augmentations b.graph in
+  augmenting_path_count := !augmenting_path_count + (a - b.aug_seen);
+  b.aug_seen <- a
+
+let probe b =
+  incr exact_probe_count;
+  let flow = ZFlow.max_flow ~warm:(b.solved && !warm_enabled) b.graph ~source ~sink in
+  b.solved <- true;
+  sync_augmentations b;
+  flow
+
+let same_structure (s : structure) (s' : structure) =
+  Array.length s.points = Array.length s'.points
+  && Array.for_all2
+       (fun p p' -> Q.equal p.a p'.a && Q.equal p.b p'.b)
+       s.points s'.points
+
+(* Obtain a network matching the structure at [f]: reuse (and warm-update)
+   the cached one when the interval structure is unchanged, else build
+   cold. *)
+let acquire ~cache n ~f =
+  let geo = build_geometry n ~f in
+  match !cache with
+  | Some b when !warm_enabled && same_structure b.structure geo.s ->
+    if not (Q.equal b.f f) then install b n ~f ~values:geo.values;
+    b
+  | _ ->
+    let b = build_graph n geo ~f in
+    cache := Some b;
+    b
+
+(* Move a network to a new objective inside the same crossing-free
+   interval: values are recomputed directly, skipping the structure
+   rebuild.  With warm starts disabled this degenerates to a cold
+   rebuild, reproducing the pre-warm pipeline. *)
+let shift ~cache b n ~f =
+  if Q.equal b.f f then b
+  else if !warm_enabled then begin
+    install b n ~f ~values:(Array.map (fun p -> point_value p ~f) b.structure.points);
+    b
+  end
+  else acquire ~cache n ~f
 
 let feasible_norm n ~f =
   if Array.length n.jobs = 0 then true
   else begin
-    let b, flow = max_flow_at n ~f in
-    B.equal flow b.total_scaled
+    let b = acquire ~cache:(ref None) n ~f in
+    B.equal (probe b) b.total_scaled
   end
 
 (* Fast approximate feasibility in doubles, used only to pre-locate the
    milestone bracket; bracket endpoints are re-verified exactly, so a
    wrong answer here costs time, never correctness. *)
 let feasible_float n ~f =
+  incr float_probe_count;
   let njobs = Array.length n.jobs and nmach = Array.length n.machines in
   if njobs = 0 then true
   else begin
@@ -310,7 +484,7 @@ let feasible_float n ~f =
 (* Milestones: positive F where a deadline crosses another deadline, a
    release date, or the current date. *)
 let milestones n =
-  let cands = ref [] in
+  let cands = Vec.create () in
   let constants =
     n.now :: (Array.to_list n.jobs |> List.map (fun j -> window_start n j))
   in
@@ -319,7 +493,7 @@ let milestones n =
       List.iter
         (fun c ->
           let f = Q.div (Q.sub c j.release) j.size in
-          if Q.sign f > 0 then cands := f :: !cands)
+          if Q.sign f > 0 then Vec.push cands f)
         constants)
     n.jobs;
   let njobs = Array.length n.jobs in
@@ -328,11 +502,12 @@ let milestones n =
       let ja = n.jobs.(a) and jb = n.jobs.(b) in
       if not (Q.equal ja.size jb.size) then begin
         let f = Q.div (Q.sub jb.release ja.release) (Q.sub ja.size jb.size) in
-        if Q.sign f > 0 then cands := f :: !cands
+        if Q.sign f > 0 then Vec.push cands f
       end
     done
   done;
-  List.sort_uniq Q.compare !cands
+  Vec.sort_uniq Q.compare cands;
+  Vec.to_array cands
 
 (* Newton / Dinkelbach iteration on the parametric min cut, starting at
    [f0] and restricted to a crossing-free interval [f0, hi].  The outcome
@@ -351,14 +526,14 @@ type newton_outcome =
   | Converged of Q.t * built
   | Exceeded
 
-let newton_bounded ~tick n ~f:f0 ~hi =
-  let rec go f iter =
+let newton_bounded ~tick ~cache n ~f:f0 ~hi =
+  let rec go b f iter =
     tick ();
-    let b, flow = max_flow_at n ~f in
+    let flow = probe b in
     if B.equal flow b.total_scaled then
       if iter = 0 then Feasible_at_start b else Converged (f, b)
     else begin
-      let deficit = b.of_z (B.sub b.total_scaled flow) in
+      let deficit = of_z b (B.sub b.total_scaled flow) in
       let cut = ZFlow.min_cut b.graph ~source in
       (* Growth rate of the cut capacity: only cell -> sink edges depend
          on F; their capacity slope is speed × (hi.b - lo.b). *)
@@ -379,11 +554,11 @@ let newton_bounded ~tick n ~f:f0 ~hi =
         let f_next = Q.add f (Q.div deficit rho) in
         match hi with
         | Some h when Q.gt f_next h -> Exceeded
-        | Some _ | None -> go f_next (iter + 1)
+        | Some _ | None -> go (shift ~cache b n ~f:f_next) f_next (iter + 1)
       end
     end
   in
-  go f0 0
+  go (acquire ~cache n ~f:f0) f0 0
 
 (* Full search: float-guided milestone bracket, certified and refined by
    the exact Newton iteration.  Returns the optimum and the solved flow
@@ -395,7 +570,13 @@ let find_optimum ?(floor = Q.zero) ~tick n =
       (fun acc j -> Q.max_rat acc (Q.div (Q.sub n.now j.release) j.size))
       floor n.jobs
   in
-  let ms = Array.of_list (List.filter (fun m -> Q.gt m f_base) (milestones n)) in
+  let ms_all = milestones n in
+  (* [ms_all] is sorted: keep the suffix strictly above [f_base]. *)
+  let skip = ref 0 in
+  while !skip < Array.length ms_all && not (Q.gt ms_all.(!skip) f_base) do
+    incr skip
+  done;
+  let ms = Array.sub ms_all !skip (Array.length ms_all - !skip) in
   let len = Array.length ms in
   (* Locate the first feasible milestone with the float fast path; the
      exact loop below repairs any misjudgment. *)
@@ -408,11 +589,12 @@ let find_optimum ?(floor = Q.zero) ~tick n =
       if feasible_float n ~f:(Q.to_float ms.(mid)) then hi := mid else lo := mid + 1
     done
   end;
+  let cache = ref None in
   let rec attempt i =
     if i > len then failwith "Stretch_solver: no feasible stretch";
     let start = if i = 0 then f_base else ms.(i - 1) in
     let bound = if i < len then Some ms.(i) else None in
-    match newton_bounded ~tick n ~f:start ~hi:bound with
+    match newton_bounded ~tick ~cache n ~f:start ~hi:bound with
     | Converged (f, b) -> (f, b)
     | Feasible_at_start b ->
       if i = 0 then (f_base, b) else attempt (i - 1)
@@ -439,11 +621,11 @@ let solve ?(budget = default_budget) ?(floor = Q.zero) ?(refine = false) p =
     (* find_optimum hands back the flow network already solved at the
        optimum, saving one max-flow in the unrefined path. *)
     let s_star, b = find_optimum ~floor ~tick:(make_ticker budget "exact") n in
+    (* [b] is installed at [s_star], so its cached point values are the
+       interval bounds of the optimum. *)
     let intervals =
-      Array.map
-        (fun (lo, hi) ->
-          { lo = point_value lo ~f:s_star; hi = point_value hi ~f:s_star })
-        b.structure.ints
+      Array.init (Array.length b.structure.ints) (fun t ->
+          { lo = b.values.(t); hi = b.values.(t + 1) })
     in
     let work_of_flow ~of_z flow_on job_edges =
       List.filter_map
@@ -456,7 +638,7 @@ let solve ?(budget = default_budget) ?(floor = Q.zero) ?(refine = false) p =
     in
     if not refine then
       { s_star; intervals;
-        work = work_of_flow ~of_z:b.of_z (ZFlow.flow_on b.graph) b.job_edges }
+        work = work_of_flow ~of_z:(of_z b) (ZFlow.flow_on b.graph) b.job_edges }
     else begin
       (* System (2): same network with cost midpoint(t)/W_j per unit of
          work of job j placed in interval t.  Costs are scaled to a
@@ -475,7 +657,7 @@ let solve ?(budget = default_budget) ?(floor = Q.zero) ?(refine = false) p =
         (fun (ji, t, _mi, _e) -> cost_scale := lcm !cost_scale (Q.den (cost_of ji t)))
         b.job_edges;
       let to_zcost q = B.mul (Q.num q) (B.div !cost_scale (Q.den q)) in
-      let to_zcap = b.to_z in
+      let to_zcap = to_z b in
       let g = ZMcmf.create ~n:(2 + njobs + (nints * nmach)) in
       Array.iteri
         (fun ji j ->
@@ -505,7 +687,7 @@ let solve ?(budget = default_budget) ?(floor = Q.zero) ?(refine = false) p =
       if not (B.equal flow b.total_scaled) then
         failwith "Stretch_solver: internal error (refined optimum not feasible)";
       { s_star; intervals;
-        work = work_of_flow ~of_z:b.of_z (ZMcmf.flow_on g) refined_edges }
+        work = work_of_flow ~of_z:(of_z b) (ZMcmf.flow_on g) refined_edges }
     end
   end
 
@@ -604,6 +786,7 @@ let fbuild fn ~f =
    a nearly-finished job could be "forgiven", its deadline would stop
    pushing the objective, and the job would starve until the plan drains. *)
 let ffeasible fn ~f =
+  incr float_probe_count;
   if Array.length fn.frem = 0 then true
   else begin
     let g, _, _, src_edges = fbuild fn ~f in

@@ -111,3 +111,29 @@ val solve_float : ?budget:budget -> ?floor:float -> ?refine:bool -> problem -> a
     exact images of the float computation.  Tiny (≤1e-9 relative)
     shortfalls of work may remain in the witness; the simulator's plan
     player mops them up. *)
+
+(** {1 Instrumentation}
+
+    Global counters over every solver run (both pipelines) since the last
+    {!reset_stats}.  The perf harness ([gripps_cli perf]) and the §5.3
+    overhead study read them to attribute wall time to feasibility probes
+    vs. flow-network work. *)
+
+type stats = {
+  exact_probes : int;      (** exact feasibility probes (Newton evaluations) *)
+  float_probes : int;      (** float-pipeline feasibility probes *)
+  graph_builds : int;      (** cold flow-network constructions *)
+  warm_updates : int;      (** warm capacity re-installations *)
+  augmenting_paths : int;  (** augmenting paths pushed by the exact networks *)
+  rat_fast_hits : int;     (** {!Q} ops served by the native fast path *)
+  rat_fast_falls : int;    (** {!Q} ops that fell back to Bigint *)
+}
+
+val stats : unit -> stats
+val reset_stats : unit -> unit
+
+val warm_enabled : bool ref
+(** Debug/bench knob, default [true].  When [false], every exact probe
+    rebuilds its flow network from scratch (the pre-warm-start pipeline);
+    the perf harness flips it to verify that warm and cold paths return
+    identical results. *)

@@ -1,4 +1,24 @@
 module W = Gripps_workload
+module S = Gripps_core.Stretch_solver
+
+type entry = {
+  scheduler : string;
+  wall : Stats.summary;
+  solver : S.stats;  (* summed over the scheduler's runs *)
+}
+
+let sum_stats (a : S.stats) (b : S.stats) =
+  { S.exact_probes = a.S.exact_probes + b.S.exact_probes;
+    float_probes = a.S.float_probes + b.S.float_probes;
+    graph_builds = a.S.graph_builds + b.S.graph_builds;
+    warm_updates = a.S.warm_updates + b.S.warm_updates;
+    augmenting_paths = a.S.augmenting_paths + b.S.augmenting_paths;
+    rat_fast_hits = a.S.rat_fast_hits + b.S.rat_fast_hits;
+    rat_fast_falls = a.S.rat_fast_falls + b.S.rat_fast_falls }
+
+let zero_stats =
+  { S.exact_probes = 0; float_probes = 0; graph_builds = 0; warm_updates = 0;
+    augmenting_paths = 0; rat_fast_hits = 0; rat_fast_falls = 0 }
 
 let measure ?(seed = 20060303) ?(instances = 3) ?(horizon = 60.0) () =
   let config =
@@ -7,18 +27,26 @@ let measure ?(seed = 20060303) ?(instances = 3) ?(horizon = 60.0) () =
   let results = Runner.run_config ~seed ~instances config in
   List.filter_map
     (fun name ->
-      let times =
+      let runs =
         List.concat_map
           (fun (r : Runner.instance_result) ->
             List.filter_map
               (fun (m : Runner.measurement) ->
-                if m.scheduler = name then Some m.wall_time else None)
+                if m.scheduler = name then Some (m.wall_time, m.solver)
+                else None)
               r.measurements)
           results
       in
-      match times with
+      match runs with
       | [] -> None
-      | _ -> Some (name, Stats.summarize times))
+      | _ ->
+        Some
+          { scheduler = name;
+            wall = Stats.summarize (List.map fst runs);
+            solver =
+              List.fold_left
+                (fun acc (_, s) -> sum_stats acc s)
+                zero_stats runs })
     Runner.portfolio_names
 
 type scaling_sample = {

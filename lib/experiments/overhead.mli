@@ -4,14 +4,22 @@
     on 15-minute workloads; the shape to reproduce is
     Bender98 ≫ Offline > on-line LP heuristics ≫ list heuristics. *)
 
+type entry = {
+  scheduler : string;
+  wall : Stats.summary;
+  solver : Gripps_core.Stretch_solver.stats;
+  (** solver counters summed over this scheduler's runs — attributes the
+      wall time to feasibility probes / flow work / rational arithmetic *)
+}
+
 val measure :
   ?seed:int ->
   ?instances:int ->
   ?horizon:float ->
   unit ->
-  (string * Stats.summary) list
-(** Per-scheduler wall-time summaries on 3-cluster configurations
-    (portfolio order). *)
+  entry list
+(** Per-scheduler wall-time summaries and solver counters on 3-cluster
+    configurations (portfolio order). *)
 
 type scaling_sample = {
   jobs : int;

@@ -1,0 +1,46 @@
+(** Tracked solver benchmark ([gripps_cli perf], [bench perf]).
+
+    Times the exact offline max-stretch solver, its float counterpart and
+    the on-line heuristic on a pinned seeded corpus, compares against the
+    checked-in pre-optimization baseline ([bench/BASELINE_stretch.json],
+    whose numbers are embedded here as constants), and cross-checks that
+    the warm-started pipeline returns the exact same rational optimum as
+    a cold from-scratch solve. *)
+
+type instance_report = {
+  name : string;
+  jobs : int;                         (** pending jobs in the instance *)
+  s_star : string;                    (** exact optimum, as [Rat.to_string] *)
+  exact_ms : float;                   (** median wall time, exact solver *)
+  float_ms : float;                   (** median wall time, float solver *)
+  solver : Gripps_core.Stretch_solver.stats;
+      (** counters for one instrumented exact solve *)
+  fast_hit_rate : float;              (** native-rational fast-path hit rate *)
+  speedup : float;                    (** baseline exact_ms / current exact_ms *)
+  cold_warm_match : bool;             (** warm pipeline = cold pipeline, exactly *)
+  baseline_match : bool;              (** s_star equals the recorded baseline *)
+}
+
+type report = {
+  instances : instance_report list;
+  online_ms : float;
+  online_baseline_ms : float;
+  all_cold_warm_match : bool;
+  (** conjunction over instances — a [false] here is a correctness bug *)
+  all_baseline_match : bool;
+  (** may be [false] on a different libm (the workload generator is
+      float-seeded); informational, not fatal *)
+}
+
+val run : ?repeats:int -> ?progress:(string -> unit) -> unit -> report
+(** Runs the whole corpus.  [repeats] defaults to [$GRIPPS_PERF_REPEATS]
+    or 5 (median after one warmup run); [progress] is called with each
+    instance name before it is measured. *)
+
+val to_json : report -> string
+(** Machine-readable form (the BENCH_stretch.json schema). *)
+
+val write_json : path:string -> report -> unit
+
+val render : report -> string
+(** Human-readable table. *)

@@ -8,7 +8,9 @@ val table : Tables.table -> string
 val figure3a : Figures.sample list -> string
 val figure3b : Figures.sample list -> string
 
-val overhead : (string * Stats.summary) list -> string
-(** The §5.3 scheduling-overhead comparison: per-scheduler wall time. *)
+val overhead : Overhead.entry list -> string
+(** The §5.3 scheduling-overhead comparison: per-scheduler wall time plus
+    solver counters (probes, flow builds/warm updates, augmenting paths,
+    rational fast-path hit rate). *)
 
 val overhead_scaling : Overhead.scaling_sample list -> string

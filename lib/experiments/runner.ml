@@ -16,6 +16,7 @@ type measurement = {
   max_stretch : float;
   sum_stretch : float;
   wall_time : float;
+  solver : Stretch_solver.stats;
 }
 
 type instance_result = {
@@ -35,15 +36,18 @@ let run_instance ?(bender98_max_sites = 3) ?(bender98_max_jobs = 60)
               || Instance.num_jobs inst > bender98_max_jobs)
         then None
         else begin
+          Stretch_solver.reset_stats ();
           let t0 = Unix.gettimeofday () in
           let sched = Sim.run ~horizon:1e9 ~faults ~loss s inst in
           let wall_time = Unix.gettimeofday () -. t0 in
+          let solver = Stretch_solver.stats () in
           let m = Metrics.of_schedule sched in
           Some
             { scheduler = s.Sim.name;
               max_stretch = m.Metrics.max_stretch;
               sum_stretch = m.Metrics.sum_stretch;
-              wall_time }
+              wall_time;
+              solver }
         end)
       schedulers
   in

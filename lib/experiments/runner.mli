@@ -21,6 +21,10 @@ type measurement = {
   max_stretch : float;
   sum_stretch : float;
   wall_time : float;  (** seconds spent simulating (≈ scheduling overhead) *)
+  solver : Gripps_core.Stretch_solver.stats;
+  (** solver-internal counters accumulated during this run (feasibility
+      probes, flow-network builds and warm updates, augmenting paths,
+      rational fast-path hits/falls) *)
 }
 
 type instance_result = {

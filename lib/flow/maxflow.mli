@@ -4,7 +4,13 @@
     machines with restricted availability — is a transportation problem;
     instantiated at {!Gripps_numeric.Rat} this module decides it exactly.
     Dinic performs O(V²E) augmentations regardless of capacity values, so
-    exact rational capacities are safe. *)
+    exact rational capacities are safe.
+
+    The graph keeps its residual state between calls, which enables the
+    warm-start protocol used by the parametric solver: perturb a few
+    capacities with {!update_capacity} (each call leaves a valid flow),
+    then resume with {!max_flow}[ ~warm:true] instead of recomputing from
+    zero. *)
 
 module Make (F : Gripps_numeric.Field.ORDERED_FIELD) : sig
   type t
@@ -16,22 +22,50 @@ module Make (F : Gripps_numeric.Field.ORDERED_FIELD) : sig
 
   val add_edge : t -> src:int -> dst:int -> cap:F.t -> int
   (** Adds a directed edge and its residual twin; returns an edge handle
-      for {!flow_on} / {!capacity_on}.
-      @raise Invalid_argument on out-of-range vertices or negative
-      capacity. *)
+      for {!flow_on} / {!capacity_on}.  The twin of handle [e] lives at
+      [e lxor 1].
+      @raise Invalid_argument on out-of-range vertices (the message names
+      the offending endpoint) or negative capacity. *)
 
   val set_capacity : t -> int -> F.t -> unit
-  (** Reset an edge's capacity (its flow is reset to zero as well). *)
+  (** Reset an edge's capacity (its flow is reset to zero as well, so the
+      network's flow is only meaningful again after a cold {!max_flow}).
+      @raise Invalid_argument on a negative capacity or a handle that is
+      out of range or a residual twin. *)
 
-  val max_flow : t -> source:int -> sink:int -> F.t
+  val update_capacity : t -> source:int -> sink:int -> int -> F.t -> unit
+  (** Warm capacity update: set edge [e]'s capacity while preserving a
+      valid flow.  If the current flow on [e] exceeds the new capacity,
+      the excess is rerouted through the residual network when possible
+      and otherwise cancelled back towards [source]/[sink], so the graph
+      always holds a feasible (not necessarily maximum) flow afterwards.
+      @raise Invalid_argument as {!set_capacity}. *)
+
+  val scale_capacities : t -> F.t -> unit
+  (** Multiply every capacity (and the flow riding on it) by a positive
+      factor.  Used to refine the integer grid of scaled-capacity graphs
+      without discarding the current flow.
+      @raise Invalid_argument on a non-positive factor. *)
+
+  val max_flow : ?warm:bool -> t -> source:int -> sink:int -> F.t
   (** Computes a maximum flow; the flow decomposition is then readable via
-      {!flow_on}.  Can be called again after capacity updates; flows are
-      recomputed from scratch. *)
+      {!flow_on}.  With [~warm:true] the current residual state (as left
+      by a previous run plus {!update_capacity} calls) is taken as the
+      starting flow and only the missing augmentations run; the default
+      [false] recomputes from scratch.  Both return the total flow
+      value. *)
 
   val flow_on : t -> int -> F.t
   val capacity_on : t -> int -> F.t
 
+  val flow_value : t -> source:int -> F.t
+  (** Net flow currently leaving [source] (without recomputing anything). *)
+
   val min_cut : t -> source:int -> bool array
   (** After {!max_flow}: characteristic vector of the source side of a
       minimum cut (vertices reachable in the residual graph). *)
+
+  val augmentations : t -> int
+  (** Cumulative number of augmenting paths pushed since [create]
+      (including warm-start repair walks). *)
 end

@@ -45,3 +45,19 @@ val ge : t -> t -> bool
 val of_string : string -> t
 (** Accepts ["a"], ["a/b"] and decimal notation ["a.b"].
     @raise Invalid_argument on malformed input. *)
+
+(** {1 Fast-path instrumentation}
+
+    Rationals whose components fit a native [int] are stored unboxed and
+    served by overflow-checked machine arithmetic; only genuine overflows
+    fall back to the {!Bigint} representation.  Two global counters track
+    how often each route runs. *)
+
+type ops_stats = { fast_hits : int; fast_falls : int }
+
+val stats : unit -> ops_stats
+(** Cumulative counts since the last {!reset_stats}: [fast_hits] is the
+    number of arithmetic/comparison operations served entirely by native
+    ints, [fast_falls] the number that needed Bigint arithmetic. *)
+
+val reset_stats : unit -> unit

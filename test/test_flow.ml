@@ -247,5 +247,161 @@ let prop_mcmf_cost_matches_lp =
         && abs_float (mc +. neg_cost) < 1e-6
       | FS.Infeasible | FS.Unbounded -> false)
 
+(* ---- residual-twin invariant and argument validation ------------------ *)
+
+let test_residual_twin_invariant () =
+  let q = Q.of_ints in
+  let g = QMax.create ~n:4 in
+  let e1 = QMax.add_edge g ~src:0 ~dst:1 ~cap:(q 3 2) in
+  let e2 = QMax.add_edge g ~src:1 ~dst:3 ~cap:(q 1 1) in
+  (* Handles are the even slots; the twin of e lives at e lxor 1. *)
+  Alcotest.(check int) "first handle" 0 e1;
+  Alcotest.(check int) "second handle" 2 e2;
+  let f = QMax.max_flow g ~source:0 ~sink:3 in
+  Alcotest.(check string) "value" "1" (Q.to_string f);
+  (* flow_on reads the twin's residual capacity: both views must agree. *)
+  List.iter
+    (fun e ->
+      Alcotest.(check string)
+        (Printf.sprintf "cap split of edge %d" e)
+        (Q.to_string (QMax.capacity_on g e))
+        (Q.to_string (Q.add (QMax.flow_on g e) (Q.sub (QMax.capacity_on g e) (QMax.flow_on g e)))))
+    [ e1; e2 ];
+  Alcotest.(check string) "flow on saturated edge" "1" (Q.to_string (QMax.flow_on g e2))
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let check_invalid msg fragment f =
+  match f () with
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+  | exception Invalid_argument m ->
+    if not (contains m fragment) then
+      Alcotest.failf "%s: message %S does not mention %S" msg m fragment
+
+let test_maxflow_argument_errors () =
+  let g = FMax.create ~n:3 in
+  let e = FMax.add_edge g ~src:0 ~dst:1 ~cap:1.0 in
+  check_invalid "src out of range" "src vertex 7 out of range [0, 3)" (fun () ->
+      FMax.add_edge g ~src:7 ~dst:1 ~cap:1.0);
+  check_invalid "negative src" "src vertex -1 out of range [0, 3)" (fun () ->
+      FMax.add_edge g ~src:(-1) ~dst:1 ~cap:1.0);
+  check_invalid "dst out of range" "dst vertex 3 out of range [0, 3)" (fun () ->
+      FMax.add_edge g ~src:0 ~dst:3 ~cap:1.0);
+  check_invalid "negative capacity" "negative capacity" (fun () ->
+      FMax.add_edge g ~src:0 ~dst:1 ~cap:(-1.0));
+  check_invalid "twin rejected" "residual twin, not an edge handle" (fun () ->
+      FMax.set_capacity g (e + 1) 2.0);
+  check_invalid "twin rejected (update)" "residual twin, not an edge handle"
+    (fun () -> FMax.update_capacity g ~source:0 ~sink:2 (e + 1) 2.0);
+  check_invalid "handle out of range" "edge handle 8 out of range [0, 2)"
+    (fun () -> FMax.set_capacity g 8 2.0);
+  check_invalid "negative handle" "edge handle -2 out of range" (fun () ->
+      FMax.set_capacity g (-2) 2.0)
+
+(* ---- warm-started max-flow vs cold recomputation ----------------------
+
+   Random small graphs, random sequences of capacity updates.  After each
+   update the warm graph resumes from its repaired residual state; a
+   freshly built graph with the same capacities gives the reference.
+   Values must agree exactly (rational arithmetic). *)
+
+type update_script = {
+  us_n : int;
+  us_edges : (int * int * Q.t) list;  (* src, dst, initial cap *)
+  us_updates : (int * Q.t) list;      (* edge index in us_edges, new cap *)
+}
+
+let small_cap_gen =
+  QCheck2.Gen.(
+    let* n = int_range 0 12 in
+    let* d = int_range 1 4 in
+    return (Q.of_ints n d))
+
+let script_gen =
+  QCheck2.Gen.(
+    let* n = int_range 3 6 in
+    let* nedges = int_range 2 10 in
+    let edge_gen =
+      let* u = int_range 0 (n - 1) in
+      let* v = int_range 0 (n - 1) in
+      let* c = small_cap_gen in
+      return (u, (v + 1) mod n, c)
+    in
+    let* edges0 = list_size (return nedges) edge_gen in
+    let edges = List.filter (fun (u, v, _) -> u <> v) edges0 in
+    let nkept = List.length edges in
+    let* updates =
+      if nkept = 0 then return []
+      else
+        list_size (int_range 1 8)
+          (let* i = int_range 0 (nkept - 1) in
+           let* c = small_cap_gen in
+           return (i, c))
+    in
+    return { us_n = n; us_edges = edges; us_updates = updates })
+
+let build_graph n edges =
+  let g = QMax.create ~n in
+  let handles = List.map (fun (u, v, c) -> QMax.add_edge g ~src:u ~dst:v ~cap:c) edges in
+  (g, Array.of_list handles)
+
+let prop_warm_equals_cold =
+  QCheck2.Test.make ~name:"warm-started max-flow equals cold recomputation"
+    ~count:300 script_gen (fun sc ->
+      let source = 0 and sink = sc.us_n - 1 in
+      let caps = Array.of_list (List.map (fun (_, _, c) -> c) sc.us_edges) in
+      let warm_g, warm_h = build_graph sc.us_n sc.us_edges in
+      let f0 = QMax.max_flow warm_g ~source ~sink in
+      let cold () =
+        let g, _ = build_graph sc.us_n
+            (List.mapi (fun i (u, v, _) -> (u, v, caps.(i))) sc.us_edges)
+        in
+        QMax.max_flow g ~source ~sink
+      in
+      Q.equal f0 (cold ())
+      && List.for_all
+           (fun (i, c) ->
+             caps.(i) <- c;
+             QMax.update_capacity warm_g ~source ~sink warm_h.(i) c;
+             let fw = QMax.max_flow ~warm:true warm_g ~source ~sink in
+             Q.equal fw (cold ())
+             && Q.equal fw (QMax.flow_value warm_g ~source))
+           sc.us_updates)
+
+let test_warm_update_decrease_reroutes () =
+  (* Two disjoint 2-hop paths; shrinking the used one mid-flight must
+     reroute through the other and keep the flow maximal after a warm
+     resume. *)
+  let q = Q.of_ints in
+  let g = QMax.create ~n:4 in
+  let top = QMax.add_edge g ~src:0 ~dst:1 ~cap:(q 2 1) in
+  ignore (QMax.add_edge g ~src:1 ~dst:3 ~cap:(q 2 1));
+  ignore (QMax.add_edge g ~src:0 ~dst:2 ~cap:(q 2 1));
+  ignore (QMax.add_edge g ~src:2 ~dst:3 ~cap:(q 2 1));
+  Alcotest.(check string) "cold value" "4"
+    (Q.to_string (QMax.max_flow g ~source:0 ~sink:3));
+  QMax.update_capacity g ~source:0 ~sink:3 top (q 1 2);
+  Alcotest.(check string) "warm value after shrink" "5/2"
+    (Q.to_string (QMax.max_flow ~warm:true g ~source:0 ~sink:3));
+  Alcotest.(check string) "clamped edge respects new cap" "1/2"
+    (Q.to_string (QMax.flow_on g top));
+  let before = QMax.augmentations g in
+  Alcotest.(check string) "idempotent warm rerun" "5/2"
+    (Q.to_string (QMax.max_flow ~warm:true g ~source:0 ~sink:3));
+  Alcotest.(check int) "saturated warm rerun augments nothing" before
+    (QMax.augmentations g)
+
 let suite =
-  (fst suite, snd suite @ [ QCheck_alcotest.to_alcotest prop_mcmf_cost_matches_lp ])
+  ( fst suite,
+    snd suite
+    @ [ QCheck_alcotest.to_alcotest prop_mcmf_cost_matches_lp;
+        Alcotest.test_case "residual twin invariant" `Quick
+          test_residual_twin_invariant;
+        Alcotest.test_case "argument validation messages" `Quick
+          test_maxflow_argument_errors;
+        Alcotest.test_case "warm update reroutes a shrunk edge" `Quick
+          test_warm_update_decrease_reroutes;
+        QCheck_alcotest.to_alcotest prop_warm_equals_cold ] )

@@ -98,10 +98,81 @@ let prop_exact_sum_of_floats =
       let sum l = List.fold_left (fun acc f -> Q.add acc (Q.of_float f)) Q.zero l in
       Q.equal (sum fs) (sum (List.rev fs)))
 
+(* ---- fast path vs Bigint reference ------------------------------------
+
+   Rat serves small values with overflow-checked native arithmetic and
+   falls back to Bigint.  These properties recompute every operation
+   through Q.make on raw Bigint products — a route that never uses the
+   checked fast path — on operands drawn around the overflow boundaries
+   (2^31, max_int/2, max_int), so both the hit and the fall branches are
+   exercised and must agree. *)
+
+let boundary_int_gen =
+  QCheck2.Gen.(
+    let* base =
+      oneof
+        [ int_range (-1000) 1000;
+          map (fun k -> (1 lsl 31) + k) (int_range (-3) 3);
+          map (fun k -> (max_int / 2) + k) (int_range (-3) 3);
+          map (fun k -> max_int - k) (int_range 0 3) ]
+    in
+    let* neg = bool in
+    return (if neg then -base else base))
+
+let boundary_rat_gen =
+  QCheck2.Gen.(
+    let* n = boundary_int_gen in
+    let* d = boundary_int_gen in
+    return (q n (if d = 0 then 1 else d)))
+
+let ref_add a b =
+  Q.make
+    (B.add (B.mul (Q.num a) (Q.den b)) (B.mul (Q.num b) (Q.den a)))
+    (B.mul (Q.den a) (Q.den b))
+
+let ref_mul a b = Q.make (B.mul (Q.num a) (Q.num b)) (B.mul (Q.den a) (Q.den b))
+
+let prop_fast_path_matches_reference =
+  QCheck2.Test.make ~name:"fast path agrees with Bigint reference" ~count:1000
+    QCheck2.Gen.(pair boundary_rat_gen boundary_rat_gen)
+    (fun (a, b) ->
+      Q.equal (Q.add a b) (ref_add a b)
+      && Q.equal (Q.sub a b) (ref_add a (Q.neg b))
+      && Q.equal (Q.mul a b) (ref_mul a b)
+      && (Q.is_zero b || Q.equal (Q.div a b) (ref_mul a (Q.inv b)))
+      && Q.compare a b
+         = B.compare (B.mul (Q.num a) (Q.den b)) (B.mul (Q.num b) (Q.den a)))
+
+let prop_fast_path_string_identical =
+  QCheck2.Test.make
+    ~name:"fast and fallback results render identically (canonical form)"
+    ~count:500
+    QCheck2.Gen.(pair boundary_rat_gen boundary_rat_gen)
+    (fun (a, b) ->
+      String.equal (Q.to_string (Q.add a b)) (Q.to_string (ref_add a b))
+      && String.equal (Q.to_string (Q.mul a b)) (Q.to_string (ref_mul a b)))
+
+let test_fast_path_counters () =
+  Q.reset_stats ();
+  ignore (Q.add (q 1 2) (q 1 3));
+  let s = Q.stats () in
+  Alcotest.(check bool) "small add hits" true (s.Q.fast_hits > 0);
+  Alcotest.(check int) "small add does not fall" 0 s.Q.fast_falls;
+  Q.reset_stats ();
+  (* (max_int-1)/1 + (max_int-1)/1 overflows the native numerator. *)
+  let big = q (max_int - 1) 1 in
+  let sum = Q.add big big in
+  let s = Q.stats () in
+  Alcotest.(check bool) "overflow falls back" true (s.Q.fast_falls > 0);
+  Alcotest.(check bool) "fallback result exact" true
+    (Q.equal sum (Q.make (B.mul (B.of_int 2) (B.of_int (max_int - 1))) (B.of_int 1)));
+  Q.reset_stats ()
+
 let qcheck_cases =
   List.map QCheck_alcotest.to_alcotest
     [ prop_of_float_roundtrip; prop_field_axioms; prop_compare_antisymmetric;
-      prop_exact_sum_of_floats ]
+      prop_exact_sum_of_floats; prop_fast_path_matches_reference;
+      prop_fast_path_string_identical ]
 
 let suite =
   ( "rat",
@@ -110,5 +181,6 @@ let suite =
       Alcotest.test_case "comparison" `Quick test_compare;
       Alcotest.test_case "floor/ceil" `Quick test_floor_ceil;
       Alcotest.test_case "of_float exactness" `Quick test_of_float_exact;
-      Alcotest.test_case "of_string" `Quick test_of_string ]
+      Alcotest.test_case "of_string" `Quick test_of_string;
+      Alcotest.test_case "fast-path counters" `Quick test_fast_path_counters ]
     @ qcheck_cases )
