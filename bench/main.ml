@@ -122,7 +122,7 @@ let scheduler_tests () =
       Test.make
         ~name:(Printf.sprintf "overhead:%s" s.Gripps_engine.Sim.name)
         (Staged.stage (fun () -> ignore (Gripps_engine.Sim.run ~horizon:1e9 s inst))))
-    E.Runner.portfolio
+    (E.Sched_registry.schedulers E.Sched_registry.all)
 
 (* Fault-injection overhead: the same instance and scheduler fault-free
    and under a seeded outage trace, for both loss semantics.  Measures

@@ -53,8 +53,7 @@ let config ~sites ~databases ~availability ~density ~horizon =
 
 (* ---- run -------------------------------------------------------------- *)
 
-let scheduler_by_name name =
-  List.find_opt (fun s -> s.Sim.name = name) E.Runner.portfolio
+let scheduler_by_name = E.Sched_registry.find_scheduler
 
 let run_cmd =
   let scheduler_t =
@@ -79,21 +78,22 @@ let run_cmd =
       (Platform.total_speed (Instance.platform inst));
     let schedulers =
       match scheduler with
-      | None -> E.Runner.portfolio
+      | None -> E.Sched_registry.schedulers E.Sched_registry.all
       | Some name ->
         (match scheduler_by_name name with
          | Some s -> [ s ]
          | None ->
            Printf.eprintf "unknown scheduler %s; available: %s\n" name
-             (String.concat ", " E.Runner.portfolio_names);
+             (String.concat ", " E.Sched_registry.names);
            exit 2)
     in
     let r = E.Runner.run_instance ~schedulers c inst in
-    Printf.printf "%-14s %12s %12s %10s\n" "scheduler" "max-stretch" "sum-stretch" "time(s)";
+    Printf.printf "%-14s %12s %12s %10s %10s\n" "scheduler" "max-stretch"
+      "sum-stretch" "time(s)" "solver(s)";
     List.iter
       (fun (m : E.Runner.measurement) ->
-        Printf.printf "%-14s %12.4f %12.4f %10.3f\n" m.scheduler m.max_stretch
-          m.sum_stretch m.wall_time)
+        Printf.printf "%-14s %12.4f %12.4f %10.3f %10.3f\n" m.scheduler m.max_stretch
+          m.sum_stretch m.wall_time m.solver_time)
       r.measurements;
     if gantt then
       List.iter
@@ -306,6 +306,111 @@ let faults_cmd =
         (const action $ seed_t $ sites_t $ databases_t $ availability_t $ density_t
          $ horizon_t 60.0 $ instances_t 3 $ mtbf_t $ mttr_t $ pause_t))
 
+(* ---- trace ------------------------------------------------------------ *)
+
+let trace_cmd =
+  let scenario_t =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO"
+          ~doc:"Pinned scenario name (omit to list them, or to verify all \
+                with $(b,--verify)).")
+  in
+  let level_t =
+    let parse = function
+      | "counter" -> Ok `Counter
+      | "span" -> Ok `Span
+      | "event" -> Ok `Event
+      | s -> Error (`Msg (Printf.sprintf "unknown level %s (counter|span|event)" s))
+    in
+    let print fmt l =
+      Format.pp_print_string fmt
+        (match l with `Counter -> "counter" | `Span -> "span" | `Event -> "event")
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) `Event
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:"Observability level: $(b,counter), $(b,span) or $(b,event) \
+                (default event).")
+  in
+  let jsonl_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Write the structured event journal to $(docv), one JSON \
+                object per line (implies --level event).")
+  in
+  let verify_t =
+    Arg.(
+      value & flag
+      & info [ "verify" ]
+          ~doc:"Replay the journal through the JSONL encoding and check \
+                that the rebuilt schedule reproduces the live metrics \
+                bit-for-bit.  Exits non-zero on mismatch.")
+  in
+  let action scenario level jsonl verify =
+    let module T = E.Trace in
+    let list_scenarios () =
+      Printf.printf "pinned scenarios:\n";
+      List.iter
+        (fun (s : T.scenario) ->
+          Printf.printf "  %-14s %s\n" s.T.sc_name s.T.description)
+        T.scenarios
+    in
+    let resolve name =
+      match T.find name with
+      | Some s -> s
+      | None ->
+        Printf.eprintf "unknown scenario %s; available: %s\n" name
+          (String.concat ", " (List.map (fun s -> s.T.sc_name) T.scenarios));
+        exit 2
+    in
+    if verify then begin
+      let targets =
+        match scenario with
+        | None -> T.scenarios
+        | Some name -> [ resolve name ]
+      in
+      let vs = List.map T.verify targets in
+      List.iter (fun v -> print_string (T.render_verification v)) vs;
+      if not (List.for_all (fun v -> v.T.v_ok) vs) then exit 1
+    end
+    else begin
+      match scenario with
+      | None -> list_scenarios ()
+      | Some name ->
+        let sc = resolve name in
+        let level =
+          if jsonl <> None then Gripps_obs.Obs.Events
+          else
+            match level with
+            | `Counter -> Gripps_obs.Obs.Counters
+            | `Span -> Gripps_obs.Obs.Spans
+            | `Event -> Gripps_obs.Obs.Events
+        in
+        let r = T.run ~level sc in
+        (match jsonl with
+         | Some path ->
+           Gripps_obs.Obs.Journal.write_jsonl ~path
+             r.T.report.Gripps_engine.Sim.journal;
+           Printf.eprintf "wrote %d journal records to %s\n%!"
+             (List.length r.T.report.Gripps_engine.Sim.journal) path
+         | None -> ());
+        print_string (T.render_result r)
+    end;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a pinned scenario with full observability: trace spans, \
+          counters and the structured event journal, with JSONL export \
+          and replay-based verification.")
+    Term.(ret (const action $ scenario_t $ level_t $ jsonl_t $ verify_t))
+
 (* ---- validate --------------------------------------------------------- *)
 
 let validate_cmd =
@@ -337,6 +442,6 @@ let main =
          "Reproduction of 'Minimizing the stretch when scheduling flows of \
           biological requests' (Legrand, Su, Vivien).")
     [ run_cmd; optimal_cmd; table_cmd; figure_cmd; overhead_cmd; perf_cmd;
-      faults_cmd; validate_cmd ]
+      faults_cmd; trace_cmd; validate_cmd ]
 
 let () = exit (Cmd.eval main)

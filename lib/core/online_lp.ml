@@ -1,5 +1,13 @@
 open Gripps_engine
 open Gripps_sched
+module Obs = Gripps_obs.Obs
+
+(* Observability: one counter per replan outcome.  [degraded] replans are
+   the fallback path (solver budget blown, or every machine down) — the
+   resilience study watches this to tell "scheduler coped" apart from
+   "scheduler gave up". *)
+let c_replans = Obs.Counter.make "online.replans"
+let c_degraded = Obs.Counter.make "online.degraded_replans"
 
 (* Arrivals change the pending-work problem; so do machine failures and
    recoveries (the snapshot excludes down machines, so the LP must be
@@ -20,13 +28,23 @@ let needs_replan events =
    replan) or the solver blew its budget (the caller degrades to greedy
    SWRPT list scheduling — the plan player's own fallback). *)
 let solve_state ?budget st ~refine =
+  Obs.Span.with_ "online.replan" @@ fun () ->
+  Obs.Counter.incr c_replans;
+  let degraded reason =
+    Obs.Counter.incr c_degraded;
+    if Obs.Journal.on () then
+      Obs.Journal.record
+        (Obs.Journal.Note { key = "online.degraded"; value = reason });
+    None
+  in
   let snap = Snapshot.of_state st in
-  if snap.Snapshot.problem.Stretch_solver.machines = [] then None
+  if snap.Snapshot.problem.Stretch_solver.machines = [] then
+    degraded "all machines down"
   else begin
     let floor = Gripps_numeric.Rat.to_float (Snapshot.stretch_floor st) in
     match Stretch_solver.solve_float ?budget ~floor ~refine snap.Snapshot.problem with
     | a -> Some (snap, a)
-    | exception Stretch_solver.Budget_exhausted _ -> None
+    | exception Stretch_solver.Budget_exhausted _ -> degraded "solver budget exhausted"
   end
 
 (* Online and Online-EDF: solve + realize into commitments, replayed by a

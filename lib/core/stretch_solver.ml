@@ -73,27 +73,40 @@ type stats = {
   rat_fast_falls : int;
 }
 
-let exact_probe_count = ref 0
-let float_probe_count = ref 0
-let build_count = ref 0
-let warm_update_count = ref 0
-let augmenting_path_count = ref 0
+(* The counters live in the shared observability registry
+   ([Gripps_obs.Obs]); [stats]/[reset_stats] remain as the historical
+   facade over them.  The rational fast-path counters keep their storage
+   in [Gripps_numeric.Rat] (the numeric layer stays dependency-free) and
+   are exposed to the registry as polled gauges. *)
+
+module Obs = Gripps_obs.Obs
+
+let exact_probe_count = Obs.Counter.make "solver.exact_probes"
+let float_probe_count = Obs.Counter.make "solver.float_probes"
+let build_count = Obs.Counter.make "solver.graph_builds"
+let warm_update_count = Obs.Counter.make "solver.warm_updates"
+let augmenting_path_count = Obs.Counter.make "solver.augmenting_paths"
+
+let () =
+  Obs.register_poll "rat.fast_hits" (fun () -> (Q.stats ()).Q.fast_hits);
+  Obs.register_poll "rat.fast_falls" (fun () -> (Q.stats ()).Q.fast_falls);
+  Obs.register_reset Q.reset_stats
 
 let reset_stats () =
-  exact_probe_count := 0;
-  float_probe_count := 0;
-  build_count := 0;
-  warm_update_count := 0;
-  augmenting_path_count := 0;
+  Obs.Counter.reset exact_probe_count;
+  Obs.Counter.reset float_probe_count;
+  Obs.Counter.reset build_count;
+  Obs.Counter.reset warm_update_count;
+  Obs.Counter.reset augmenting_path_count;
   Q.reset_stats ()
 
 let stats () =
   let r = Q.stats () in
-  { exact_probes = !exact_probe_count;
-    float_probes = !float_probe_count;
-    graph_builds = !build_count;
-    warm_updates = !warm_update_count;
-    augmenting_paths = !augmenting_path_count;
+  { exact_probes = Obs.Counter.value exact_probe_count;
+    float_probes = Obs.Counter.value float_probe_count;
+    graph_builds = Obs.Counter.value build_count;
+    warm_updates = Obs.Counter.value warm_update_count;
+    augmenting_paths = Obs.Counter.value augmenting_path_count;
     rat_fast_hits = r.Q.fast_hits;
     rat_fast_falls = r.Q.fast_falls }
 
@@ -284,7 +297,7 @@ let cell_cap n (values : Q.t array) t mi =
   Q.mul len n.machines.(mi).speed
 
 let build_graph n (geo : geometry) ~f =
-  incr build_count;
+  Obs.Counter.incr build_count;
   let njobs = Array.length n.jobs and nmach = Array.length n.machines in
   let nints = Array.length geo.s.ints in
   let cell_caps =
@@ -345,7 +358,7 @@ let build_graph n (geo : geometry) ~f =
    with the same structure, preserving the flow (warm start).  Only the
    cell -> sink capacities depend on F. *)
 let install b n ~f ~values =
-  incr warm_update_count;
+  Obs.Counter.incr warm_update_count;
   (* The point order must still hold at [f] (crossing-free invariant). *)
   Array.iteri
     (fun i v ->
@@ -371,14 +384,19 @@ let install b n ~f ~values =
 
 let sync_augmentations b =
   let a = ZFlow.augmentations b.graph in
-  augmenting_path_count := !augmenting_path_count + (a - b.aug_seen);
+  Obs.Counter.add augmenting_path_count (a - b.aug_seen);
   b.aug_seen <- a
 
 let probe b =
-  incr exact_probe_count;
+  Obs.Counter.incr exact_probe_count;
   let flow = ZFlow.max_flow ~warm:(b.solved && !warm_enabled) b.graph ~source ~sink in
   b.solved <- true;
   sync_augmentations b;
+  if Obs.Journal.on () then
+    Obs.Journal.record
+      (Obs.Journal.Probe
+         { pipeline = "exact"; stretch = Q.to_float b.f;
+           feasible = B.equal flow b.total_scaled });
   flow
 
 let same_structure (s : structure) (s' : structure) =
@@ -424,7 +442,7 @@ let feasible_norm n ~f =
    milestone bracket; bracket endpoints are re-verified exactly, so a
    wrong answer here costs time, never correctness. *)
 let feasible_float n ~f =
-  incr float_probe_count;
+  Obs.Counter.incr float_probe_count;
   let njobs = Array.length n.jobs and nmach = Array.length n.machines in
   if njobs = 0 then true
   else begin
@@ -478,7 +496,11 @@ let feasible_float n ~f =
         n.machines
     done;
     let flow = FFlow.max_flow g ~source ~sink in
-    flow >= !total *. (1.0 -. 1e-9)
+    let ok = flow >= !total *. (1.0 -. 1e-9) in
+    if Obs.Journal.on () then
+      Obs.Journal.record
+        (Obs.Journal.Probe { pipeline = "float"; stretch = f; feasible = ok });
+    ok
   end
 
 (* Milestones: positive F where a deadline crosses another deadline, a
@@ -603,9 +625,10 @@ let find_optimum ?(floor = Q.zero) ~tick n =
   attempt !lo
 
 let optimal_max_stretch ?(budget = default_budget) ?(floor = Q.zero) p =
-  let n = normalize p in
-  if Array.length n.jobs = 0 then floor
-  else fst (find_optimum ~floor ~tick:(make_ticker budget "exact") n)
+  Obs.Span.with_ "solver.exact" (fun () ->
+      let n = normalize p in
+      if Array.length n.jobs = 0 then floor
+      else fst (find_optimum ~floor ~tick:(make_ticker budget "exact") n))
 
 let feasible p ~stretch =
   let n = normalize p in
@@ -615,6 +638,7 @@ let feasible p ~stretch =
   && feasible_norm n ~f:stretch
 
 let solve ?(budget = default_budget) ?(floor = Q.zero) ?(refine = false) p =
+  Obs.Span.with_ "solver.exact" @@ fun () ->
   let n = normalize p in
   if Array.length n.jobs = 0 then { s_star = floor; intervals = [||]; work = [] }
   else begin
@@ -786,16 +810,22 @@ let fbuild fn ~f =
    a nearly-finished job could be "forgiven", its deadline would stop
    pushing the objective, and the job would starve until the plan drains. *)
 let ffeasible fn ~f =
-  incr float_probe_count;
-  if Array.length fn.frem = 0 then true
-  else begin
-    let g, _, _, src_edges = fbuild fn ~f in
-    ignore (FFlow.max_flow g ~source ~sink);
-    Array.for_all
-      (fun ji ->
-        FFlow.flow_on g src_edges.(ji) >= fn.frem.(ji) *. (1.0 -. 1e-9))
-      (Array.init (Array.length fn.frem) Fun.id)
-  end
+  Obs.Counter.incr float_probe_count;
+  let ok =
+    if Array.length fn.frem = 0 then true
+    else begin
+      let g, _, _, src_edges = fbuild fn ~f in
+      ignore (FFlow.max_flow g ~source ~sink);
+      Array.for_all
+        (fun ji ->
+          FFlow.flow_on g src_edges.(ji) >= fn.frem.(ji) *. (1.0 -. 1e-9))
+        (Array.init (Array.length fn.frem) Fun.id)
+    end
+  in
+  if Obs.Journal.on () then
+    Obs.Journal.record
+      (Obs.Journal.Probe { pipeline = "float"; stretch = f; feasible = ok });
+  ok
 
 let fmilestones fn =
   let njobs = Array.length fn.frem in
@@ -863,10 +893,12 @@ let optimal_float ?(floor = 0.0) ~tick fn =
   end
 
 let optimal_max_stretch_float ?(budget = default_budget) ?floor p =
-  let n = normalize p in
-  optimal_float ?floor ~tick:(make_ticker budget "float") (fnormalize n)
+  Obs.Span.with_ "solver.float" (fun () ->
+      let n = normalize p in
+      optimal_float ?floor ~tick:(make_ticker budget "float") (fnormalize n))
 
 let solve_float ?(budget = default_budget) ?(floor = 0.0) ?(refine = false) p =
+  Obs.Span.with_ "solver.float" @@ fun () ->
   let n = normalize p in
   let fn = fnormalize n in
   let njobs = Array.length fn.frem in

@@ -1,0 +1,24 @@
+(** Rebuilding realized schedules from observability journals.
+
+    A run journaled at [Events] level ({!Gripps_obs.Obs.set_level})
+    records every realized segment and every exact completion date, which
+    is exactly the content of a {!Gripps_model.Schedule.t}.  Replaying is
+    the integrity check behind [gripps_cli trace --verify]: the schedule
+    re-derived from the journal must yield the same
+    {!Gripps_model.Metrics.t} as the live run — bit-identical, since both
+    paths read the same floats (the JSONL encoding round-trips doubles
+    exactly). *)
+
+open Gripps_model
+
+val schedule_of_journal :
+  Instance.t -> Gripps_obs.Obs.Journal.event list -> Schedule.t
+(** Rebuild the realized schedule of the (single) run recorded in the
+    journal: segments from [Segment] records, completion dates from
+    [Sim_event Completion] records.  Events of other kinds are ignored,
+    so a journal slice containing span or probe records replays fine.
+    @raise Invalid_argument when a record references a job outside the
+    instance. *)
+
+val completed_jobs : Gripps_obs.Obs.Journal.event list -> int
+(** Number of distinct jobs with a completion record. *)

@@ -1,4 +1,6 @@
 open Gripps_model
+module Obs = Gripps_obs.Obs
+module J = Obs.Journal
 
 type allocation = (int * (int * float) list) list
 
@@ -64,7 +66,15 @@ exception
     guard : float;
     pending : int list;
     last_event : event option;
+    journal : J.event list;
   }
+
+(* Engine-level observability counters: live at every level (they are
+   plain increments), reported through the shared registry. *)
+let c_events = Obs.Counter.make "sim.events"
+let c_replans = Obs.Counter.make "sim.replans"
+let c_segments = Obs.Counter.make "sim.segments"
+let c_runs = Obs.Counter.make "sim.runs"
 
 let share_eps = 1e-9
 
@@ -100,12 +110,26 @@ let check_allocation st name (alloc : allocation) =
     alloc;
   rates
 
-type report = { schedule : Schedule.t; lost : float array }
+type report = {
+  schedule : Schedule.t;
+  metrics : Metrics.t;
+  lost : float array;
+  replans : int;
+  events : int;
+  journal : J.event list;
+}
 
 let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
   let nj = Instance.num_jobs inst in
   let platform = Instance.platform inst in
   let nm = Platform.num_machines platform in
+  let mark = J.position () in
+  let replan_count = ref 0 in
+  let event_count = ref 0 in
+  Obs.Counter.incr c_runs;
+  if J.on () then
+    J.record
+      (J.Run_start { scheduler = scheduler.name; jobs = nj; machines = nm });
   let st =
     { inst; now = 0.0; remaining = Array.map (fun (j : Job.t) -> j.size) (Instance.jobs inst);
       released = Array.make nj false; completed = Array.make nj None;
@@ -125,6 +149,41 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
      leaving slivers that would only complete when the schedule drains. *)
   let total_work = Array.fold_left ( +. ) 0.0 st.remaining in
   let callback = scheduler.make inst in
+  (* Dispatch a batch of events to the scheduler: journal the events and
+     the plan it answers with, and keep the per-run tallies. *)
+  let dispatch evs =
+    event_count := !event_count + List.length evs;
+    Obs.Counter.add c_events (List.length evs);
+    incr replan_count;
+    Obs.Counter.incr c_replans;
+    if J.on () then
+      List.iter
+        (fun e ->
+          J.record
+            (match e with
+             | Arrival j ->
+               J.Sim_event { time = st.now; kind = J.Arrival; subject = j }
+             | Completion j ->
+               (* The exact completion date [C_j] may precede the dispatch
+                  date by a rounding sliver; record the exact one so the
+                  journal re-derives bit-identical stretches. *)
+               let t = Option.value ~default:st.now st.completed.(j) in
+               J.Sim_event { time = t; kind = J.Completion; subject = j }
+             | Boundary ->
+               J.Sim_event { time = st.now; kind = J.Boundary; subject = -1 }
+             | Failure m ->
+               J.Sim_event { time = st.now; kind = J.Failure; subject = m }
+             | Recovery m ->
+               J.Sim_event { time = st.now; kind = J.Recovery; subject = m }))
+        evs;
+    let p = callback st evs in
+    if J.on () then
+      J.record
+        (J.Replan
+           { time = st.now; scheduler = scheduler.name;
+             allocation = p.allocation; horizon = p.horizon });
+    p
+  in
   let segments = ref [] in
   let next_arrival = ref 0 in
   let last_event = ref None in
@@ -168,7 +227,7 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
     let fault_evs = pop_faults st.now in
     let evs = pop_arrivals st.now @ fault_evs in
     (match List.rev evs with e :: _ -> last_event := Some e | [] -> ());
-    plan := callback st evs
+    plan := dispatch evs
   end;
   while not (finished ()) do
     (match horizon with
@@ -176,7 +235,8 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
        raise
          (Horizon_exceeded
             { scheduler = scheduler.name; time = st.now; guard = h;
-              pending = active_jobs st; last_event = !last_event })
+              pending = active_jobs st; last_event = !last_event;
+              journal = J.since mark })
      | Some _ | None -> ());
     let rates = check_allocation st scheduler.name !plan.allocation in
     (* Earliest completion under the current rates. *)
@@ -238,10 +298,16 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
       if !any_crash then List.filter (fun (mid, _) -> not crashing.(mid)) !plan.allocation
       else !plan.allocation
     in
-    if dt > 0.0 && delivered <> [] then
+    if dt > 0.0 && delivered <> [] then begin
       segments :=
         { Schedule.start_time = st.now; end_time = t_next; shares = delivered }
         :: !segments;
+      Obs.Counter.incr c_segments;
+      if J.on () then
+        J.record
+          (J.Segment
+             { start_time = st.now; end_time = t_next; shares = delivered })
+    end;
     let eps_t = 1e-9 *. Float.max 1.0 (abs_float t_next) in
     let completions = ref [] in
     for j = 0 to nj - 1 do
@@ -285,12 +351,34 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
     in
     let events = arrivals @ List.rev !completions @ fault_evs @ boundary in
     (match List.rev events with e :: _ -> last_event := Some e | [] -> ());
-    if not (finished ()) then plan := callback st events
+    if not (finished ()) then plan := dispatch events
+    else begin
+      (* Journal the final completion batch even though no replan follows:
+         the journal must contain every job's exact completion date. *)
+      event_count := !event_count + List.length events;
+      Obs.Counter.add c_events (List.length events);
+      if J.on () then
+        List.iter
+          (fun e ->
+            match e with
+            | Completion j ->
+              let t = Option.value ~default:st.now st.completed.(j) in
+              J.record (J.Sim_event { time = t; kind = J.Completion; subject = j })
+            | Arrival _ | Boundary | Failure _ | Recovery _ -> ())
+          events
+    end
   done;
-  { schedule =
-      Schedule.make ~instance:inst ~segments:(List.rev !segments)
-        ~completion:(Array.copy st.completed);
-    lost = Array.copy st.lost }
+  if J.on () then J.record (J.Run_end { time = st.now; completed = nj });
+  let schedule =
+    Schedule.make ~instance:inst ~segments:(List.rev !segments)
+      ~completion:(Array.copy st.completed)
+  in
+  { schedule;
+    metrics = Metrics.of_schedule schedule;
+    lost = Array.copy st.lost;
+    replans = !replan_count;
+    events = !event_count;
+    journal = J.since mark }
 
 let run ?horizon ?faults ?loss scheduler inst =
   (run_report ?horizon ?faults ?loss scheduler inst).schedule

@@ -91,14 +91,27 @@ exception
     guard : float;           (** the [?horizon] value *)
     pending : int list;      (** jobs still unfinished *)
     last_event : event option;  (** last event dispatched to the scheduler *)
+    journal : Gripps_obs.Obs.Journal.event list;
+        (** the partial event journal of the aborted run — empty unless
+            the observability level is [Events] *)
   }
 (** Raised when the simulation advances past the [?horizon] abort guard —
     the diagnostic payload identifies where and on whose watch the run was
-    dragged out. *)
+    dragged out, and (at [Events] observability level) carries the partial
+    journal so the drag-out can be traced post mortem. *)
 
+(** The single result shape of a simulation: the realized schedule, its
+    metrics, the fault diagnostics, and the observability summary.  All
+    entry points return it ({!run} merely projects out the schedule). *)
 type report = {
   schedule : Schedule.t;
-  lost : float array;  (** per-job Mflop destroyed by crashes *)
+  metrics : Metrics.t;  (** objectives of the realized schedule *)
+  lost : float array;   (** per-job Mflop destroyed by crashes *)
+  replans : int;        (** scheduler callback invocations *)
+  events : int;         (** simulation events dispatched (incl. batches) *)
+  journal : Gripps_obs.Obs.Journal.event list;
+      (** typed per-run trace — empty unless the observability level is
+          [Events] (see {!Gripps_obs.Obs.set_level}) *)
 }
 
 val run_report :
@@ -128,4 +141,4 @@ val run :
   scheduler ->
   Instance.t ->
   Schedule.t
-(** {!run_report} without the fault diagnostics. *)
+(** [run ... = (run_report ...).schedule]. *)

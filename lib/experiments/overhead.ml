@@ -4,6 +4,7 @@ module S = Gripps_core.Stretch_solver
 type entry = {
   scheduler : string;
   wall : Stats.summary;
+  solver_wall : Stats.summary;
   solver : S.stats;  (* summed over the scheduler's runs *)
 }
 
@@ -32,7 +33,8 @@ let measure ?(seed = 20060303) ?(instances = 3) ?(horizon = 60.0) () =
           (fun (r : Runner.instance_result) ->
             List.filter_map
               (fun (m : Runner.measurement) ->
-                if m.scheduler = name then Some (m.wall_time, m.solver)
+                if m.scheduler = name then
+                  Some (m.wall_time, m.solver_time, m.solver)
                 else None)
               r.measurements)
           results
@@ -42,12 +44,13 @@ let measure ?(seed = 20060303) ?(instances = 3) ?(horizon = 60.0) () =
       | _ ->
         Some
           { scheduler = name;
-            wall = Stats.summarize (List.map fst runs);
+            wall = Stats.summarize (List.map (fun (w, _, _) -> w) runs);
+            solver_wall = Stats.summarize (List.map (fun (_, s, _) -> s) runs);
             solver =
               List.fold_left
-                (fun acc (_, s) -> sum_stats acc s)
+                (fun acc (_, _, s) -> sum_stats acc s)
                 zero_stats runs })
-    Runner.portfolio_names
+    Sched_registry.names
 
 type scaling_sample = {
   jobs : int;

@@ -7,6 +7,10 @@
 type entry = {
   scheduler : string;
   wall : Stats.summary;
+  solver_wall : Stats.summary;
+  (** seconds inside the stretch-solver pipelines per run (span data) —
+      separated from [wall] so the table no longer conflates simulation
+      time with solver time *)
   solver : Gripps_core.Stretch_solver.stats;
   (** solver counters summed over this scheduler's runs — attributes the
       wall time to feasibility probes / flow work / rational arithmetic *)

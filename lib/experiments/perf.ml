@@ -135,8 +135,13 @@ let measure_online ~repeats () =
       ~horizon:30.0 ()
   in
   let inst = W.Generator.instance (Gripps_rng.Splitmix.create 42) c in
+  let online =
+    match Sched_registry.find_scheduler "Online" with
+    | Some s -> s
+    | None -> invalid_arg "Perf: Online missing from the scheduler registry"
+  in
   time_median_ms ~repeats (fun () ->
-      Gripps_engine.Sim.run ~horizon:1e9 Gripps_core.Online_lp.online inst)
+      Gripps_engine.Sim.run ~horizon:1e9 online inst)
 
 let default_repeats =
   match Sys.getenv_opt "GRIPPS_PERF_REPEATS" with

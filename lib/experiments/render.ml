@@ -45,8 +45,8 @@ let overhead entries =
   let b = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   add "Scheduling overhead (wall time per simulated workload, seconds)\n";
-  add "%-14s %10s %10s %10s %8s %7s %6s %8s %6s\n" "Scheduler" "Mean" "SD"
-    "Max" "probes" "builds" "warm" "augment" "hit%";
+  add "%-14s %10s %10s %10s %10s %8s %7s %6s %8s %6s\n" "Scheduler" "Mean" "SD"
+    "Max" "Solver" "probes" "builds" "warm" "augment" "hit%";
   List.iter
     (fun (e : Overhead.entry) ->
       let s = e.wall in
@@ -57,8 +57,8 @@ let overhead entries =
         if hits + falls = 0 then 100.0
         else 100.0 *. float_of_int hits /. float_of_int (hits + falls)
       in
-      add "%-14s %10.4f %10.4f %10.4f %8d %7d %6d %8d %5.1f%%\n" e.scheduler
-        s.Stats.mean s.Stats.sd s.Stats.max
+      add "%-14s %10.4f %10.4f %10.4f %10.4f %8d %7d %6d %8d %5.1f%%\n" e.scheduler
+        s.Stats.mean s.Stats.sd s.Stats.max e.solver_wall.Stats.mean
         (c.S.exact_probes + c.S.float_probes)
         c.S.graph_builds c.S.warm_updates c.S.augmenting_paths hit_pct)
     entries;

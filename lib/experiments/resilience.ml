@@ -1,7 +1,5 @@
 open Gripps_model
 open Gripps_engine
-open Gripps_core
-open Gripps_sched
 module W = Gripps_workload
 
 (* Default heuristic panel for the resilience sweep: the cheap list
@@ -10,8 +8,12 @@ module W = Gripps_workload
    left out by default — their cost is the subject of the overhead study,
    not this one — but callers may pass any panel. *)
 let default_panel =
-  [ Online_lp.online; Online_lp.online_egdf; List_sched.swrpt; List_sched.srpt;
-    Greedy.mct_div; Greedy.mct ]
+  List.map
+    (fun name ->
+      match Sched_registry.find_scheduler name with
+      | Some s -> s
+      | None -> invalid_arg ("Resilience.default_panel: unknown scheduler " ^ name))
+    [ "Online"; "Online-EGDF"; "SWRPT"; "SRPT"; "MCT-Div"; "MCT" ]
 
 type cell = {
   scheduler : string;
@@ -64,7 +66,7 @@ let run ?(schedulers = default_panel) ?(loss = Fault.Crash)
         List.iter
           (fun s ->
             let report = Sim.run_report ~horizon:1e9 ~faults ~loss s inst in
-            let m = Metrics.of_schedule report.Sim.schedule in
+            let m = report.Sim.metrics in
             let samples =
               Option.value ~default:[] (Hashtbl.find_opt acc.(i) s.Sim.name)
             in

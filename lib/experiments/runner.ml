@@ -1,21 +1,18 @@
 open Gripps_model
 open Gripps_engine
 open Gripps_core
-open Gripps_sched
 module W = Gripps_workload
+module Obs = Gripps_obs.Obs
 
-let portfolio =
-  [ Offline.scheduler; Online_lp.online; Online_lp.online_edf;
-    Online_lp.online_egdf; Bender.bender98; List_sched.swrpt; List_sched.srpt;
-    List_sched.spt; Bender.bender02; Greedy.mct_div; Greedy.mct ]
-
-let portfolio_names = List.map (fun s -> s.Sim.name) portfolio
+let portfolio = Sched_registry.schedulers Sched_registry.all
+let portfolio_names = Sched_registry.names
 
 type measurement = {
   scheduler : string;
   max_stretch : float;
   sum_stretch : float;
   wall_time : float;
+  solver_time : float;
   solver : Stretch_solver.stats;
 }
 
@@ -24,6 +21,14 @@ type instance_result = {
   num_jobs : int;
   measurements : measurement list;
 }
+
+(* Timing wants span data (that is where solver seconds come from), so a
+   run measured at the default Counters level is temporarily promoted to
+   Spans; an ambient Events level is left alone so traced runs still
+   journal. *)
+let with_spans f =
+  let l = Obs.level () in
+  Obs.with_level (if l = Obs.Counters then Obs.Spans else l) f
 
 let run_instance ?(bender98_max_sites = 3) ?(bender98_max_jobs = 60)
     ?(schedulers = portfolio) ?(faults = []) ?(loss = Fault.Crash) config inst =
@@ -37,16 +42,19 @@ let run_instance ?(bender98_max_sites = 3) ?(bender98_max_jobs = 60)
         then None
         else begin
           Stretch_solver.reset_stats ();
+          with_spans @@ fun () ->
+          let solver0 = Obs.Span.total_prefix "solver." in
           let t0 = Unix.gettimeofday () in
-          let sched = Sim.run ~horizon:1e9 ~faults ~loss s inst in
+          let m = (Sim.run_report ~horizon:1e9 ~faults ~loss s inst).Sim.metrics in
           let wall_time = Unix.gettimeofday () -. t0 in
+          let solver_time = Obs.Span.total_prefix "solver." -. solver0 in
           let solver = Stretch_solver.stats () in
-          let m = Metrics.of_schedule sched in
           Some
             { scheduler = s.Sim.name;
               max_stretch = m.Metrics.max_stretch;
               sum_stretch = m.Metrics.sum_stretch;
               wall_time;
+              solver_time;
               solver }
         end)
       schedulers

@@ -1,26 +1,38 @@
 (** Running the heuristic portfolio over random instances (paper §5.3).
 
-    The portfolio is the eleven heuristics of Table 1.  [Bender98] is only
-    run on platforms of at most [bender98_max_sites] clusters (default 3)
-    and on workloads of at most [bender98_max_jobs] jobs (default 60),
-    mirroring the paper, whose larger simulations were "practically
-    infeasible, due to the algorithm's prohibitive overhead costs" (it
-    solves a full hindsight optimum at every arrival). *)
+    The portfolio is the eleven heuristics of Table 1, now defined once
+    in {!Sched_registry}.  [Bender98] is only run on platforms of at most
+    [bender98_max_sites] clusters (default 3) and on workloads of at most
+    [bender98_max_jobs] jobs (default 60), mirroring the paper, whose
+    larger simulations were "practically infeasible, due to the
+    algorithm's prohibitive overhead costs" (it solves a full hindsight
+    optimum at every arrival). *)
 
 open Gripps_model
 open Gripps_engine
 
 val portfolio : Sim.scheduler list
+[@@ocaml.deprecated "use Sched_registry.all (project with Sched_registry.schedulers)"]
 (** Offline, Online, Online-EDF, Online-EGDF, Bender98, SWRPT, SRPT, SPT,
-    Bender02, MCT-Div, MCT — the Table 1 rows. *)
+    Bender02, MCT-Div, MCT — the Table 1 rows.
+    @deprecated use {!Sched_registry.all}. *)
 
 val portfolio_names : string list
+[@@ocaml.deprecated "use Sched_registry.names"]
+(** @deprecated use {!Sched_registry.names}. *)
 
 type measurement = {
   scheduler : string;
   max_stretch : float;
   sum_stretch : float;
-  wall_time : float;  (** seconds spent simulating (≈ scheduling overhead) *)
+  wall_time : float;
+  (** seconds of wall time for the whole simulated run (scheduling
+      overhead + engine bookkeeping) *)
+  solver_time : float;
+  (** seconds spent inside the stretch-solver pipelines during the run,
+      from the observability span data — the §5.3 overhead table reports
+      this separately so simulation time is no longer double-counted as
+      solver cost *)
   solver : Gripps_core.Stretch_solver.stats;
   (** solver-internal counters accumulated during this run (feasibility
       probes, flow-network builds and warm updates, augmenting paths,
@@ -44,7 +56,9 @@ val run_instance :
   instance_result
 (** [faults] (default none) and [loss] (default {!Fault.Crash}) inject the
     same machine-failure trace into every scheduler's run, so the
-    portfolio is compared under identical outages. *)
+    portfolio is compared under identical outages.  Runs are measured at
+    observability level [Spans] at least (promoted temporarily when the
+    ambient level is [Counters]) so that [solver_time] is populated. *)
 
 type ratio = { scheduler : string; max_ratio : float; sum_ratio : float }
 

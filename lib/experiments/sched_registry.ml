@@ -1,0 +1,36 @@
+open Gripps_engine
+open Gripps_core
+open Gripps_sched
+
+type kind = Offline | Online | Heuristic
+
+type entry = { name : string; scheduler : Sim.scheduler; kind : kind }
+
+let entry kind (s : Sim.scheduler) = { name = s.Sim.name; scheduler = s; kind }
+
+(* Table 1 order.  Bender98/Bender02 re-solve a stretch optimization at
+   every arrival, so they are on-line solver-driven schedulers even
+   though their decision rules differ from the Online family. *)
+let all =
+  [ entry Offline Gripps_core.Offline.scheduler;
+    entry Online Online_lp.online;
+    entry Online Online_lp.online_edf;
+    entry Online Online_lp.online_egdf;
+    entry Online Bender.bender98;
+    entry Heuristic List_sched.swrpt;
+    entry Heuristic List_sched.srpt;
+    entry Heuristic List_sched.spt;
+    entry Online Bender.bender02;
+    entry Heuristic Greedy.mct_div;
+    entry Heuristic Greedy.mct ]
+
+let names = List.map (fun e -> e.name) all
+let schedulers panel = List.map (fun e -> e.scheduler) panel
+let find name = List.find_opt (fun e -> e.name = name) all
+let find_scheduler name = Option.map (fun e -> e.scheduler) (find name)
+let of_kind k = List.filter (fun e -> e.kind = k) all
+
+let kind_name = function
+  | Offline -> "offline"
+  | Online -> "online"
+  | Heuristic -> "heuristic"

@@ -1,0 +1,41 @@
+(** First-class named-scheduler registry.
+
+    The paper's Table 1 portfolio used to live as two parallel lists
+    ([Runner.portfolio] / [Runner.portfolio_names]); every consumer
+    (runner, overhead study, resilience sweep, perf harness, CLI) kept
+    its own name-matching logic on top.  This module is the single
+    source of truth: one entry per scheduler, carrying its display name,
+    the {!Gripps_engine.Sim.scheduler} itself, and a coarse kind used to
+    select panels (e.g. "everything on-line" for the resilience sweep).
+
+    The old [Runner.portfolio] aliases remain for one release, marked
+    deprecated. *)
+
+open Gripps_engine
+
+type kind =
+  | Offline    (** clairvoyant: solves the hindsight optimum once *)
+  | Online     (** re-solves an optimization problem at events *)
+  | Heuristic  (** list scheduling / greedy rules, no solver *)
+
+type entry = { name : string; scheduler : Sim.scheduler; kind : kind }
+
+val all : entry list
+(** The Table 1 portfolio, in table order: Offline, Online, Online-EDF,
+    Online-EGDF, Bender98, SWRPT, SRPT, SPT, Bender02, MCT-Div, MCT. *)
+
+val names : string list
+(** Display names of {!all}, in the same order. *)
+
+val schedulers : entry list -> Sim.scheduler list
+(** Project the engine schedulers out of a panel. *)
+
+val find : string -> entry option
+(** Lookup by exact display name. *)
+
+val find_scheduler : string -> Sim.scheduler option
+
+val of_kind : kind -> entry list
+(** The sub-panel of a given kind, in portfolio order. *)
+
+val kind_name : kind -> string

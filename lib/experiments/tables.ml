@@ -42,7 +42,7 @@ let aggregate ~title results =
                 Stats.summarize (List.map (fun (r : Runner.ratio) -> r.max_ratio) mine);
               sum_stretch =
                 Stats.summarize (List.map (fun (r : Runner.ratio) -> r.sum_ratio) mine) })
-      Runner.portfolio_names
+      Sched_registry.names
   in
   { title; rows; instances = List.length results }
 

@@ -1,0 +1,169 @@
+open Gripps_model
+open Gripps_engine
+module W = Gripps_workload
+module Obs = Gripps_obs.Obs
+module J = Obs.Journal
+
+type scenario = {
+  sc_name : string;
+  description : string;
+  scheduler : string;
+  seed : int;
+  config : W.Config.t;
+  fault_mtbf : float option;
+}
+
+let scenarios =
+  let small = W.Config.make ~sites:3 ~databases:3 ~availability:0.6 ~density:1.0 in
+  [ { sc_name = "offline-exact";
+      description = "exact rational offline optimum on a 3-cluster workload";
+      scheduler = "Offline"; seed = 13; config = small ~horizon:30.0 ();
+      fault_mtbf = None };
+    { sc_name = "online-lp";
+      description = "on-line LP heuristic replanning at every event";
+      scheduler = "Online"; seed = 42; config = small ~horizon:30.0 ();
+      fault_mtbf = None };
+    { sc_name = "online-faults";
+      description = "on-line LP heuristic under Poisson machine failures";
+      scheduler = "Online"; seed = 42; config = small ~horizon:30.0 ();
+      fault_mtbf = Some 15.0 } ]
+
+let find name = List.find_opt (fun s -> s.sc_name = name) scenarios
+
+let instance_of sc =
+  W.Generator.instance (Gripps_rng.Splitmix.create sc.seed) sc.config
+
+let faults_of sc inst =
+  match sc.fault_mtbf with
+  | None -> []
+  | Some mtbf ->
+    let machines = Platform.num_machines (Instance.platform inst) in
+    Fault.poisson
+      (Gripps_rng.Splitmix.create (sc.seed + 7919))
+      ~mtbf ~mttr:(mtbf /. 10.0) ~machines
+      ~until:sc.config.W.Config.horizon
+
+type result = {
+  scenario : scenario;
+  report : Sim.report;
+  spans : Obs.Span.summary list;
+  counters : (string * int) list;
+}
+
+let scheduler_of sc =
+  match Sched_registry.find_scheduler sc.scheduler with
+  | Some s -> s
+  | None -> invalid_arg ("Trace: unknown scheduler " ^ sc.scheduler)
+
+let run ?(level = Obs.Events) sc =
+  let s = scheduler_of sc in
+  let inst = instance_of sc in
+  let faults = faults_of sc inst in
+  Obs.reset_counters ();
+  Obs.Span.reset ();
+  let report =
+    Obs.with_level level (fun () -> Sim.run_report ~horizon:1e9 ~faults s inst)
+  in
+  { scenario = sc; report; spans = Obs.Span.summaries ();
+    counters = Obs.counters () }
+
+type verification = {
+  v_scenario : string;
+  v_events : int;
+  v_roundtrip_ok : bool;
+  v_metrics_match : bool;
+  v_live : Metrics.t;
+  v_replayed : Metrics.t;
+  v_ok : bool;
+}
+
+(* Structural [compare] rather than [=]: Probe records carry NaN
+   stretches for raw flow probes, and compare treats nan = nan. *)
+let same_events a b = compare (a : J.event list) b = 0
+
+let verify sc =
+  let r = run ~level:Obs.Events sc in
+  let journal = r.report.Sim.journal in
+  let round_tripped = List.filter_map J.of_json (List.map J.to_json journal) in
+  let v_roundtrip_ok = same_events journal round_tripped in
+  let inst = instance_of sc in
+  let replayed_schedule = Replay.schedule_of_journal inst round_tripped in
+  let v_replayed = Metrics.of_schedule replayed_schedule in
+  let v_live = r.report.Sim.metrics in
+  let v_metrics_match = compare v_live v_replayed = 0 in
+  { v_scenario = sc.sc_name;
+    v_events = List.length journal;
+    v_roundtrip_ok; v_metrics_match; v_live; v_replayed;
+    v_ok = v_roundtrip_ok && v_metrics_match }
+
+(* ---- rendering -------------------------------------------------------- *)
+
+let event_histogram journal =
+  let tally = Hashtbl.create 16 in
+  let bump k =
+    Hashtbl.replace tally k (1 + Option.value ~default:0 (Hashtbl.find_opt tally k))
+  in
+  List.iter
+    (fun (e : J.event) ->
+      bump
+        (match e with
+         | J.Run_start _ -> "run-start"
+         | J.Sim_event { kind = J.Arrival; _ } -> "arrival"
+         | J.Sim_event { kind = J.Completion; _ } -> "completion"
+         | J.Sim_event { kind = J.Boundary; _ } -> "boundary"
+         | J.Sim_event { kind = J.Failure; _ } -> "failure"
+         | J.Sim_event { kind = J.Recovery; _ } -> "recovery"
+         | J.Replan _ -> "replan"
+         | J.Segment _ -> "segment"
+         | J.Probe _ -> "probe"
+         | J.Span_closed _ -> "span"
+         | J.Note _ -> "note"
+         | J.Run_end _ -> "run-end"))
+    journal;
+  List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally [])
+
+let render_result r =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let sc = r.scenario in
+  add "Trace scenario %s: %s\n" sc.sc_name sc.description;
+  add "scheduler %s, seed %d, %s%s\n" sc.scheduler sc.seed
+    (W.Config.describe sc.config)
+    (match sc.fault_mtbf with
+     | None -> ""
+     | Some m -> Printf.sprintf ", faults mtbf %.0fs" m);
+  let m = r.report.Sim.metrics in
+  add "max-stretch %.6f  sum-stretch %.6f  makespan %.3f\n"
+    m.Metrics.max_stretch m.Metrics.sum_stretch m.Metrics.makespan;
+  add "%d events, %d replans\n" r.report.Sim.events r.report.Sim.replans;
+  (match r.report.Sim.journal with
+   | [] -> ()
+   | journal ->
+     add "journal (%d records):\n" (List.length journal);
+     List.iter
+       (fun (k, n) -> add "  %-12s %6d\n" k n)
+       (event_histogram journal));
+  (match r.spans with
+   | [] -> ()
+   | spans ->
+     add "spans:\n";
+     List.iter
+       (fun (s : Obs.Span.summary) ->
+         add "  %-16s %6d x %10.6f s\n" s.Obs.Span.name s.Obs.Span.count
+           s.Obs.Span.total_s)
+       spans);
+  add "counters:\n";
+  List.iter
+    (fun (name, v) -> if v <> 0 then add "  %-24s %10d\n" name v)
+    r.counters;
+  Buffer.contents b
+
+let render_verification v =
+  Printf.sprintf
+    "verify %-14s %s  (%d events; jsonl round-trip %s; live max-stretch \
+     %.9f, replayed %.9f)\n"
+    v.v_scenario
+    (if v.v_ok then "OK" else "FAIL")
+    v.v_events
+    (if v.v_roundtrip_ok then "ok" else "MISMATCH")
+    v.v_live.Metrics.max_stretch v.v_replayed.Metrics.max_stretch

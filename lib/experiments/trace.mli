@@ -1,0 +1,68 @@
+(** Pinned trace scenarios for [gripps_cli trace].
+
+    A scenario is a deterministic (seeded) workload plus one registry
+    scheduler, optionally under a seeded machine-failure trace.  Running
+    one at {!Gripps_obs.Obs.Events} level produces the full structured
+    journal; [--verify] replays that journal through
+    {!Gripps_engine.Replay} and checks that the rebuilt schedule yields
+    exactly the metrics of the live run — after a JSONL round-trip, so
+    the serialization is covered too. *)
+
+open Gripps_model
+open Gripps_engine
+module Obs = Gripps_obs.Obs
+
+type scenario = {
+  sc_name : string;
+  description : string;
+  scheduler : string;  (** registry display name, see {!Sched_registry} *)
+  seed : int;
+  config : Gripps_workload.Config.t;
+  fault_mtbf : float option;
+      (** when set, a Poisson failure trace with this per-machine MTBF
+          (and MTTR = a tenth of it) is injected *)
+}
+
+val scenarios : scenario list
+(** The pinned set: an exact-solver offline run, an on-line LP run, and
+    an on-line run under machine failures. *)
+
+val find : string -> scenario option
+
+val instance_of : scenario -> Instance.t
+(** The deterministic instance realized by the scenario's seed. *)
+
+val faults_of : scenario -> Instance.t -> Fault.trace
+
+type result = {
+  scenario : scenario;
+  report : Sim.report;
+  spans : Obs.Span.summary list;
+  counters : (string * int) list;
+}
+
+val run : ?level:Obs.level -> scenario -> result
+(** Execute the scenario at the given observability level (default
+    {!Obs.Events}), with spans and counters reset beforehand so the
+    result is self-contained.  The journal is in
+    [result.report.Sim.journal]. *)
+
+type verification = {
+  v_scenario : string;
+  v_events : int;
+  v_roundtrip_ok : bool;  (** JSONL encode/decode reproduced every event *)
+  v_metrics_match : bool; (** replayed metrics = live metrics, bitwise *)
+  v_live : Metrics.t;
+  v_replayed : Metrics.t;
+  v_ok : bool;
+}
+
+val verify : scenario -> verification
+(** Run at {!Obs.Events} level, round-trip the journal through its JSONL
+    encoding, rebuild the schedule with {!Replay.schedule_of_journal}
+    and compare metrics bit-for-bit. *)
+
+val render_result : result -> string
+(** Human-readable summary: event histogram, replans, spans, counters. *)
+
+val render_verification : verification -> string

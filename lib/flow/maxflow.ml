@@ -7,6 +7,11 @@
    [max_flow ~warm:true] to resume augmenting from the previous flow
    instead of re-running Dinic from zero. *)
 
+(* Fleet-wide augmentation counter (all field instantiations, all graphs):
+   the per-graph [augmentations] below drives warm-start accounting, this
+   one feeds the shared observability registry. *)
+let c_augmentations = Gripps_obs.Obs.Counter.make "flow.augmentations"
+
 module Make (F : Gripps_numeric.Field.ORDERED_FIELD) = struct
   module Vec = struct
     include Gripps_collections.Vec
@@ -152,7 +157,8 @@ module Make (F : Gripps_numeric.Field.ORDERED_FIELD) = struct
         let pushed = dfs g source ~sink limit in
         if F.sign pushed > 0 then begin
           total := F.add !total pushed;
-          g.augmentations <- g.augmentations + 1
+          g.augmentations <- g.augmentations + 1;
+          Gripps_obs.Obs.Counter.incr c_augmentations
         end
         else continue := false
       done
@@ -196,7 +202,8 @@ module Make (F : Gripps_numeric.Field.ORDERED_FIELD) = struct
         let pushed = walk src (F.sub limit !total) in
         if F.sign pushed > 0 then begin
           total := F.add !total pushed;
-          g.augmentations <- g.augmentations + 1
+          g.augmentations <- g.augmentations + 1;
+          Gripps_obs.Obs.Counter.incr c_augmentations
         end
         else continue := false
       done;

@@ -1,0 +1,558 @@
+(* Observability singleton: levels, counters, spans, event journal.
+
+   Everything here is deliberately dependency-free (only [unix] for the
+   clock) so that any layer of the system — numeric, flow, engine,
+   experiments — can report through it without dependency cycles. *)
+
+type level = Counters | Spans | Events
+
+let level_rank = function Counters -> 0 | Spans -> 1 | Events -> 2
+let current_level = ref Counters
+let level () = !current_level
+let set_level l = current_level := l
+
+let with_level l f =
+  let saved = !current_level in
+  current_level := l;
+  Fun.protect ~finally:(fun () -> current_level := saved) f
+
+let spans_on () = level_rank !current_level >= 1
+let events_on () = level_rank !current_level >= 2
+
+let clock = ref Unix.gettimeofday
+let set_clock c = clock := c
+
+(* ---- counters --------------------------------------------------------- *)
+
+module Counter = struct
+  type t = { name : string; mutable v : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+      let c = { name; v = 0 } in
+      Hashtbl.replace registry name c;
+      c
+
+  let incr c = c.v <- c.v + 1
+  let add c k = c.v <- c.v + k
+  let value c = c.v
+  let reset c = c.v <- 0
+  let name c = c.name
+end
+
+let polls : (string, unit -> int) Hashtbl.t = Hashtbl.create 8
+let register_poll name f = Hashtbl.replace polls name f
+
+let reset_hooks : (unit -> unit) list ref = ref []
+let register_reset f = reset_hooks := f :: !reset_hooks
+
+let counters () =
+  let acc = ref [] in
+  Hashtbl.iter (fun name c -> acc := (name, Counter.value c) :: !acc) Counter.registry;
+  Hashtbl.iter (fun name f -> acc := (name, f ()) :: !acc) polls;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
+
+let counter_value name =
+  match Hashtbl.find_opt Counter.registry name with
+  | Some c -> Some (Counter.value c)
+  | None -> Option.map (fun f -> f ()) (Hashtbl.find_opt polls name)
+
+let reset_counters () =
+  Hashtbl.iter (fun _ c -> Counter.reset c) Counter.registry;
+  List.iter (fun f -> f ()) !reset_hooks
+
+(* ---- journal (type first: spans record into it) ----------------------- *)
+
+module Journal_t = struct
+  type sim_kind = Arrival | Completion | Boundary | Failure | Recovery
+
+  type alloc = (int * (int * float) list) list
+
+  type event =
+    | Run_start of { scheduler : string; jobs : int; machines : int }
+    | Sim_event of { time : float; kind : sim_kind; subject : int }
+    | Replan of {
+        time : float;
+        scheduler : string;
+        allocation : alloc;
+        horizon : float option;
+      }
+    | Segment of { start_time : float; end_time : float; shares : alloc }
+    | Probe of { pipeline : string; stretch : float; feasible : bool }
+    | Span_closed of {
+        name : string;
+        depth : int;
+        start_s : float;
+        dur_s : float;
+      }
+    | Note of { key : string; value : string }
+    | Run_end of { time : float; completed : int }
+end
+
+open Journal_t
+
+(* Growable array store; a list would allocate a cons per event on the
+   hot path and reverse on every read. *)
+let dummy_event = Note { key = ""; value = "" }
+let jbuf = ref (Array.make 256 dummy_event)
+let jlen = ref 0
+let jsink : (event -> unit) option ref = ref None
+
+let journal_push e =
+  if !jlen = Array.length !jbuf then begin
+    let bigger = Array.make (2 * !jlen) dummy_event in
+    Array.blit !jbuf 0 bigger 0 !jlen;
+    jbuf := bigger
+  end;
+  !jbuf.(!jlen) <- e;
+  incr jlen;
+  match !jsink with Some f -> f e | None -> ()
+
+(* ---- spans ------------------------------------------------------------ *)
+
+module Span = struct
+  type agg = { mutable count : int; mutable total_s : float }
+
+  let aggregates : (string, agg) Hashtbl.t = Hashtbl.create 16
+  let depth = ref 0
+
+  let agg_of name =
+    match Hashtbl.find_opt aggregates name with
+    | Some a -> a
+    | None ->
+      let a = { count = 0; total_s = 0.0 } in
+      Hashtbl.replace aggregates name a;
+      a
+
+  let close name d t0 =
+    let dur = !clock () -. t0 in
+    let a = agg_of name in
+    a.count <- a.count + 1;
+    a.total_s <- a.total_s +. dur;
+    if events_on () then
+      journal_push (Span_closed { name; depth = d; start_s = t0; dur_s = dur })
+
+  let with_ name f =
+    if not (spans_on ()) then f ()
+    else begin
+      let d = !depth in
+      depth := d + 1;
+      let t0 = !clock () in
+      match f () with
+      | v ->
+        depth := d;
+        close name d t0;
+        v
+      | exception e ->
+        depth := d;
+        close name d t0;
+        raise e
+    end
+
+  type summary = { name : string; count : int; total_s : float }
+
+  let summaries () =
+    Hashtbl.fold
+      (fun name (a : agg) acc ->
+        { name; count = a.count; total_s = a.total_s } :: acc)
+      aggregates []
+    |> List.sort (fun a b -> String.compare a.name b.name)
+
+  let total name =
+    match Hashtbl.find_opt aggregates name with
+    | Some a -> a.total_s
+    | None -> 0.0
+
+  let total_prefix prefix =
+    Hashtbl.fold
+      (fun name (a : agg) acc ->
+        if String.starts_with ~prefix name then acc +. a.total_s else acc)
+      aggregates 0.0
+
+  let count name =
+    match Hashtbl.find_opt aggregates name with Some a -> a.count | None -> 0
+
+  let reset () =
+    Hashtbl.reset aggregates;
+    depth := 0
+end
+
+(* ---- journal: API and JSONL ------------------------------------------- *)
+
+module Journal = struct
+  include Journal_t
+
+  let on () = events_on ()
+  let record e = if events_on () then journal_push e
+  let set_sink s = jsink := s
+  let position () = !jlen
+  let since k = Array.to_list (Array.sub !jbuf k (!jlen - k))
+  let events () = since 0
+  let clear () = jlen := 0
+
+  (* -- JSON writing.  17 significant digits round-trip every finite
+     double; non-finite floats are encoded as null / signed sentinels. -- *)
+
+  let add_float buf f =
+    if Float.is_nan f then Buffer.add_string buf "null"
+    else if f = Float.infinity then Buffer.add_string buf "1e999"
+    else if f = Float.neg_infinity then Buffer.add_string buf "-1e999"
+    else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+  let add_string buf s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+
+  let add_alloc buf (a : alloc) =
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i (m, shares) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf (Printf.sprintf "[%d,[" m);
+        List.iteri
+          (fun k (j, share) ->
+            if k > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf (Printf.sprintf "[%d," j);
+            add_float buf share;
+            Buffer.add_char buf ']')
+          shares;
+        Buffer.add_string buf "]]")
+      a;
+    Buffer.add_char buf ']'
+
+  let kind_name = function
+    | Arrival -> "arrival"
+    | Completion -> "completion"
+    | Boundary -> "boundary"
+    | Failure -> "failure"
+    | Recovery -> "recovery"
+
+  let kind_of_name = function
+    | "arrival" -> Some Arrival
+    | "completion" -> Some Completion
+    | "boundary" -> Some Boundary
+    | "failure" -> Some Failure
+    | "recovery" -> Some Recovery
+    | _ -> None
+
+  let to_json e =
+    let buf = Buffer.create 128 in
+    let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    (match e with
+     | Run_start { scheduler; jobs; machines } ->
+       add "{\"type\":\"run_start\",\"scheduler\":";
+       add_string buf scheduler;
+       add ",\"jobs\":%d,\"machines\":%d}" jobs machines
+     | Sim_event { time; kind; subject } ->
+       add "{\"type\":\"event\",\"kind\":\"%s\",\"time\":" (kind_name kind);
+       add_float buf time;
+       add ",\"subject\":%d}" subject
+     | Replan { time; scheduler; allocation; horizon } ->
+       add "{\"type\":\"replan\",\"time\":";
+       add_float buf time;
+       add ",\"scheduler\":";
+       add_string buf scheduler;
+       add ",\"alloc\":";
+       add_alloc buf allocation;
+       add ",\"horizon\":";
+       (match horizon with
+        | None -> add "null"
+        | Some h -> add_float buf h);
+       add "}"
+     | Segment { start_time; end_time; shares } ->
+       add "{\"type\":\"segment\",\"start\":";
+       add_float buf start_time;
+       add ",\"end\":";
+       add_float buf end_time;
+       add ",\"shares\":";
+       add_alloc buf shares;
+       add "}"
+     | Probe { pipeline; stretch; feasible } ->
+       add "{\"type\":\"probe\",\"pipeline\":";
+       add_string buf pipeline;
+       add ",\"stretch\":";
+       add_float buf stretch;
+       add ",\"feasible\":%b}" feasible
+     | Span_closed { name; depth; start_s; dur_s } ->
+       add "{\"type\":\"span\",\"name\":";
+       add_string buf name;
+       add ",\"depth\":%d,\"start\":" depth;
+       add_float buf start_s;
+       add ",\"dur\":";
+       add_float buf dur_s;
+       add "}"
+     | Note { key; value } ->
+       add "{\"type\":\"note\",\"key\":";
+       add_string buf key;
+       add ",\"value\":";
+       add_string buf value;
+       add "}"
+     | Run_end { time; completed } ->
+       add "{\"type\":\"run_end\",\"time\":";
+       add_float buf time;
+       add ",\"completed\":%d}" completed);
+    Buffer.contents buf
+
+  (* -- Minimal JSON reader, sufficient for lines [to_json] emits. -- *)
+
+  type json =
+    | Jnull
+    | Jbool of bool
+    | Jnum of float
+    | Jstr of string
+    | Jlist of json list
+    | Jobj of (string * json) list
+
+  exception Parse_error
+
+  let parse_json (s : string) : json =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then s.[!pos] else raise Parse_error in
+    let advance () = incr pos in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        advance ()
+      done
+    in
+    let expect c = if peek () <> c then raise Parse_error else advance () in
+    let literal lit v =
+      String.iter (fun c -> expect c) lit;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | '"' -> advance ()
+        | '\\' ->
+          advance ();
+          (match peek () with
+           | '"' -> Buffer.add_char buf '"'; advance ()
+           | '\\' -> Buffer.add_char buf '\\'; advance ()
+           | '/' -> Buffer.add_char buf '/'; advance ()
+           | 'n' -> Buffer.add_char buf '\n'; advance ()
+           | 'r' -> Buffer.add_char buf '\r'; advance ()
+           | 't' -> Buffer.add_char buf '\t'; advance ()
+           | 'b' -> Buffer.add_char buf '\b'; advance ()
+           | 'f' -> Buffer.add_char buf '\012'; advance ()
+           | 'u' ->
+             advance ();
+             if !pos + 4 > n then raise Parse_error;
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             let code =
+               try int_of_string ("0x" ^ hex) with Failure _ -> raise Parse_error
+             in
+             (* Only ASCII escapes are ever emitted. *)
+             if code < 0x80 then Buffer.add_char buf (Char.chr code)
+             else raise Parse_error
+           | _ -> raise Parse_error);
+          go ()
+        | c -> Buffer.add_char buf c; advance (); go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      while
+        !pos < n
+        && (match s.[!pos] with
+            | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+            | _ -> false)
+      do
+        advance ()
+      done;
+      if !pos = start then raise Parse_error;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> raise Parse_error
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | 'n' -> literal "null" Jnull
+      | 't' -> literal "true" (Jbool true)
+      | 'f' -> literal "false" (Jbool false)
+      | '"' -> Jstr (parse_string ())
+      | '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = ']' then begin advance (); Jlist [] end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          Jlist (List.rev !items)
+        end
+      | '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = '}' then begin advance (); Jobj [] end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Jobj (List.rev !fields)
+        end
+      | _ -> parse_number () |> fun f -> Jnum f
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then raise Parse_error;
+    v
+
+  let jfield k = function Jobj fs -> List.assoc_opt k fs | _ -> None
+
+  let jnum = function
+    | Some (Jnum f) -> f
+    | Some Jnull -> Float.nan
+    | _ -> raise Parse_error
+
+  let jint v = int_of_float (jnum v)
+  let jstr = function Some (Jstr s) -> s | _ -> raise Parse_error
+  let jbool = function Some (Jbool b) -> b | _ -> raise Parse_error
+
+  let jalloc v : alloc =
+    match v with
+    | Some (Jlist machines) ->
+      List.map
+        (function
+          | Jlist [ Jnum m; Jlist shares ] ->
+            ( int_of_float m,
+              List.map
+                (function
+                  | Jlist [ Jnum j; Jnum share ] -> (int_of_float j, share)
+                  | _ -> raise Parse_error)
+                shares )
+          | _ -> raise Parse_error)
+        machines
+    | _ -> raise Parse_error
+
+  let of_json line =
+    match parse_json line with
+    | exception Parse_error -> None
+    | j ->
+      (try
+         match jfield "type" j with
+         | Some (Jstr "run_start") ->
+           Some
+             (Run_start
+                { scheduler = jstr (jfield "scheduler" j);
+                  jobs = jint (jfield "jobs" j);
+                  machines = jint (jfield "machines" j) })
+         | Some (Jstr "event") ->
+           (match kind_of_name (jstr (jfield "kind" j)) with
+            | None -> None
+            | Some kind ->
+              Some
+                (Sim_event
+                   { time = jnum (jfield "time" j);
+                     kind;
+                     subject = jint (jfield "subject" j) }))
+         | Some (Jstr "replan") ->
+           Some
+             (Replan
+                { time = jnum (jfield "time" j);
+                  scheduler = jstr (jfield "scheduler" j);
+                  allocation = jalloc (jfield "alloc" j);
+                  horizon =
+                    (match jfield "horizon" j with
+                     | Some Jnull | None -> None
+                     | Some (Jnum h) -> Some h
+                     | Some _ -> raise Parse_error) })
+         | Some (Jstr "segment") ->
+           Some
+             (Segment
+                { start_time = jnum (jfield "start" j);
+                  end_time = jnum (jfield "end" j);
+                  shares = jalloc (jfield "shares" j) })
+         | Some (Jstr "probe") ->
+           Some
+             (Probe
+                { pipeline = jstr (jfield "pipeline" j);
+                  stretch = jnum (jfield "stretch" j);
+                  feasible = jbool (jfield "feasible" j) })
+         | Some (Jstr "span") ->
+           Some
+             (Span_closed
+                { name = jstr (jfield "name" j);
+                  depth = jint (jfield "depth" j);
+                  start_s = jnum (jfield "start" j);
+                  dur_s = jnum (jfield "dur" j) })
+         | Some (Jstr "note") ->
+           Some
+             (Note
+                { key = jstr (jfield "key" j); value = jstr (jfield "value" j) })
+         | Some (Jstr "run_end") ->
+           Some
+             (Run_end
+                { time = jnum (jfield "time" j);
+                  completed = jint (jfield "completed" j) })
+         | _ -> None
+       with Parse_error | Not_found -> None)
+
+  let write_jsonl ~path events =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        List.iter
+          (fun e ->
+            output_string oc (to_json e);
+            output_char oc '\n')
+          events)
+
+  let read_jsonl ~path =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let acc = ref [] in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match of_json line with
+               | Some e -> acc := e :: !acc
+               | None -> ()
+           done
+         with End_of_file -> ());
+        List.rev !acc)
+end

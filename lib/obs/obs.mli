@@ -1,0 +1,181 @@
+(** Observability: trace spans, named counters, structured event journal.
+
+    Zero external dependencies (only [unix], for the wall clock).  The
+    subsystem is a process-global singleton with three verbosity levels:
+
+    - {!Counters} (default): named counters count, nothing else happens.
+      Counter increments are plain mutations of preallocated cells, so
+      this level costs what the pre-observability ad-hoc counters cost.
+    - {!Spans}: {!Span.with_} additionally records wall-clock durations,
+      aggregated per span name (two clock reads per span).
+    - {!Events}: the {!Journal} additionally accumulates typed records of
+      everything the simulator and solvers do, replayable and
+      serializable as JSONL.
+
+    Below the active level every hook is a cheap no-op: {!Span.with_}
+    reduces to calling its thunk and {!Journal.record} to a branch.
+    Call sites that would allocate an event record should guard with
+    {!Journal.on} so the disabled path allocates nothing. *)
+
+type level = Counters | Spans | Events
+
+val level : unit -> level
+val set_level : level -> unit
+
+val with_level : level -> (unit -> 'a) -> 'a
+(** Run the thunk with the level temporarily set (restored on return and
+    on exception). *)
+
+val spans_on : unit -> bool   (** [level () >= Spans] *)
+
+val events_on : unit -> bool  (** [level () = Events] *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the span clock (default [Unix.gettimeofday]) — for
+    deterministic tests.  The clock must be monotone non-decreasing for
+    span durations to be meaningful. *)
+
+(** {1 Counters}
+
+    Named monotone counters, registered once and incremented from hot
+    loops.  Unlike spans and the journal they are {e always} live —
+    an increment is a single unboxed mutation — because the solver
+    statistics contract ({!Gripps_core.Stretch_solver.stats}) predates
+    the observability levels and must keep working at any level. *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Create-or-get the counter registered under [name] (idempotent). *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+  val name : t -> string
+end
+
+val register_poll : string -> (unit -> int) -> unit
+(** Expose an externally-owned counter (e.g. the {!Gripps_numeric.Rat}
+    fast-path counters) in the registry snapshot without moving its
+    storage.  Re-registering a name replaces the callback. *)
+
+val register_reset : (unit -> unit) -> unit
+(** Hook called by {!reset_counters} — lets externally-owned counters
+    participate in a registry-wide reset. *)
+
+val counters : unit -> (string * int) list
+(** Snapshot of every registered counter and poll, sorted by name. *)
+
+val counter_value : string -> int option
+(** Look up one registered counter or poll by name. *)
+
+val reset_counters : unit -> unit
+(** Zero every registered counter and run every registered reset hook. *)
+
+(** {1 Spans}
+
+    Hierarchical wall-clock trace spans.  Nesting is tracked with a
+    depth counter; per-name aggregates (count, total seconds) answer
+    "where did the time go" queries, and at {!Events} level each span
+    closure is also journaled with its depth, start and duration. *)
+
+module Span : sig
+  val with_ : string -> (unit -> 'a) -> 'a
+  (** Run the thunk inside a span.  Below {!Spans} level this is exactly
+      [f ()] — no clock read, no allocation.  Exception-safe: the span
+      closes (and is journaled) even when the thunk raises. *)
+
+  type summary = { name : string; count : int; total_s : float }
+
+  val summaries : unit -> summary list
+  (** Per-name aggregates since the last {!reset}, sorted by name. *)
+
+  val total : string -> float
+  (** Accumulated seconds of the named span (0 if never opened). *)
+
+  val total_prefix : string -> float
+  (** Sum of {!total} over every span whose name starts with the
+      prefix — e.g. [total_prefix "solver."] for all solver pipelines. *)
+
+  val count : string -> int
+  val reset : unit -> unit
+end
+
+(** {1 Event journal}
+
+    Typed records of everything observable in a run, in order.  The
+    journal is the replay substrate: {!Gripps_engine.Replay} rebuilds
+    the realized schedule from [Segment] and [Completion] records, and
+    [gripps_cli trace --verify] checks the rebuilt metrics against the
+    live ones. *)
+
+module Journal : sig
+  type sim_kind = Arrival | Completion | Boundary | Failure | Recovery
+
+  type alloc = (int * (int * float) list) list
+  (** [(machine, [(job, share); ...])] — mirrors
+      {!Gripps_engine.Sim.allocation} without depending on the engine. *)
+
+  type event =
+    | Run_start of { scheduler : string; jobs : int; machines : int }
+    | Sim_event of { time : float; kind : sim_kind; subject : int }
+        (** [subject] is the job id (arrival/completion) or machine id
+            (failure/recovery); [-1] for boundaries.  For completions
+            [time] is the exact completion date [C_j], which may precede
+            the segment end by a rounding sliver. *)
+    | Replan of {
+        time : float;
+        scheduler : string;
+        allocation : alloc;
+        horizon : float option;
+      }  (** a plan returned by the scheduler callback *)
+    | Segment of { start_time : float; end_time : float; shares : alloc }
+        (** a realized schedule segment (crash-lost shares excluded) *)
+    | Probe of { pipeline : string; stretch : float; feasible : bool }
+        (** one solver feasibility probe; [pipeline] is ["exact"] or
+            ["float"]; [stretch] is the candidate objective (NaN when
+            the probe tests a flow value rather than a stretch). *)
+    | Span_closed of {
+        name : string;
+        depth : int;
+        start_s : float;
+        dur_s : float;
+      }
+    | Note of { key : string; value : string }
+    | Run_end of { time : float; completed : int }
+
+  val on : unit -> bool
+  (** Equal to {!events_on}; guard event-record construction with it. *)
+
+  val record : event -> unit
+  (** Append to the journal ({!on} permitting) and forward to the sink. *)
+
+  val set_sink : (event -> unit) option -> unit
+  (** Streaming sink called on every recorded event (e.g. incremental
+      JSONL writing); [None] disables. *)
+
+  val position : unit -> int
+  (** Current length — marks a point to {!since} from. *)
+
+  val since : int -> event list
+  (** Events recorded after the given {!position}, in order. *)
+
+  val events : unit -> event list
+  val clear : unit -> unit
+
+  (** {2 JSONL}
+
+      One JSON object per line.  Floats are printed with 17 significant
+      digits, so every finite double round-trips bit-identically. *)
+
+  val to_json : event -> string
+  val of_json : string -> event option
+  (** Parse a line emitted by {!to_json}; [None] on malformed input. *)
+
+  val write_jsonl : path:string -> event list -> unit
+  val read_jsonl : path:string -> event list
+  (** @raise Sys_error on unreadable files; malformed lines are
+      skipped. *)
+end

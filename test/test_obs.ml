@@ -1,0 +1,312 @@
+(* Observability: counters, span nesting with a deterministic clock, the
+   zero-cost disabled path, JSONL round-trips, journal replay, and the
+   trace-scenario verification loop. *)
+
+open Gripps_model
+open Gripps_engine
+module Obs = Gripps_obs.Obs
+module J = Obs.Journal
+module W = Gripps_workload
+module E = Gripps_experiments
+
+(* Every test leaves the global singleton as it found it. *)
+let sandboxed f () =
+  let saved = Obs.level () in
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_level saved;
+      Obs.set_clock Unix.gettimeofday;
+      J.set_sink None;
+      J.clear ();
+      Obs.Span.reset ())
+    f
+
+(* ---- counters --------------------------------------------------------- *)
+
+let test_counters () =
+  let c = Obs.Counter.make "test.obs.counter" in
+  let c' = Obs.Counter.make "test.obs.counter" in
+  Obs.Counter.reset c;
+  Obs.Counter.incr c;
+  Obs.Counter.add c' 4;
+  Alcotest.(check int) "make is idempotent" 5 (Obs.Counter.value c);
+  Alcotest.(check (option int)) "registry lookup" (Some 5)
+    (Obs.counter_value "test.obs.counter");
+  Alcotest.(check bool) "snapshot contains it" true
+    (List.mem_assoc "test.obs.counter" (Obs.counters ()));
+  Obs.Counter.reset c;
+  Alcotest.(check int) "reset" 0 (Obs.Counter.value c)
+
+let test_poll () =
+  let cell = ref 7 in
+  Obs.register_poll "test.obs.poll" (fun () -> !cell);
+  Alcotest.(check (option int)) "poll value" (Some 7)
+    (Obs.counter_value "test.obs.poll");
+  cell := 9;
+  Alcotest.(check (option int)) "poll is live" (Some 9)
+    (Obs.counter_value "test.obs.poll")
+
+(* ---- spans ------------------------------------------------------------ *)
+
+(* A deterministic clock advancing 1 s per reading: outer opens at 0,
+   inner runs [1,2], outer closes at 3. *)
+let test_span_nesting () =
+  let t = ref (-1.0) in
+  Obs.set_clock (fun () -> t := !t +. 1.0; !t);
+  Obs.set_level Obs.Spans;
+  Obs.Span.reset ();
+  let v =
+    Obs.Span.with_ "test.outer" (fun () ->
+        Obs.Span.with_ "test.inner" (fun () -> 42))
+  in
+  Alcotest.(check int) "value threaded" 42 v;
+  Alcotest.(check (float 1e-9)) "inner duration" 1.0 (Obs.Span.total "test.inner");
+  Alcotest.(check (float 1e-9)) "outer contains inner" 3.0
+    (Obs.Span.total "test.outer");
+  Alcotest.(check int) "inner count" 1 (Obs.Span.count "test.inner");
+  Alcotest.(check (float 1e-9)) "prefix sum" 4.0 (Obs.Span.total_prefix "test.")
+
+let test_span_journal_depth () =
+  let t = ref (-1.0) in
+  Obs.set_clock (fun () -> t := !t +. 1.0; !t);
+  Obs.set_level Obs.Events;
+  J.clear ();
+  Obs.Span.reset ();
+  Obs.Span.with_ "test.outer" (fun () ->
+      Obs.Span.with_ "test.inner" (fun () -> ()));
+  let depths =
+    List.filter_map
+      (function J.Span_closed { name; depth; _ } -> Some (name, depth) | _ -> None)
+      (J.events ())
+  in
+  (* Inner closes first (depth 1), then outer (depth 0). *)
+  Alcotest.(check (list (pair string int)))
+    "nesting depths journaled"
+    [ ("test.inner", 1); ("test.outer", 0) ]
+    depths
+
+let test_span_exception_safe () =
+  Obs.set_level Obs.Spans;
+  Obs.Span.reset ();
+  (try Obs.Span.with_ "test.raises" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "span closed on exception" 1 (Obs.Span.count "test.raises");
+  (* Depth unwound: a sibling span opens at depth 0 again. *)
+  Obs.set_level Obs.Events;
+  J.clear ();
+  Obs.Span.with_ "test.sibling" (fun () -> ());
+  match J.events () with
+  | [ J.Span_closed { depth = 0; _ } ] -> ()
+  | _ -> Alcotest.fail "depth not restored after exception"
+
+let nop () = ()
+
+let test_disabled_zero_alloc () =
+  Obs.set_level Obs.Counters;
+  (* Warm up so any one-time setup is out of the measured window. *)
+  for _ = 1 to 64 do
+    Obs.Span.with_ "test.noalloc" nop;
+    if J.on () then J.record (J.Note { key = "x"; value = "y" })
+  done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    Obs.Span.with_ "test.noalloc" nop;
+    if J.on () then J.record (J.Note { key = "x"; value = "y" })
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  (* 10k disabled span+journal hooks; allow a little slop for the Gc
+     call itself but nothing proportional to the iteration count. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "no allocation when disabled (%.0f words)" dw)
+    true (dw < 256.0)
+
+(* ---- JSONL ------------------------------------------------------------ *)
+
+let sample_events =
+  [ J.Run_start { scheduler = "Online"; jobs = 3; machines = 2 };
+    J.Sim_event { time = 1.0312345678901234; kind = J.Arrival; subject = 0 };
+    J.Sim_event { time = 2.5; kind = J.Completion; subject = 1 };
+    J.Sim_event { time = 2.5; kind = J.Boundary; subject = -1 };
+    J.Sim_event { time = 3.0; kind = J.Failure; subject = 1 };
+    J.Sim_event { time = 4.0; kind = J.Recovery; subject = 1 };
+    J.Replan
+      { time = 2.5; scheduler = "Online";
+        allocation = [ (0, [ (1, 0.5); (2, 0.25) ]); (1, []) ];
+        horizon = Some 3.75 };
+    J.Replan { time = 2.5; scheduler = "Idle"; allocation = []; horizon = None };
+    J.Segment
+      { start_time = 0.1; end_time = 0.30000000000000004;
+        shares = [ (0, [ (0, 1.0) ]) ] };
+    J.Probe { pipeline = "exact"; stretch = 1.625; feasible = true };
+    J.Probe { pipeline = "float"; stretch = Float.nan; feasible = false };
+    J.Span_closed
+      { name = "solver.exact"; depth = 1; start_s = 0.125; dur_s = 0.0625 };
+    J.Note { key = "weird \"chars\"\n\t"; value = "\\backslash\r" };
+    J.Run_end { time = 54.15123456789; completed = 6 } ]
+
+(* [compare], not [=]: the NaN probe must round-trip too. *)
+let same_events a b = compare (a : J.event list) b = 0
+
+let test_jsonl_roundtrip () =
+  let lines = List.map J.to_json sample_events in
+  let back = List.filter_map J.of_json lines in
+  Alcotest.(check int) "no line lost" (List.length sample_events)
+    (List.length back);
+  Alcotest.(check bool) "round-trip is the identity" true
+    (same_events sample_events back)
+
+let test_jsonl_file_roundtrip () =
+  let path = Filename.temp_file "gripps_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      J.write_jsonl ~path sample_events;
+      let back = J.read_jsonl ~path in
+      Alcotest.(check bool) "file round-trip" true (same_events sample_events back))
+
+let test_of_json_malformed () =
+  List.iter
+    (fun line ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" line)
+        true
+        (J.of_json line = None))
+    [ ""; "garbage"; "{"; "{\"type\":\"bogus\"}"; "{\"type\":\"probe\"}";
+      "[1,2,3]"; "{\"type\":\"event\",\"kind\":\"nope\",\"time\":1,\"subject\":0}" ]
+
+(* ---- journal replay --------------------------------------------------- *)
+
+let run_and_replay scheduler inst =
+  Obs.with_level Obs.Events (fun () ->
+      let report = Sim.run_report ~horizon:1e9 scheduler inst in
+      (* Round-trip through the serialization before replaying, so the
+         property covers the JSONL encoding too. *)
+      let journal =
+        List.filter_map J.of_json (List.map J.to_json report.Sim.journal)
+      in
+      (report, Replay.schedule_of_journal inst journal))
+
+let prop_replay_reproduces_run =
+  QCheck2.Test.make ~name:"journal replay reproduces the schedule" ~count:12
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 1 3))
+    (fun (seed, density_q) ->
+      let config =
+        W.Config.make ~sites:2 ~databases:2 ~availability:0.8
+          ~density:(float_of_int density_q) ~horizon:6.0 ()
+      in
+      let inst =
+        W.Generator.instance (Gripps_rng.Splitmix.create seed) config
+      in
+      List.for_all
+        (fun s ->
+          let report, replayed = run_and_replay s inst in
+          Schedule.validate replayed = []
+          && Schedule.all_completed replayed
+          && compare report.Sim.metrics (Metrics.of_schedule replayed) = 0)
+        [ Gripps_core.Online_lp.online; Gripps_sched.List_sched.swrpt ])
+
+let test_replay_under_faults () =
+  let config =
+    W.Config.make ~sites:3 ~databases:3 ~availability:0.6 ~density:1.0
+      ~horizon:20.0 ()
+  in
+  let inst = W.Generator.instance (Gripps_rng.Splitmix.create 5) config in
+  let machines = Platform.num_machines (Instance.platform inst) in
+  let faults =
+    Fault.poisson
+      (Gripps_rng.Splitmix.create 17)
+      ~mtbf:10.0 ~mttr:2.0 ~machines ~until:20.0
+  in
+  Obs.with_level Obs.Events (fun () ->
+      let report =
+        Sim.run_report ~horizon:1e9 ~faults ~loss:Fault.Crash
+          Gripps_sched.List_sched.swrpt inst
+      in
+      let replayed = Replay.schedule_of_journal inst report.Sim.journal in
+      Alcotest.(check bool) "crash-run metrics reproduced bitwise" true
+        (compare report.Sim.metrics (Metrics.of_schedule replayed) = 0);
+      let has_failure =
+        List.exists
+          (function J.Sim_event { kind = J.Failure; _ } -> true | _ -> false)
+          report.Sim.journal
+      in
+      Alcotest.(check bool) "journal recorded failures" true has_failure)
+
+let test_replay_rejects_foreign_jobs () =
+  let inst =
+    Instance.make
+      ~platform:(Platform.single ~speed:1.0)
+      ~jobs:[ Job.make ~id:0 ~release:0.0 ~size:1.0 ~databank:0 ]
+  in
+  Alcotest.check_raises "unknown job id"
+    (Invalid_argument "Replay: completion record for unknown job")
+    (fun () ->
+      ignore
+        (Replay.schedule_of_journal inst
+           [ J.Sim_event { time = 1.0; kind = J.Completion; subject = 3 } ]))
+
+let test_horizon_exceeded_carries_journal () =
+  (* The guard is checked at the top of the event loop, so there must be
+     an event (the second arrival) past the horizon for it to fire. *)
+  let inst =
+    Instance.make
+      ~platform:(Platform.single ~speed:1.0)
+      ~jobs:
+        [ Job.make ~id:0 ~release:0.0 ~size:10.0 ~databank:0;
+          Job.make ~id:1 ~release:5.0 ~size:1.0 ~databank:0 ]
+  in
+  Obs.with_level Obs.Events (fun () ->
+      match Sim.run ~horizon:1.0 Gripps_sched.List_sched.swrpt inst with
+      | _ -> Alcotest.fail "expected Horizon_exceeded"
+      | exception Sim.Horizon_exceeded { journal; _ } ->
+        Alcotest.(check bool) "partial journal non-empty" true (journal <> []);
+        Alcotest.(check bool) "starts with run_start" true
+          (match journal with J.Run_start _ :: _ -> true | _ -> false))
+
+(* ---- trace scenarios --------------------------------------------------- *)
+
+let test_trace_verify () =
+  List.iter
+    (fun (sc : E.Trace.scenario) ->
+      let v = E.Trace.verify sc in
+      Alcotest.(check bool)
+        (Printf.sprintf "scenario %s verifies" sc.E.Trace.sc_name)
+        true v.E.Trace.v_ok)
+    (List.filter
+       (fun (sc : E.Trace.scenario) -> sc.E.Trace.scheduler <> "Offline")
+       E.Trace.scenarios)
+
+let test_trace_verify_offline () =
+  match E.Trace.find "offline-exact" with
+  | None -> Alcotest.fail "offline-exact scenario missing"
+  | Some sc ->
+    let v = E.Trace.verify sc in
+    Alcotest.(check bool) "offline-exact verifies" true v.E.Trace.v_ok
+
+let suite =
+  ( "obs",
+    [ Alcotest.test_case "counters" `Quick (sandboxed test_counters);
+      Alcotest.test_case "polled gauges" `Quick (sandboxed test_poll);
+      Alcotest.test_case "span nesting" `Quick (sandboxed test_span_nesting);
+      Alcotest.test_case "span journal depth" `Quick
+        (sandboxed test_span_journal_depth);
+      Alcotest.test_case "span exception safety" `Quick
+        (sandboxed test_span_exception_safe);
+      Alcotest.test_case "disabled hooks allocate nothing" `Quick
+        (sandboxed test_disabled_zero_alloc);
+      Alcotest.test_case "jsonl round-trip" `Quick (sandboxed test_jsonl_roundtrip);
+      Alcotest.test_case "jsonl file round-trip" `Quick
+        (sandboxed test_jsonl_file_roundtrip);
+      Alcotest.test_case "malformed json rejected" `Quick
+        (sandboxed test_of_json_malformed);
+      QCheck_alcotest.to_alcotest prop_replay_reproduces_run;
+      Alcotest.test_case "replay under faults" `Quick
+        (sandboxed test_replay_under_faults);
+      Alcotest.test_case "replay validates job ids" `Quick
+        (sandboxed test_replay_rejects_foreign_jobs);
+      Alcotest.test_case "horizon_exceeded carries journal" `Quick
+        (sandboxed test_horizon_exceeded_carries_journal);
+      Alcotest.test_case "trace scenarios verify" `Slow
+        (sandboxed test_trace_verify);
+      Alcotest.test_case "trace offline-exact verifies" `Slow
+        (sandboxed test_trace_verify_offline) ] )
