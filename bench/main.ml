@@ -17,6 +17,8 @@
      GRIPPS_BENCH_FIG_INST    instances per density point   (default 10)
      GRIPPS_BENCH_QUOTA      bechamel quota per timing test (default 0.5 s)
      GRIPPS_PERF_REPEATS      timed repetitions in perf mode (default 5)
+     GRIPPS_JOBS              worker domains for the sweeps  (default 1;
+                              results are identical at any value)
 
    The bechamel section registers one Test.make per table and figure
    (timing its aggregation + rendering from the measured sweep) and one
@@ -45,10 +47,13 @@ let quota = env_float "GRIPPS_BENCH_QUOTA" 0.5
 
 (* ---- the sweep: run once, reused by all tables ----------------------- *)
 
+(* Honors GRIPPS_JOBS; a Pool.sequential-equivalent when unset. *)
+let pool = Gripps_parallel.Pool.create ()
+
 let sweep_results =
   lazy
-    (let progress k total = Printf.eprintf "\rsweep: config %d/%d   %!" k total in
-     let r = E.Tables.sweep ~instances_per_config ~progress ~horizon () in
+    (let progress k total = Printf.eprintf "\rsweep: job %d/%d   %!" k total in
+     let r = E.Tables.sweep ~instances_per_config ~progress ~pool ~horizon () in
      Printf.eprintf "\n%!";
      r)
 
@@ -62,7 +67,7 @@ let figure_samples =
      Printf.eprintf "\n%!";
      r)
 
-let overhead_entries = lazy (E.Overhead.measure ~instances:2 ~horizon ())
+let overhead_entries = lazy (E.Overhead.measure ~instances:2 ~horizon ~pool ())
 
 (* ---- reproduction output --------------------------------------------- *)
 
@@ -278,7 +283,10 @@ let run_bechamel tests =
 let run_perf () =
   let out = if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_stretch.json" in
   let progress name = Printf.eprintf "perf: measuring %s...\n%!" name in
-  let r = E.Perf.run ~progress () in
+  (* The artifact always records a sequential and a parallel sweep leg;
+     GRIPPS_JOBS > 1 widens the parallel one, otherwise it is 2 domains. *)
+  let sweep_domains = max 2 (Gripps_parallel.Pool.domains pool) in
+  let r = E.Perf.run ~sweep_domains ~progress () in
   print_string (E.Perf.render r);
   E.Perf.write_json ~path:out r;
   Printf.eprintf "perf: wrote %s\n%!" out;

@@ -15,6 +15,7 @@ open Gripps_engine
 module W = Gripps_workload
 module E = Gripps_experiments
 module Q = Gripps_numeric.Rat
+module P = Gripps_parallel
 
 (* ---- shared options -------------------------------------------------- *)
 
@@ -47,6 +48,20 @@ let instances_t default =
     value
     & opt int default
     & info [ "instances" ] ~docv:"K" ~doc:"Random instances per configuration.")
+
+let jobs_t =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for sweeps (default \\$GRIPPS_JOBS, else 1). \
+           Results are bit-identical at any value; only wall time changes.")
+
+(* --jobs 0 (the default) defers to GRIPPS_JOBS so CI and scripts can set
+   parallelism without touching every invocation. *)
+let pool_of_jobs jobs =
+  if jobs <= 0 then P.Pool.create () else P.Pool.create ~domains:jobs ()
 
 let config ~sites ~databases ~availability ~density ~horizon =
   W.Config.make ~sites ~databases ~availability ~density ~horizon ()
@@ -136,17 +151,18 @@ let optimal_cmd =
 
 (* ---- table ------------------------------------------------------------ *)
 
-let table_cmd =
+let table_term =
   let which_t =
     Arg.(
       required
       & pos 0 (some string) None
       & info [] ~docv:"N|all" ~doc:"Paper table number (1-16) or 'all'.")
   in
-  let action which seed instances horizon =
-    let progress k total = Printf.eprintf "\rconfig %d/%d%!" k total in
+  let action which seed instances horizon jobs =
+    let progress k total = Printf.eprintf "\rjob %d/%d%!" k total in
     let results =
-      E.Tables.sweep ~seed ~instances_per_config:instances ~progress ~horizon ()
+      E.Tables.sweep ~seed ~instances_per_config:instances ~progress
+        ~pool:(pool_of_jobs jobs) ~horizon ()
     in
     Printf.eprintf "\n%!";
     let all = E.Tables.all_tables results in
@@ -161,9 +177,20 @@ let table_cmd =
           exit 2));
     `Ok ()
   in
+  Term.(
+    ret
+      (const action $ which_t $ seed_t $ instances_t 3 $ horizon_t 30.0 $ jobs_t))
+
+let table_cmd =
   Cmd.v
     (Cmd.info "table" ~doc:"Regenerate the paper's aggregate statistic tables (1-16).")
-    Term.(ret (const action $ which_t $ seed_t $ instances_t 3 $ horizon_t 30.0))
+    table_term
+
+let tables_cmd =
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:"Alias of $(b,table): regenerate the paper's tables (1-16).")
+    table_term
 
 (* ---- figure ----------------------------------------------------------- *)
 
@@ -197,14 +224,16 @@ let figure_cmd =
 (* ---- overhead --------------------------------------------------------- *)
 
 let overhead_cmd =
-  let action seed instances horizon =
-    print_string (E.Render.overhead (E.Overhead.measure ~seed ~instances ~horizon ()));
+  let action seed instances horizon jobs =
+    print_string
+      (E.Render.overhead
+         (E.Overhead.measure ~seed ~instances ~horizon ~pool:(pool_of_jobs jobs) ()));
     print_string (E.Render.overhead_scaling (E.Overhead.scaling ~seed ()));
     `Ok ()
   in
   Cmd.v
     (Cmd.info "overhead" ~doc:"Regenerate the section 5.3 scheduling-overhead study.")
-    Term.(ret (const action $ seed_t $ instances_t 3 $ horizon_t 60.0))
+    Term.(ret (const action $ seed_t $ instances_t 3 $ horizon_t 60.0 $ jobs_t))
 
 (* ---- perf ------------------------------------------------------------- *)
 
@@ -231,9 +260,18 @@ let perf_cmd =
           ~doc:"Timed repetitions per measurement (median; default \
                 \\$GRIPPS_PERF_REPEATS or 5).")
   in
-  let action json out repeats =
+  let action json out repeats jobs =
     let progress name = Printf.eprintf "measuring %s...\n%!" name in
-    let r = E.Perf.run ?repeats ~progress () in
+    (* The sweep bench always times a parallel leg; --jobs sets its
+       width, defaulting to GRIPPS_JOBS when that asks for parallelism
+       and 2 domains otherwise. *)
+    let sweep_domains =
+      if jobs > 0 then jobs
+      else
+        let d = P.Pool.default_jobs () in
+        if d > 1 then d else 2
+    in
+    let r = E.Perf.run ?repeats ~sweep_domains ~progress () in
     if json then print_string (E.Perf.to_json r)
     else print_string (E.Perf.render r);
     (match out with
@@ -260,7 +298,7 @@ let perf_cmd =
           pinned corpus, against the tracked pre-optimization baseline. \
           Exits non-zero if the warm-started solver disagrees with a cold \
           solve.")
-    Term.(ret (const action $ json_t $ out_t $ repeats_t))
+    Term.(ret (const action $ json_t $ out_t $ repeats_t $ jobs_t))
 
 (* ---- faults ----------------------------------------------------------- *)
 
@@ -287,11 +325,12 @@ let faults_cmd =
              crash, work since the last event is lost).")
   in
   let action seed sites databases availability density horizon instances mtbf_grid
-      mttr pause =
+      mttr pause jobs =
     let c = config ~sites ~databases ~availability ~density ~horizon in
     let loss = if pause then Fault.Pause else Fault.Crash in
     let sweep =
-      E.Resilience.run ~loss ~mtbf_grid ~mttr ~seed ~instances c
+      E.Resilience.run ~loss ~mtbf_grid ~mttr ~pool:(pool_of_jobs jobs) ~seed
+        ~instances c
     in
     print_string (E.Resilience.render sweep);
     `Ok ()
@@ -304,7 +343,7 @@ let faults_cmd =
     Term.(
       ret
         (const action $ seed_t $ sites_t $ databases_t $ availability_t $ density_t
-         $ horizon_t 60.0 $ instances_t 3 $ mtbf_t $ mttr_t $ pause_t))
+         $ horizon_t 60.0 $ instances_t 3 $ mtbf_t $ mttr_t $ pause_t $ jobs_t))
 
 (* ---- trace ------------------------------------------------------------ *)
 
@@ -351,7 +390,7 @@ let trace_cmd =
                 that the rebuilt schedule reproduces the live metrics \
                 bit-for-bit.  Exits non-zero on mismatch.")
   in
-  let action scenario level jsonl verify =
+  let action scenario level jsonl verify jobs =
     let module T = E.Trace in
     let list_scenarios () =
       Printf.printf "pinned scenarios:\n";
@@ -374,7 +413,11 @@ let trace_cmd =
         | None -> T.scenarios
         | Some name -> [ resolve name ]
       in
-      let vs = List.map T.verify targets in
+      (* Each scenario verifies in its own shard; reports come back in
+         scenario order either way. *)
+      let vs =
+        P.Sweep.run ~pool:(pool_of_jobs jobs) (P.Sweep.of_list targets T.verify)
+      in
       List.iter (fun v -> print_string (T.render_verification v)) vs;
       if not (List.for_all (fun v -> v.T.v_ok) vs) then exit 1
     end
@@ -409,15 +452,16 @@ let trace_cmd =
          "Run a pinned scenario with full observability: trace spans, \
           counters and the structured event journal, with JSONL export \
           and replay-based verification.")
-    Term.(ret (const action $ scenario_t $ level_t $ jsonl_t $ verify_t))
+    Term.(ret (const action $ scenario_t $ level_t $ jsonl_t $ verify_t $ jobs_t))
 
 (* ---- validate --------------------------------------------------------- *)
 
 let validate_cmd =
-  let action seed instances horizon =
-    let progress k total = Printf.eprintf "\rconfig %d/%d%!" k total in
+  let action seed instances horizon jobs =
+    let progress k total = Printf.eprintf "\rjob %d/%d%!" k total in
     let results =
-      E.Tables.sweep ~seed ~instances_per_config:instances ~progress ~horizon ()
+      E.Tables.sweep ~seed ~instances_per_config:instances ~progress
+        ~pool:(pool_of_jobs jobs) ~horizon ()
     in
     Printf.eprintf "\n%!";
     let comps =
@@ -433,7 +477,7 @@ let validate_cmd =
        ~doc:
          "Regenerate every table and report Spearman ranking agreement with \
           the published values.")
-    Term.(ret (const action $ seed_t $ instances_t 3 $ horizon_t 30.0))
+    Term.(ret (const action $ seed_t $ instances_t 3 $ horizon_t 30.0 $ jobs_t))
 
 let main =
   Cmd.group
@@ -441,7 +485,7 @@ let main =
        ~doc:
          "Reproduction of 'Minimizing the stretch when scheduling flows of \
           biological requests' (Legrand, Su, Vivien).")
-    [ run_cmd; optimal_cmd; table_cmd; figure_cmd; overhead_cmd; perf_cmd;
-      faults_cmd; trace_cmd; validate_cmd ]
+    [ run_cmd; optimal_cmd; table_cmd; tables_cmd; figure_cmd; overhead_cmd;
+      perf_cmd; faults_cmd; trace_cmd; validate_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -90,6 +90,12 @@ let augmenting_path_count = Obs.Counter.make "solver.augmenting_paths"
 let () =
   Obs.register_poll "rat.fast_hits" (fun () -> (Q.stats ()).Q.fast_hits);
   Obs.register_poll "rat.fast_falls" (fun () -> (Q.stats ()).Q.fast_falls);
+  (* The Rat counters are domain-local; these injectors let a parallel
+     sweep fold a worker domain's counts back into the coordinator's. *)
+  Obs.register_poll_merge "rat.fast_hits" (fun d ->
+      Q.add_stats { Q.fast_hits = d; fast_falls = 0 });
+  Obs.register_poll_merge "rat.fast_falls" (fun d ->
+      Q.add_stats { Q.fast_hits = 0; fast_falls = d });
   Obs.register_reset Q.reset_stats
 
 let reset_stats () =

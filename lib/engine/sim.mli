@@ -111,7 +111,11 @@ type report = {
   events : int;         (** simulation events dispatched (incl. batches) *)
   journal : Gripps_obs.Obs.Journal.event list;
       (** typed per-run trace — empty unless the observability level is
-          [Events] (see {!Gripps_obs.Obs.set_level}) *)
+          [Events] (see {!Gripps_obs.Obs.set_level}).  Captured as a
+          delta of the calling domain's journal buffer, so concurrent
+          simulations in separate domains (a {!Gripps_parallel} sweep)
+          each get exactly their own slice; a parallel sweep's merged
+          journal is the concatenation of these slices in shard order. *)
 }
 
 val run_report :

@@ -21,11 +21,11 @@ let zero_stats =
   { S.exact_probes = 0; float_probes = 0; graph_builds = 0; warm_updates = 0;
     augmenting_paths = 0; rat_fast_hits = 0; rat_fast_falls = 0 }
 
-let measure ?(seed = 20060303) ?(instances = 3) ?(horizon = 60.0) () =
+let measure ?(seed = 20060303) ?(instances = 3) ?(horizon = 60.0) ?pool () =
   let config =
     W.Config.make ~sites:3 ~databases:3 ~availability:0.6 ~density:1.0 ~horizon ()
   in
-  let results = Runner.run_config ~seed ~instances config in
+  let results = Runner.run_config ?pool ~seed ~instances config in
   List.filter_map
     (fun name ->
       let runs =

@@ -20,10 +20,13 @@ val measure :
   ?seed:int ->
   ?instances:int ->
   ?horizon:float ->
+  ?pool:Gripps_parallel.Pool.t ->
   unit ->
   entry list
 (** Per-scheduler wall-time summaries and solver counters on 3-cluster
-    configurations (portfolio order). *)
+    configurations (portfolio order).  [pool] shards by instance; the
+    solver counters are merged back deterministically, though wall-time
+    summaries remain measurements (they vary run to run regardless). *)
 
 type scaling_sample = {
   jobs : int;

@@ -70,12 +70,22 @@ type instance_report = {
   baseline_match : bool;
 }
 
+type sweep_bench = {
+  sweep_jobs : int;
+  sweep_domains : int;
+  seq_s : float;
+  par_s : float;
+  par_speedup : float;
+  deterministic : bool;
+}
+
 type report = {
   instances : instance_report list;
   online_ms : float;
   online_baseline_ms : float;
   all_cold_warm_match : bool;
   all_baseline_match : bool;
+  sweep : sweep_bench;
 }
 
 let problem_of spec =
@@ -143,12 +153,41 @@ let measure_online ~repeats () =
   time_median_ms ~repeats (fun () ->
       Gripps_engine.Sim.run ~horizon:1e9 online inst)
 
+(* Sweep benchmark: the same pinned mini-sweep timed on a sequential pool
+   and on a [domains]-wide pool, with the rendered aggregate tables
+   byte-compared — the tracked evidence that parallelism changes wall
+   time and nothing else.  The panel is the cheap half of the portfolio
+   so the benchmark stays in seconds even at GRIPPS_PERF_REPEATS=1. *)
+let sweep_panel = [ "Online"; "Online-EDF"; "SWRPT"; "SRPT"; "SPT"; "MCT" ]
+
+let measure_sweep ~domains () =
+  let schedulers =
+    List.filter_map Sched_registry.find_scheduler sweep_panel
+  in
+  let config =
+    W.Config.make ~sites:3 ~databases:3 ~availability:0.6 ~density:1.0
+      ~horizon:45.0 ()
+  in
+  let instances = 4 in
+  let sweep = Runner.config_sweep ~schedulers ~seed:20060505 ~instances config in
+  let run_with pool =
+    let t0 = Unix.gettimeofday () in
+    let rs = Gripps_parallel.Sweep.run ~pool sweep in
+    (Unix.gettimeofday () -. t0, Render.table (Tables.table1 rs))
+  in
+  let seq_s, seq_table = run_with Gripps_parallel.Pool.sequential in
+  let par_s, par_table = run_with (Gripps_parallel.Pool.create ~domains ()) in
+  { sweep_jobs = instances; sweep_domains = domains; seq_s; par_s;
+    par_speedup = (if par_s > 0.0 then seq_s /. par_s else infinity);
+    deterministic = String.equal seq_table par_table }
+
 let default_repeats =
   match Sys.getenv_opt "GRIPPS_PERF_REPEATS" with
   | Some v -> (try max 1 (int_of_string v) with Failure _ -> 5)
   | None -> 5
 
-let run ?(repeats = default_repeats) ?(progress = fun _ -> ()) () =
+let run ?(repeats = default_repeats) ?(sweep_domains = 2)
+    ?(progress = fun _ -> ()) () =
   let instances =
     List.map
       (fun (spec : spec) ->
@@ -158,9 +197,12 @@ let run ?(repeats = default_repeats) ?(progress = fun _ -> ()) () =
   in
   progress "online";
   let online_ms = measure_online ~repeats () in
+  progress "sweep";
+  let sweep = measure_sweep ~domains:(max 1 sweep_domains) () in
   { instances; online_ms; online_baseline_ms = baseline_online_ms;
     all_cold_warm_match = List.for_all (fun i -> i.cold_warm_match) instances;
-    all_baseline_match = List.for_all (fun i -> i.baseline_match) instances }
+    all_baseline_match = List.for_all (fun i -> i.baseline_match) instances;
+    sweep }
 
 (* ---- output ----------------------------------------------------------- *)
 
@@ -193,6 +235,11 @@ let to_json r =
   add "  ],\n";
   add "  \"online_ms\": %.3f,\n  \"baseline_online_ms\": %.3f,\n" r.online_ms
     r.online_baseline_ms;
+  add
+    "  \"sweep\": {\"jobs\": %d, \"domains\": %d, \"seq_s\": %.3f, \
+     \"par_s\": %.3f, \"speedup\": %.2f, \"deterministic\": %b},\n"
+    r.sweep.sweep_jobs r.sweep.sweep_domains r.sweep.seq_s r.sweep.par_s
+    r.sweep.par_speedup r.sweep.deterministic;
   add "  \"all_cold_warm_match\": %b,\n  \"all_baseline_match\": %b\n}\n"
     r.all_cold_warm_match r.all_baseline_match;
   Buffer.contents buf
@@ -219,6 +266,10 @@ let render r =
     r.instances;
   add "online heuristic: %.2f ms (baseline %.2f ms)\n" r.online_ms
     r.online_baseline_ms;
+  add "sweep bench: %d jobs, sequential %.2f s, %d-domain %.2f s (%.2fx), \
+       deterministic: %b\n"
+    r.sweep.sweep_jobs r.sweep.seq_s r.sweep.sweep_domains r.sweep.par_s
+    r.sweep.par_speedup r.sweep.deterministic;
   add "warm/cold results identical: %b; baseline s* identical: %b\n"
     r.all_cold_warm_match r.all_baseline_match;
   Buffer.contents buf

@@ -21,6 +21,17 @@ type instance_report = {
   baseline_match : bool;              (** s_star equals the recorded baseline *)
 }
 
+type sweep_bench = {
+  sweep_jobs : int;                   (** jobs in the pinned mini-sweep *)
+  sweep_domains : int;                (** pool width of the parallel leg *)
+  seq_s : float;                      (** sequential wall time, seconds *)
+  par_s : float;                      (** [sweep_domains]-pool wall time *)
+  par_speedup : float;                (** [seq_s /. par_s] *)
+  deterministic : bool;
+  (** rendered aggregate tables of the two legs byte-identical — a
+      [false] here is a correctness bug in the parallel merge *)
+}
+
 type report = {
   instances : instance_report list;
   online_ms : float;
@@ -30,12 +41,16 @@ type report = {
   all_baseline_match : bool;
   (** may be [false] on a different libm (the workload generator is
       float-seeded); informational, not fatal *)
+  sweep : sweep_bench;
 }
 
-val run : ?repeats:int -> ?progress:(string -> unit) -> unit -> report
+val run :
+  ?repeats:int -> ?sweep_domains:int -> ?progress:(string -> unit) -> unit ->
+  report
 (** Runs the whole corpus.  [repeats] defaults to [$GRIPPS_PERF_REPEATS]
-    or 5 (median after one warmup run); [progress] is called with each
-    instance name before it is measured. *)
+    or 5 (median after one warmup run); [sweep_domains] (default 2) is
+    the pool width of the parallel sweep-bench leg; [progress] is called
+    with each instance name before it is measured. *)
 
 val to_json : report -> string
 (** Machine-readable form (the BENCH_stretch.json schema). *)

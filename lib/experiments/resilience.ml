@@ -36,7 +36,7 @@ type sweep = {
 let total_lost (r : Sim.report) = Array.fold_left ( +. ) 0.0 r.Sim.lost
 
 let run ?(schedulers = default_panel) ?(loss = Fault.Crash)
-    ?(mtbf_grid = [ 3600.0; 900.0; 300.0 ]) ?(mttr = 60.0) ~seed ~instances
+    ?(mtbf_grid = [ 3600.0; 900.0; 300.0 ]) ?(mttr = 60.0) ?pool ~seed ~instances
     config =
   if instances <= 0 then invalid_arg "Resilience.run: non-positive instances";
   List.iter
@@ -45,12 +45,16 @@ let run ?(schedulers = default_panel) ?(loss = Fault.Crash)
   (* levels.(0) is the fault-free baseline. *)
   let levels = Array.of_list (infinity :: mtbf_grid) in
   let nlevels = Array.length levels in
-  (* acc.(level) binds scheduler name -> (max, sum, lost) samples. *)
-  let acc = Array.init nlevels (fun _ -> Hashtbl.create 8) in
-  for k = 0 to instances - 1 do
+  (* One shard per instance: the job replays instance [k] across every
+     fault level and scheduler and returns its samples tagged with the
+     level index, in the traversal order of the old nested loops.  All
+     randomness is arithmetic on [(seed, k, i)], so shards are
+     order-free. *)
+  let instance_job k =
     let rng = Gripps_rng.Splitmix.create (seed + (1_000_003 * k)) in
     let inst = W.Generator.instance rng config in
     let machines = Platform.num_machines (Instance.platform inst) in
+    let samples = ref [] in
     Array.iteri
       (fun i mtbf ->
         (* The same instance faces every fault level; each level draws its
@@ -67,15 +71,28 @@ let run ?(schedulers = default_panel) ?(loss = Fault.Crash)
           (fun s ->
             let report = Sim.run_report ~horizon:1e9 ~faults ~loss s inst in
             let m = report.Sim.metrics in
-            let samples =
-              Option.value ~default:[] (Hashtbl.find_opt acc.(i) s.Sim.name)
-            in
-            Hashtbl.replace acc.(i) s.Sim.name
-              ((m.Metrics.max_stretch, m.Metrics.sum_stretch, total_lost report)
-               :: samples))
+            samples :=
+              (i, s.Sim.name,
+               (m.Metrics.max_stretch, m.Metrics.sum_stretch, total_lost report))
+              :: !samples)
           schedulers)
-      levels
-  done;
+      levels;
+    List.rev !samples
+  in
+  let per_instance =
+    Gripps_parallel.Sweep.run ?pool
+      (Gripps_parallel.Sweep.make ~length:instances instance_job)
+  in
+  (* acc.(level) binds scheduler name -> (max, sum, lost) samples.  The
+     fold visits instances in ascending [k] and prepends, reproducing the
+     sequential accumulator (and hence every mean's float summation
+     order) exactly. *)
+  let acc = Array.init nlevels (fun _ -> Hashtbl.create 8) in
+  List.iter
+    (List.iter (fun (i, name, sample) ->
+         let samples = Option.value ~default:[] (Hashtbl.find_opt acc.(i) name) in
+         Hashtbl.replace acc.(i) name (sample :: samples)))
+    per_instance;
   let mean_of select name table =
     match Hashtbl.find_opt table name with
     | None | Some [] -> nan

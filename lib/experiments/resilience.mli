@@ -37,12 +37,16 @@ val run :
   ?loss:Fault.loss ->
   ?mtbf_grid:float list ->
   ?mttr:float ->
+  ?pool:Gripps_parallel.Pool.t ->
   seed:int ->
   instances:int ->
   W.Config.t ->
   sweep
 (** Defaults: {!default_panel}, crash losses, mtbf grid
-    [3600; 900; 300] s, mttr 60 s.  Deterministic for a fixed seed.
+    [3600; 900; 300] s, mttr 60 s.  Deterministic for a fixed seed —
+    including across pool sizes: [pool] (default sequential) shards by
+    instance and the per-level sample lists are merged back in instance
+    order, so every mean is bit-identical to the sequential run.
     @raise Invalid_argument on non-positive [instances] or mtbf values. *)
 
 val render : sweep -> string

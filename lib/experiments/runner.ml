@@ -80,22 +80,32 @@ let ratios r =
           sum_ratio = div m.sum_stretch best_sum })
       ms
 
-let run_config ?bender98_max_sites ?bender98_max_jobs ?schedulers ~seed ~instances
+let instance_job ?bender98_max_sites ?bender98_max_jobs ?schedulers ~seed config k =
+  (* One independent stream per instance, derived from the index alone:
+     results do not shift when the instance count changes, and shard [k]
+     of a parallel sweep replays identically wherever it runs. *)
+  let rng = Gripps_rng.Splitmix.create (seed + (1_000_003 * k)) in
+  let inst = W.Generator.instance rng config in
+  (* Fault draws continue the same stream, after the workload draws. *)
+  let faults =
+    W.Generator.fault_trace rng config
+      ~machines:(Platform.num_machines (Instance.platform inst))
+  in
+  let loss =
+    match config.W.Config.faults with
+    | Some f -> f.W.Config.loss
+    | None -> Fault.Crash
+  in
+  run_instance ?bender98_max_sites ?bender98_max_jobs ?schedulers ~faults ~loss
+    config inst
+
+let config_sweep ?bender98_max_sites ?bender98_max_jobs ?schedulers ~seed ~instances
     config =
-  List.init instances (fun k ->
-      (* One independent stream per instance: results do not shift when
-         the instance count changes. *)
-      let rng = Gripps_rng.Splitmix.create (seed + (1_000_003 * k)) in
-      let inst = W.Generator.instance rng config in
-      (* Fault draws continue the same stream, after the workload draws. *)
-      let faults =
-        W.Generator.fault_trace rng config
-          ~machines:(Platform.num_machines (Instance.platform inst))
-      in
-      let loss =
-        match config.W.Config.faults with
-        | Some f -> f.W.Config.loss
-        | None -> Fault.Crash
-      in
-      run_instance ?bender98_max_sites ?bender98_max_jobs ?schedulers ~faults ~loss
-        config inst)
+  Gripps_parallel.Sweep.make ~length:instances
+    (instance_job ?bender98_max_sites ?bender98_max_jobs ?schedulers ~seed config)
+
+let run_config ?bender98_max_sites ?bender98_max_jobs ?schedulers ?pool ~seed
+    ~instances config =
+  Gripps_parallel.Sweep.run ?pool
+    (config_sweep ?bender98_max_sites ?bender98_max_jobs ?schedulers ~seed ~instances
+       config)

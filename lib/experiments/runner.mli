@@ -66,10 +66,35 @@ val ratios : instance_result -> ratio list
 (** Per-instance ratios to the best observed value of each metric across
     the portfolio — the normalization used by every aggregate table. *)
 
+val instance_job :
+  ?bender98_max_sites:int ->
+  ?bender98_max_jobs:int ->
+  ?schedulers:Sim.scheduler list ->
+  seed:int ->
+  Gripps_workload.Config.t ->
+  int ->
+  instance_result
+(** [instance_job ~seed config k] realizes and measures the [k]-th random
+    instance of [config].  All randomness (workload and fault trace) is a
+    pure function of [(seed, k)], so the job can run in any domain, in
+    any order, and return the same result — this is the unit every sweep
+    shards on. *)
+
+val config_sweep :
+  ?bender98_max_sites:int ->
+  ?bender98_max_jobs:int ->
+  ?schedulers:Sim.scheduler list ->
+  seed:int ->
+  instances:int ->
+  Gripps_workload.Config.t ->
+  instance_result Gripps_parallel.Sweep.t
+(** The [instances] jobs of a configuration as a shardable sweep. *)
+
 val run_config :
   ?bender98_max_sites:int ->
   ?bender98_max_jobs:int ->
   ?schedulers:Sim.scheduler list ->
+  ?pool:Gripps_parallel.Pool.t ->
   seed:int ->
   instances:int ->
   Gripps_workload.Config.t ->
@@ -78,4 +103,5 @@ val run_config :
     deterministically) and measure the portfolio on each.  When the
     configuration carries a {!Gripps_workload.Config.fault_axis}, each
     instance also gets a deterministic fault trace drawn from the same
-    stream. *)
+    stream.  [pool] (default sequential) shards instances across domains;
+    results are identical at any pool size. *)

@@ -9,23 +9,25 @@ type row = {
 type table = { title : string; rows : row list; instances : int }
 
 let sweep ?(seed = 20060101) ?(instances_per_config = 3) ?configs
-    ?(progress = fun _ _ -> ()) ~horizon () =
+    ?(progress = fun _ _ -> ()) ?pool ~horizon () =
   let configs =
     match configs with
     | Some cs -> cs
     | None -> W.Config.paper_grid ~horizon ()
   in
-  let total = List.length configs in
-  List.concat
-    (List.mapi
-       (fun i config ->
-         let rs =
-           Runner.run_config ~seed:(seed + (7919 * i)) ~instances:instances_per_config
-             config
-         in
-         progress (i + 1) total;
-         rs)
-       configs)
+  let configs = Array.of_list configs in
+  (* One shard per (configuration, instance) pair, config-major — the
+     exact order the sequential nested loops produced, and fine enough
+     grain that domains stay busy across configs of uneven cost.  Each
+     job's seed is arithmetic on its indices, so the sweep is a pure
+     function of [seed] at any pool size. *)
+  let shards = Array.length configs * instances_per_config in
+  let sweep =
+    Gripps_parallel.Sweep.make ~length:shards (fun s ->
+        let i = s / instances_per_config and k = s mod instances_per_config in
+        Runner.instance_job ~seed:(seed + (7919 * i)) configs.(i) k)
+  in
+  Gripps_parallel.Sweep.run ?pool ~progress sweep
 
 let aggregate ~title results =
   let ratios = List.concat_map Runner.ratios results in

@@ -27,11 +27,14 @@ val sweep :
   ?instances_per_config:int ->
   ?configs:W.Config.t list ->
   ?progress:(int -> int -> unit) ->
+  ?pool:Gripps_parallel.Pool.t ->
   horizon:float ->
   unit ->
   Runner.instance_result list
 (** Run the full factorial design (or [configs]); [progress done total] is
-    called after each configuration. *)
+    called after each (configuration, instance) job, in job order.  [pool]
+    (default sequential) shards the jobs across domains; the result list
+    and every table derived from it are identical at any pool size. *)
 
 val table1 : Runner.instance_result list -> table
 

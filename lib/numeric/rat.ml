@@ -9,8 +9,9 @@
 
    The fast paths use overflow-checked native arithmetic: any operation
    whose intermediate product or sum could wrap raises [Fall] and is
-   re-run on Bigints.  A pair of global counters records how often each
-   route is taken; the solver instrumentation reads them via [stats]. *)
+   re-run on Bigints.  A pair of domain-local counters records how often
+   each route is taken; the solver instrumentation reads them via
+   [stats]. *)
 
 type t =
   | S of int * int
@@ -20,13 +21,28 @@ type t =
 
 type ops_stats = { fast_hits : int; fast_falls : int }
 
-let hits = ref 0
-let falls = ref 0
-let stats () = { fast_hits = !hits; fast_falls = !falls }
+(* Domain-local accumulators: rational arithmetic runs inside whichever
+   domain hosts the solver, so shared [int ref]s would lose increments
+   under parallel sweeps.  Each domain counts its own operations;
+   [add_stats] lets a coordinator fold a finished worker's counts into
+   its own. *)
+type acc = { mutable h : int; mutable f : int }
+
+let acc_key = Domain.DLS.new_key (fun () -> { h = 0; f = 0 })
+let[@inline] acc () = Domain.DLS.get acc_key
+let[@inline] incr_hits () = let a = acc () in a.h <- a.h + 1
+let[@inline] incr_falls () = let a = acc () in a.f <- a.f + 1
+let stats () = let a = acc () in { fast_hits = a.h; fast_falls = a.f }
 
 let reset_stats () =
-  hits := 0;
-  falls := 0
+  let a = acc () in
+  a.h <- 0;
+  a.f <- 0
+
+let add_stats s =
+  let a = acc () in
+  a.h <- a.h + s.fast_hits;
+  a.f <- a.f + s.fast_falls
 
 (* ---- overflow-checked native arithmetic -------------------------------- *)
 
@@ -113,14 +129,14 @@ let add a b =
        let n = chk_add (chk_mul an bd) (chk_mul bn ad) in
        let d = chk_mul ad bd in
        let r = small n d in
-       incr hits;
+       incr_hits ();
        r
      with Fall ->
-       incr falls;
+       incr_falls ();
        add_big (Bigint.of_int an) (Bigint.of_int ad) (Bigint.of_int bn)
          (Bigint.of_int bd))
   | _ ->
-    incr falls;
+    incr_falls ();
     add_big (num a) (den a) (num b) (den b)
 
 let neg = function
@@ -146,14 +162,14 @@ let mul a b =
        let n = chk_mul (an / g1) (bn / g2) in
        let d = chk_mul (ad / g2) (bd / g1) in
        if n = min_int then raise_notrace Fall;
-       incr hits;
+       incr_hits ();
        if n = 0 then zero else S (n, d)
      with Fall ->
-       incr falls;
+       incr_falls ();
        mul_big (Bigint.of_int an) (Bigint.of_int ad) (Bigint.of_int bn)
          (Bigint.of_int bd))
   | _ ->
-    incr falls;
+    incr_falls ();
     mul_big (num a) (den a) (num b) (den b)
 
 let inv = function
@@ -192,13 +208,13 @@ let compare a b =
        continued-fraction walk — the fast tier never falls to Bigint. *)
     (try
        let c = compare (chk_mul an bd) (chk_mul bn ad) in
-       incr hits;
+       incr_hits ();
        c
      with Fall ->
-       incr hits;
+       incr_hits ();
        cmp_frac an ad bn bd)
   | _ ->
-    incr falls;
+    incr_falls ();
     (* a.n/a.d ? b.n/b.d  <=>  a.n*b.d ? b.n*a.d  (denominators positive). *)
     Bigint.compare (Bigint.mul (num a) (den b)) (Bigint.mul (num b) (den a))
 

@@ -50,14 +50,21 @@ val of_string : string -> t
 
     Rationals whose components fit a native [int] are stored unboxed and
     served by overflow-checked machine arithmetic; only genuine overflows
-    fall back to the {!Bigint} representation.  Two global counters track
-    how often each route runs. *)
+    fall back to the {!Bigint} representation.  Two domain-local counters
+    track how often each route runs. *)
 
 type ops_stats = { fast_hits : int; fast_falls : int }
 
 val stats : unit -> ops_stats
 (** Cumulative counts since the last {!reset_stats}: [fast_hits] is the
     number of arithmetic/comparison operations served entirely by native
-    ints, [fast_falls] the number that needed Bigint arithmetic. *)
+    ints, [fast_falls] the number that needed Bigint arithmetic.  The
+    counters are domain-local: each domain observes only its own
+    operations, so parallel solver runs never lose increments. *)
 
 val reset_stats : unit -> unit
+(** Zero the calling domain's counters. *)
+
+val add_stats : ops_stats -> unit
+(** Fold externally-accumulated counts (e.g. a finished worker domain's
+    {!stats}) into the calling domain's counters. *)

@@ -2,70 +2,26 @@
 
    Everything here is deliberately dependency-free (only [unix] for the
    clock) so that any layer of the system — numeric, flow, engine,
-   experiments — can report through it without dependency cycles. *)
+   experiments — can report through it without dependency cycles.
+
+   Domain safety.  All mutable observability state (level, counter
+   cells, span aggregates, journal buffer, streaming sink) is
+   domain-local: each domain accumulates into its own copy, reached
+   through one [Domain.DLS] slot, so hot-path increments never contend
+   and never lose updates.  Only the name registries (counter name → id,
+   polls, merge injectors, reset hooks) are process-global, guarded by a
+   mutex; they are written during module initialization and rarely
+   after.  A worker domain's accumulated state is folded back into its
+   parent with {!Export} — deltas are captured around a unit of work and
+   merged in whatever canonical order the caller fixes, which is how the
+   parallel sweep engine keeps merged journals bit-identical to a
+   sequential run. *)
 
 type level = Counters | Spans | Events
 
 let level_rank = function Counters -> 0 | Spans -> 1 | Events -> 2
-let current_level = ref Counters
-let level () = !current_level
-let set_level l = current_level := l
 
-let with_level l f =
-  let saved = !current_level in
-  current_level := l;
-  Fun.protect ~finally:(fun () -> current_level := saved) f
-
-let spans_on () = level_rank !current_level >= 1
-let events_on () = level_rank !current_level >= 2
-
-let clock = ref Unix.gettimeofday
-let set_clock c = clock := c
-
-(* ---- counters --------------------------------------------------------- *)
-
-module Counter = struct
-  type t = { name : string; mutable v : int }
-
-  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
-
-  let make name =
-    match Hashtbl.find_opt registry name with
-    | Some c -> c
-    | None ->
-      let c = { name; v = 0 } in
-      Hashtbl.replace registry name c;
-      c
-
-  let incr c = c.v <- c.v + 1
-  let add c k = c.v <- c.v + k
-  let value c = c.v
-  let reset c = c.v <- 0
-  let name c = c.name
-end
-
-let polls : (string, unit -> int) Hashtbl.t = Hashtbl.create 8
-let register_poll name f = Hashtbl.replace polls name f
-
-let reset_hooks : (unit -> unit) list ref = ref []
-let register_reset f = reset_hooks := f :: !reset_hooks
-
-let counters () =
-  let acc = ref [] in
-  Hashtbl.iter (fun name c -> acc := (name, Counter.value c) :: !acc) Counter.registry;
-  Hashtbl.iter (fun name f -> acc := (name, f ()) :: !acc) polls;
-  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
-
-let counter_value name =
-  match Hashtbl.find_opt Counter.registry name with
-  | Some c -> Some (Counter.value c)
-  | None -> Option.map (fun f -> f ()) (Hashtbl.find_opt polls name)
-
-let reset_counters () =
-  Hashtbl.iter (fun _ c -> Counter.reset c) Counter.registry;
-  List.iter (fun f -> f ()) !reset_hooks
-
-(* ---- journal (type first: spans record into it) ----------------------- *)
+(* ---- journal event type (needed by the domain state) ------------------- *)
 
 module Journal_t = struct
   type sim_kind = Arrival | Completion | Boundary | Failure | Recovery
@@ -95,61 +51,214 @@ end
 
 open Journal_t
 
-(* Growable array store; a list would allocate a cons per event on the
-   hot path and reverse on every read. *)
 let dummy_event = Note { key = ""; value = "" }
-let jbuf = ref (Array.make 256 dummy_event)
-let jlen = ref 0
-let jsink : (event -> unit) option ref = ref None
 
-let journal_push e =
-  if !jlen = Array.length !jbuf then begin
-    let bigger = Array.make (2 * !jlen) dummy_event in
-    Array.blit !jbuf 0 bigger 0 !jlen;
-    jbuf := bigger
+(* ---- per-domain state -------------------------------------------------- *)
+
+type span_agg = { mutable s_count : int; mutable s_total : float }
+
+type dstate = {
+  mutable lvl : level;
+  mutable clock : unit -> float;
+  mutable cells : int array;  (* counter values, indexed by registry id *)
+  spans : (string, span_agg) Hashtbl.t;
+  mutable depth : int;
+  mutable jbuf : event array;
+  mutable jlen : int;
+  mutable sink : (event -> unit) option;
+}
+
+let fresh_dstate ~lvl ~clock =
+  { lvl;
+    clock;
+    cells = Array.make 32 0;
+    spans = Hashtbl.create 16;
+    depth = 0;
+    jbuf = Array.make 256 dummy_event;
+    jlen = 0;
+    sink = None }
+
+(* A spawned domain inherits its parent's verbosity level and clock (so
+   parallel shards trace at the level the coordinator chose) but starts
+   with empty accumulators. *)
+let dstate_key : dstate Domain.DLS.key =
+  Domain.DLS.new_key
+    ~split_from_parent:(fun parent ->
+      fresh_dstate ~lvl:parent.lvl ~clock:parent.clock)
+    (fun () -> fresh_dstate ~lvl:Counters ~clock:Unix.gettimeofday)
+
+let[@inline] st () = Domain.DLS.get dstate_key
+
+let level () = (st ()).lvl
+let set_level l = (st ()).lvl <- l
+
+let with_level l f =
+  let s = st () in
+  let saved = s.lvl in
+  s.lvl <- l;
+  Fun.protect ~finally:(fun () -> s.lvl <- saved) f
+
+let spans_on () = level_rank (st ()).lvl >= 1
+let events_on () = level_rank (st ()).lvl >= 2
+
+let set_clock c = (st ()).clock <- c
+
+(* ---- global registries ------------------------------------------------- *)
+
+(* Registrations happen at module-initialization time in practice, but
+   tests (and worker domains warming up lazily) may race them, so every
+   access to the shared tables takes the lock.  None of these paths is
+   hot: the hot path is [Counter.incr], which touches only domain-local
+   cells. *)
+let reg_mutex = Mutex.create ()
+
+let locked f =
+  Mutex.lock reg_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_mutex) f
+
+let reg_ids : (string, int) Hashtbl.t = Hashtbl.create 32
+let reg_names : string array ref = ref (Array.make 32 "")
+let reg_count = ref 0
+
+let polls : (string, unit -> int) Hashtbl.t = Hashtbl.create 8
+let poll_merges : (string, int -> unit) Hashtbl.t = Hashtbl.create 8
+let reset_hooks : (unit -> unit) list ref = ref []
+
+let register_poll name f = locked (fun () -> Hashtbl.replace polls name f)
+
+let register_poll_merge name f =
+  locked (fun () -> Hashtbl.replace poll_merges name f)
+
+let register_reset f = locked (fun () -> reset_hooks := f :: !reset_hooks)
+
+(* ---- counters ---------------------------------------------------------- *)
+
+module Counter = struct
+  type t = { name : string; id : int }
+
+  let make name =
+    locked (fun () ->
+        match Hashtbl.find_opt reg_ids name with
+        | Some id -> { name; id }
+        | None ->
+          let id = !reg_count in
+          incr reg_count;
+          if id >= Array.length !reg_names then begin
+            let bigger = Array.make (2 * id) "" in
+            Array.blit !reg_names 0 bigger 0 (Array.length !reg_names);
+            reg_names := bigger
+          end;
+          !reg_names.(id) <- name;
+          Hashtbl.replace reg_ids name id;
+          { name; id })
+
+  let[@inline] cells_for s id =
+    if id >= Array.length s.cells then begin
+      let bigger = Array.make (max (2 * Array.length s.cells) (id + 1)) 0 in
+      Array.blit s.cells 0 bigger 0 (Array.length s.cells);
+      s.cells <- bigger
+    end;
+    s.cells
+
+  let incr c =
+    let s = st () in
+    let cells = cells_for s c.id in
+    cells.(c.id) <- cells.(c.id) + 1
+
+  let add c k =
+    let s = st () in
+    let cells = cells_for s c.id in
+    cells.(c.id) <- cells.(c.id) + k
+
+  let value c =
+    let s = st () in
+    if c.id < Array.length s.cells then s.cells.(c.id) else 0
+
+  let reset c =
+    let s = st () in
+    if c.id < Array.length s.cells then s.cells.(c.id) <- 0
+
+  let name c = c.name
+end
+
+(* Registered (name, id) pairs, sorted by name; snapshot under the lock. *)
+let registered () =
+  locked (fun () ->
+      Hashtbl.fold (fun name id acc -> (name, id) :: acc) reg_ids [])
+
+let poll_list () =
+  locked (fun () -> Hashtbl.fold (fun name f acc -> (name, f) :: acc) polls [])
+
+let counters () =
+  let s = st () in
+  let acc =
+    List.map
+      (fun (name, id) ->
+        (name, if id < Array.length s.cells then s.cells.(id) else 0))
+      (registered ())
+  in
+  let acc = List.fold_left (fun acc (name, f) -> (name, f ()) :: acc) acc (poll_list ()) in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) acc
+
+let counter_value name =
+  match locked (fun () -> Hashtbl.find_opt reg_ids name) with
+  | Some id ->
+    let s = st () in
+    Some (if id < Array.length s.cells then s.cells.(id) else 0)
+  | None ->
+    Option.map (fun f -> f ()) (locked (fun () -> Hashtbl.find_opt polls name))
+
+let reset_counters () =
+  let s = st () in
+  Array.fill s.cells 0 (Array.length s.cells) 0;
+  List.iter (fun f -> f ()) (locked (fun () -> !reset_hooks))
+
+(* ---- journal store ----------------------------------------------------- *)
+
+let journal_push s e =
+  if s.jlen = Array.length s.jbuf then begin
+    let bigger = Array.make (2 * s.jlen) dummy_event in
+    Array.blit s.jbuf 0 bigger 0 s.jlen;
+    s.jbuf <- bigger
   end;
-  !jbuf.(!jlen) <- e;
-  incr jlen;
-  match !jsink with Some f -> f e | None -> ()
+  s.jbuf.(s.jlen) <- e;
+  s.jlen <- s.jlen + 1;
+  match s.sink with Some f -> f e | None -> ()
 
-(* ---- spans ------------------------------------------------------------ *)
+(* ---- spans ------------------------------------------------------------- *)
 
 module Span = struct
-  type agg = { mutable count : int; mutable total_s : float }
-
-  let aggregates : (string, agg) Hashtbl.t = Hashtbl.create 16
-  let depth = ref 0
-
-  let agg_of name =
-    match Hashtbl.find_opt aggregates name with
+  let agg_of s name =
+    match Hashtbl.find_opt s.spans name with
     | Some a -> a
     | None ->
-      let a = { count = 0; total_s = 0.0 } in
-      Hashtbl.replace aggregates name a;
+      let a = { s_count = 0; s_total = 0.0 } in
+      Hashtbl.replace s.spans name a;
       a
 
-  let close name d t0 =
-    let dur = !clock () -. t0 in
-    let a = agg_of name in
-    a.count <- a.count + 1;
-    a.total_s <- a.total_s +. dur;
-    if events_on () then
-      journal_push (Span_closed { name; depth = d; start_s = t0; dur_s = dur })
+  let close s name d t0 =
+    let dur = s.clock () -. t0 in
+    let a = agg_of s name in
+    a.s_count <- a.s_count + 1;
+    a.s_total <- a.s_total +. dur;
+    if level_rank s.lvl >= 2 then
+      journal_push s (Span_closed { name; depth = d; start_s = t0; dur_s = dur })
 
   let with_ name f =
-    if not (spans_on ()) then f ()
+    let s = st () in
+    if level_rank s.lvl < 1 then f ()
     else begin
-      let d = !depth in
-      depth := d + 1;
-      let t0 = !clock () in
+      let d = s.depth in
+      s.depth <- d + 1;
+      let t0 = s.clock () in
       match f () with
       | v ->
-        depth := d;
-        close name d t0;
+        s.depth <- d;
+        close s name d t0;
         v
       | exception e ->
-        depth := d;
-        close name d t0;
+        s.depth <- d;
+        close s name d t0;
         raise e
     end
 
@@ -157,42 +266,53 @@ module Span = struct
 
   let summaries () =
     Hashtbl.fold
-      (fun name (a : agg) acc ->
-        { name; count = a.count; total_s = a.total_s } :: acc)
-      aggregates []
+      (fun name (a : span_agg) acc ->
+        { name; count = a.s_count; total_s = a.s_total } :: acc)
+      (st ()).spans []
     |> List.sort (fun a b -> String.compare a.name b.name)
 
   let total name =
-    match Hashtbl.find_opt aggregates name with
-    | Some a -> a.total_s
+    match Hashtbl.find_opt (st ()).spans name with
+    | Some a -> a.s_total
     | None -> 0.0
 
   let total_prefix prefix =
     Hashtbl.fold
-      (fun name (a : agg) acc ->
-        if String.starts_with ~prefix name then acc +. a.total_s else acc)
-      aggregates 0.0
+      (fun name (a : span_agg) acc ->
+        if String.starts_with ~prefix name then acc +. a.s_total else acc)
+      (st ()).spans 0.0
 
   let count name =
-    match Hashtbl.find_opt aggregates name with Some a -> a.count | None -> 0
+    match Hashtbl.find_opt (st ()).spans name with
+    | Some a -> a.s_count
+    | None -> 0
 
   let reset () =
-    Hashtbl.reset aggregates;
-    depth := 0
+    let s = st () in
+    Hashtbl.reset s.spans;
+    s.depth <- 0
 end
 
-(* ---- journal: API and JSONL ------------------------------------------- *)
+(* ---- journal: API and JSONL -------------------------------------------- *)
 
 module Journal = struct
   include Journal_t
 
   let on () = events_on ()
-  let record e = if events_on () then journal_push e
-  let set_sink s = jsink := s
-  let position () = !jlen
-  let since k = Array.to_list (Array.sub !jbuf k (!jlen - k))
+
+  let record e =
+    let s = st () in
+    if level_rank s.lvl >= 2 then journal_push s e
+
+  let set_sink sk = (st ()).sink <- sk
+  let position () = (st ()).jlen
+
+  let since k =
+    let s = st () in
+    Array.to_list (Array.sub s.jbuf k (s.jlen - k))
+
   let events () = since 0
-  let clear () = jlen := 0
+  let clear () = (st ()).jlen <- 0
 
   (* -- JSON writing.  17 significant digits round-trip every finite
      double; non-finite floats are encoded as null / signed sentinels. -- *)
@@ -555,4 +675,102 @@ module Journal = struct
            done
          with End_of_file -> ());
         List.rev !acc)
+end
+
+(* ---- export: delta capture and cross-domain merge ----------------------- *)
+
+module Export = struct
+  type mark = {
+    m_cells : int array;                     (* counter snapshot (copy) *)
+    m_polls : (string * int) list;           (* polled gauges at start *)
+    m_spans : (string * int * float) list;   (* span aggregates at start *)
+    m_jpos : int;
+  }
+
+  type t = {
+    e_counters : (string * int) list;        (* per-name deltas, sorted *)
+    e_polls : (string * int) list;
+    e_spans : (string * int * float) list;
+    e_journal : Journal_t.event array;
+  }
+
+  let poll_values () =
+    List.sort compare (List.map (fun (name, f) -> (name, f ())) (poll_list ()))
+
+  let span_values () =
+    List.sort compare
+      (List.map
+         (fun (s : Span.summary) -> (s.Span.name, s.Span.count, s.Span.total_s))
+         (Span.summaries ()))
+
+  let start () =
+    let s = st () in
+    { m_cells = Array.copy s.cells;
+      m_polls = poll_values ();
+      m_spans = span_values ();
+      m_jpos = s.jlen }
+
+  let stop mark =
+    let s = st () in
+    let deltas =
+      List.filter_map
+        (fun (name, id) ->
+          let now = if id < Array.length s.cells then s.cells.(id) else 0 in
+          let before =
+            if id < Array.length mark.m_cells then mark.m_cells.(id) else 0
+          in
+          if now = before then None else Some (name, now - before))
+        (registered ())
+      |> List.sort compare
+    in
+    let delta_polls =
+      List.filter_map
+        (fun (name, v) ->
+          let before =
+            Option.value ~default:0 (List.assoc_opt name mark.m_polls)
+          in
+          if v = before then None else Some (name, v - before))
+        (poll_values ())
+    in
+    let delta_spans =
+      List.filter_map
+        (fun (name, c, t) ->
+          let bc, bt =
+            match List.find_opt (fun (n, _, _) -> n = name) mark.m_spans with
+            | Some (_, bc, bt) -> (bc, bt)
+            | None -> (0, 0.0)
+          in
+          if c = bc && t = bt then None else Some (name, c - bc, t -. bt))
+        (span_values ())
+    in
+    let jpos = min mark.m_jpos s.jlen in
+    { e_counters = deltas;
+      e_polls = delta_polls;
+      e_spans = delta_spans;
+      e_journal = Array.sub s.jbuf jpos (s.jlen - jpos) }
+
+  let merge e =
+    let s = st () in
+    List.iter
+      (fun (name, d) ->
+        let c = Counter.make name in
+        Counter.add c d)
+      e.e_counters;
+    List.iter
+      (fun (name, d) ->
+        match locked (fun () -> Hashtbl.find_opt poll_merges name) with
+        | Some inject -> inject d
+        | None -> ())
+      e.e_polls;
+    List.iter
+      (fun (name, dc, dt) ->
+        let a = Span.agg_of s name in
+        a.s_count <- a.s_count + dc;
+        a.s_total <- a.s_total +. dt)
+      e.e_spans;
+    Array.iter (fun ev -> journal_push s ev) e.e_journal
+
+  let journal e = Array.to_list e.e_journal
+
+  let counter e name = Option.value ~default:0 (List.assoc_opt name e.e_counters)
 end

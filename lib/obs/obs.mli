@@ -15,7 +15,21 @@
     Below the active level every hook is a cheap no-op: {!Span.with_}
     reduces to calling its thunk and {!Journal.record} to a branch.
     Call sites that would allocate an event record should guard with
-    {!Journal.on} so the disabled path allocates nothing. *)
+    {!Journal.on} so the disabled path allocates nothing.
+
+    {b Domain safety.}  All mutable observability state — level, counter
+    cells, span aggregates, the journal and its sink — is domain-local:
+    each domain accumulates into its own copy, so concurrent solver runs
+    in different domains never contend and never lose increments.  A
+    freshly spawned domain inherits its parent's level and clock but
+    starts with empty accumulators.  Only the name registries
+    ({!Counter.make}, {!register_poll}, {!register_reset}) are shared
+    (and mutex-guarded), so a counter handle created in one domain
+    addresses that same counter's domain-local cell in every other.  Use
+    {!Export} to capture the deltas a unit of work produced in one
+    domain and fold them into another: merging worker deltas in a fixed
+    canonical order makes a parallel run's counters, span aggregates and
+    journal bit-identical to the sequential run's. *)
 
 type level = Counters | Spans | Events
 
@@ -64,6 +78,12 @@ val register_poll : string -> (unit -> int) -> unit
 val register_reset : (unit -> unit) -> unit
 (** Hook called by {!reset_counters} — lets externally-owned counters
     participate in a registry-wide reset. *)
+
+val register_poll_merge : string -> (int -> unit) -> unit
+(** Injector for a polled counter: [register_poll_merge name add] lets
+    {!Export.merge} fold a worker domain's polled delta back into the
+    external storage ([add delta] must add [delta] to the counter the
+    poll reads).  Polls without an injector are skipped by merges. *)
 
 val counters : unit -> (string * int) list
 (** Snapshot of every registered counter and poll, sorted by name. *)
@@ -178,4 +198,45 @@ module Journal : sig
   val read_jsonl : path:string -> event list
   (** @raise Sys_error on unreadable files; malformed lines are
       skipped. *)
+end
+
+(** {1 Export: delta capture and cross-domain merge}
+
+    The bridge the parallel sweep engine is built on.  A worker domain
+    brackets each shard with {!Export.start}/{!Export.stop}, producing a
+    self-contained delta (counter increments, polled-gauge increments,
+    span aggregates, the journal slice).  The coordinator then
+    {!Export.merge}s the deltas {e in shard-index order}: counter and
+    span addition is order-insensitive, and the journal slices
+    concatenate into exactly the event sequence a sequential run would
+    have recorded — which is what makes parallel sweeps bit-identical to
+    sequential ones. *)
+
+module Export : sig
+  type mark
+  (** A point-in-time snapshot of the calling domain's observability
+      state. *)
+
+  type t
+  (** The deltas accumulated between a {!start} and a {!stop}. *)
+
+  val start : unit -> mark
+
+  val stop : mark -> t
+  (** Deltas since [mark], in the calling domain.  Counter deltas are
+      [value now - value at mark]; a shard that resets counters midway
+      therefore exports the net change, exactly as a sequential run
+      would leave the shared state. *)
+
+  val merge : t -> unit
+  (** Fold the deltas into the calling domain's state: add counters and
+      span aggregates, apply registered poll injectors
+      ({!register_poll_merge}), and append the journal slice (also
+      forwarding it to the calling domain's sink). *)
+
+  val journal : t -> Journal.event list
+  (** The captured journal slice, in recording order. *)
+
+  val counter : t -> string -> int
+  (** The delta of one named counter (0 if unchanged). *)
 end

@@ -1,0 +1,90 @@
+(* Shard-by-index domain pool.
+
+   Determinism is the design constraint, throughput second: shard [i]
+   always runs on worker [i mod d] after shards [i - d, i - 2d, ...] of
+   the same worker, every shard's observability delta is captured with
+   [Obs.Export] in its own domain, and the coordinator merges deltas in
+   shard-index order.  Since payloads are index-seeded, both the results
+   and the merged observability state match a sequential run bit for
+   bit. *)
+
+module Obs = Gripps_obs.Obs
+
+type t = { n_domains : int }
+
+let default_jobs () =
+  match Sys.getenv_opt "GRIPPS_JOBS" with
+  | Some v -> (try max 1 (int_of_string (String.trim v)) with Failure _ -> 1)
+  | None -> 1
+
+let create ?domains () =
+  let n = match domains with Some d -> d | None -> default_jobs () in
+  { n_domains = max 1 n }
+
+let sequential = { n_domains = 1 }
+let domains t = t.n_domains
+
+(* Worker w's slice of [0, shards): w, w+d, w+2d, ... in order.  Each
+   shard is bracketed by Export.start/stop so its observability delta
+   travels home with its result, and exceptions are captured per shard
+   so one bad shard never takes down its siblings. *)
+let run_slice ~shards ~d ~f w =
+  let rec go i acc =
+    if i >= shards then List.rev acc
+    else begin
+      let mark = Obs.Export.start () in
+      let r = try Ok (f i) with e -> Error e in
+      let delta = Obs.Export.stop mark in
+      go (i + d) ((i, r, delta) :: acc)
+    end
+  in
+  go w []
+
+let try_map t ~shards f =
+  if shards < 0 then invalid_arg "Pool.try_map: negative shards";
+  let d = min t.n_domains shards in
+  if d <= 1 then
+    (* Inline sequential path: no spawn, no export round-trip — the
+       caller's domain-local state accrues directly, exactly as every
+       pre-pool call site behaved. *)
+    Array.init shards (fun i -> try Ok (f i) with e -> Error e)
+  else begin
+    let workers =
+      Array.init d (fun w -> Domain.spawn (fun () -> run_slice ~shards ~d ~f w))
+    in
+    let collected = Array.map Domain.join workers in
+    let results = Array.make shards (Error Exit) in
+    let deltas = Array.make shards None in
+    Array.iter
+      (List.iter (fun (i, r, delta) ->
+           results.(i) <- r;
+           deltas.(i) <- Some delta))
+      collected;
+    (* Canonical merge order: shard index, not domain completion. *)
+    Array.iter (function Some delta -> Obs.Export.merge delta | None -> ()) deltas;
+    results
+  end
+
+let map_reduce t ~shards ~map ~init ~reduce =
+  if shards < 0 then invalid_arg "Pool.map_reduce: negative shards";
+  let d = min t.n_domains shards in
+  if d <= 1 then begin
+    (* Reference semantics: strictly alternating map/reduce, shard by
+       shard, all in the calling domain. *)
+    let acc = ref init in
+    for i = 0 to shards - 1 do
+      acc := reduce !acc (map i)
+    done;
+    !acc
+  end
+  else begin
+    let results = try_map t ~shards map in
+    Array.iter (function Error e -> raise e | Ok _ -> ()) results;
+    Array.fold_left
+      (fun acc r -> match r with Ok v -> reduce acc v | Error _ -> acc)
+      init results
+  end
+
+let map_list t ~shards f =
+  List.rev
+    (map_reduce t ~shards ~map:f ~init:[] ~reduce:(fun acc v -> v :: acc))

@@ -1,0 +1,58 @@
+(** Domain pool with static shard-by-index partitioning and
+    deterministic, canonically-ordered reduction.
+
+    A pool of [d] domains runs [shards] independent jobs: worker [w]
+    executes shard indices [w, w+d, w+2d, ...] in increasing order
+    (work-stealing-free — the assignment depends only on the index and
+    the domain count, never on execution speed).  Each worker runs with
+    a domain-local observability sink ({!Gripps_obs.Obs}): the
+    coordinator inherits nothing from workers while they run, then folds
+    every shard's observability delta back into its own state {e in
+    shard-index order} at join.  Since shard payloads derive everything
+    (RNG streams, fault traces) from their index, the results, merged
+    counters and merged journal are bit-identical to a sequential run
+    regardless of the domain count or how the OS interleaves domains.
+
+    A pool with one domain executes shards inline in the calling domain
+    — no spawns, no export/merge round-trip — which is the reference
+    sequential semantics the parallel path is tested against. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [domains] defaults to {!default_jobs}[ ()]; values are clamped to at
+    least 1.  Creating a pool allocates nothing: domains are spawned per
+    {!map_reduce} call and joined before it returns. *)
+
+val sequential : t
+(** The 1-domain pool: runs everything inline in the calling domain. *)
+
+val domains : t -> int
+
+val default_jobs : unit -> int
+(** The [GRIPPS_JOBS] environment variable, or 1 when unset or
+    unparsable.  The conventional default for every [--jobs] knob. *)
+
+val try_map : t -> shards:int -> (int -> 'a) -> ('a, exn) result array
+(** Run every shard to completion — a raising shard is captured as
+    [Error] without cancelling the others — and return the outcomes in
+    shard-index order.  Observability deltas of {e all} shards
+    (including failed ones, whose partial journals matter for post
+    mortems) are merged into the caller in index order. *)
+
+val map_reduce :
+  t -> shards:int -> map:(int -> 'a) -> init:'b -> reduce:('b -> 'a -> 'b) -> 'b
+(** [map_reduce p ~shards ~map ~init ~reduce] folds [reduce] over the
+    shard results in index order ([reduce (... (reduce init (map 0))) (map 1) ...]).
+    [reduce] always runs in the calling domain, so it may render,
+    accumulate into non-thread-safe structures, or report progress.
+
+    On a sequential pool, [map] and [reduce] alternate shard by shard.
+    On a parallel pool every shard completes first; if any raised, the
+    exception of the {e lowest} shard index is re-raised (after all
+    observability deltas were merged, so e.g. a
+    {!Gripps_engine.Sim.Horizon_exceeded} from inside a shard still
+    surfaces its partial journal) and [reduce] is not called. *)
+
+val map_list : t -> shards:int -> (int -> 'a) -> 'a list
+(** [map_reduce] specialized to collecting the results in index order. *)

@@ -1,0 +1,24 @@
+type 'a t = { length : int; job : int -> 'a }
+
+let make ~length job =
+  if length < 0 then invalid_arg "Sweep.make: negative length";
+  { length; job }
+
+let of_list xs f =
+  let arr = Array.of_list xs in
+  { length = Array.length arr; job = (fun i -> f arr.(i)) }
+
+let append a b =
+  { length = a.length + b.length;
+    job = (fun i -> if i < a.length then a.job i else b.job (i - a.length)) }
+
+let length t = t.length
+
+let run ?(pool = Pool.sequential) ?(progress = fun _ _ -> ()) t =
+  let k = ref 0 in
+  List.rev
+    (Pool.map_reduce pool ~shards:t.length ~map:t.job ~init:[]
+       ~reduce:(fun acc v ->
+         incr k;
+         progress !k t.length;
+         v :: acc))

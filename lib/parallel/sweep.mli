@@ -1,0 +1,30 @@
+(** A sweep: a finite grid of independent, index-addressed jobs.
+
+    The one abstraction every experiment harness (tables, resilience,
+    overhead, perf) expresses its grid through.  A job must derive all
+    randomness from its index (seed arithmetic or
+    {!Gripps_rng.Splitmix.stream}), never from execution order — that is
+    what makes [run] with any pool size return identical results in
+    identical order.  Once a sweep is a value, sharding it across
+    domains (here), processes or machines is the same interface. *)
+
+type 'a t = private { length : int; job : int -> 'a }
+
+val make : length:int -> (int -> 'a) -> 'a t
+(** @raise Invalid_argument on negative [length]. *)
+
+val of_list : 'b list -> ('b -> 'a) -> 'a t
+(** One job per list element, in list order. *)
+
+val append : 'a t -> 'a t -> 'a t
+(** The left sweep's jobs, then the right's. *)
+
+val length : 'a t -> int
+
+val run :
+  ?pool:Pool.t -> ?progress:(int -> int -> unit) -> 'a t -> 'a list
+(** Results in job-index order.  [pool] defaults to {!Pool.sequential}.
+    [progress done total] is always called from the calling domain, once
+    per job, in index order (live on a sequential pool; at the join on a
+    parallel one).  Exceptions propagate as described in
+    {!Pool.map_reduce}. *)

@@ -21,6 +21,16 @@ let split t =
   let s = next_int64 t in
   { state = mix s }
 
+(* Index-addressed stream derivation: the k-th stream is a pure function
+   of the base state and k (the base is not advanced), so parallel sweep
+   shards can derive their streams by index and replay identically
+   regardless of execution order or domain count.  Double mixing
+   decorrelates neighbouring indices and the base's own output
+   sequence. *)
+let stream t k =
+  { state =
+      mix (Int64.add (mix t.state) (Int64.mul (Int64.of_int k) golden_gamma)) }
+
 let float t =
   (* 53 uniform mantissa bits. *)
   let bits = Int64.shift_right_logical (next_int64 t) 11 in

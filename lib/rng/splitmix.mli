@@ -13,7 +13,16 @@ val copy : t -> t
 
 val split : t -> t
 (** Derive an independent stream (used to give each simulated instance its
-    own generator so instances are reproducible in isolation). *)
+    own generator so instances are reproducible in isolation).  Advances
+    the parent. *)
+
+val stream : t -> int -> t
+(** [stream t k] is the [k]-th derived stream of [t]: a pure function of
+    [t]'s current state and the index — the parent is {e not} advanced,
+    and the same [(state, k)] always yields the same stream.  This is
+    the seed discipline of parallel sweeps: shard [k] draws from
+    [stream base k], never from whichever generator happens to be free,
+    so a sweep replays identically at any [--jobs] level. *)
 
 val next_int64 : t -> int64
 (** Uniform over all 64-bit values. *)

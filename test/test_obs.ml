@@ -263,6 +263,71 @@ let test_horizon_exceeded_carries_journal () =
         Alcotest.(check bool) "starts with run_start" true
           (match journal with J.Run_start _ :: _ -> true | _ -> false))
 
+(* ---- parallel journals ------------------------------------------------- *)
+
+(* Two simulations run in separate domains; the coordinator's merged
+   journal must be exactly the concatenation of the per-shard journals in
+   shard order, and each slice must still replay to the live metrics
+   bit-for-bit. *)
+let test_parallel_journal_merge () =
+  let module Pool = Gripps_parallel.Pool in
+  let instances =
+    List.map
+      (fun seed ->
+        W.Generator.instance
+          (Gripps_rng.Splitmix.create seed)
+          (W.Config.make ~sites:2 ~databases:2 ~availability:0.8 ~density:1.0
+             ~horizon:6.0 ()))
+      [ 31; 32 ]
+  in
+  Obs.with_level Obs.Events (fun () ->
+      J.clear ();
+      let results =
+        Pool.try_map (Pool.create ~domains:2 ()) ~shards:2 (fun i ->
+            let inst = List.nth instances i in
+            (inst, Sim.run_report ~horizon:1e9 Gripps_sched.List_sched.swrpt inst))
+      in
+      let reports =
+        Array.to_list results
+        |> List.map (function Ok r -> r | Error e -> raise e)
+      in
+      Alcotest.(check bool) "merged journal = shard journals in shard order"
+        true
+        (compare (J.events ())
+           (List.concat_map (fun (_, r) -> r.Sim.journal) reports)
+         = 0);
+      List.iter
+        (fun (inst, (r : Sim.report)) ->
+          let replayed = Replay.schedule_of_journal inst r.Sim.journal in
+          Alcotest.(check bool) "shard journal replays to live metrics" true
+            (compare r.Sim.metrics (Metrics.of_schedule replayed) = 0))
+        reports;
+      J.clear ())
+
+(* The CLI's [trace --verify --jobs N] path: verification through a
+   2-domain sweep is indistinguishable from the sequential loop. *)
+let test_trace_verify_parallel () =
+  let module Sweep = Gripps_parallel.Sweep in
+  let scenarios =
+    List.filter
+      (fun (sc : E.Trace.scenario) -> sc.E.Trace.scheduler <> "Offline")
+      E.Trace.scenarios
+  in
+  let sequential = List.map E.Trace.verify scenarios in
+  let parallel =
+    Sweep.run
+      ~pool:(Gripps_parallel.Pool.create ~domains:2 ())
+      (Sweep.of_list scenarios E.Trace.verify)
+  in
+  Alcotest.(check bool) "parallel verification is bit-identical" true
+    (compare sequential parallel = 0);
+  List.iter
+    (fun (v : E.Trace.verification) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "scenario %s verifies in parallel" v.E.Trace.v_scenario)
+        true v.E.Trace.v_ok)
+    parallel
+
 (* ---- trace scenarios --------------------------------------------------- *)
 
 let test_trace_verify () =
@@ -306,6 +371,10 @@ let suite =
         (sandboxed test_replay_rejects_foreign_jobs);
       Alcotest.test_case "horizon_exceeded carries journal" `Quick
         (sandboxed test_horizon_exceeded_carries_journal);
+      Alcotest.test_case "parallel journal merge" `Quick
+        (sandboxed test_parallel_journal_merge);
+      Alcotest.test_case "trace verify under parallelism" `Slow
+        (sandboxed test_trace_verify_parallel);
       Alcotest.test_case "trace scenarios verify" `Slow
         (sandboxed test_trace_verify);
       Alcotest.test_case "trace offline-exact verifies" `Slow

@@ -21,6 +21,30 @@ let test_split_differs () =
   let ys = List.init 10 (fun _ -> Splitmix.next_int64 child) in
   Alcotest.(check bool) "streams differ" true (xs <> ys)
 
+let test_stream_pure () =
+  let a = Splitmix.create 9 in
+  let witness = Splitmix.copy a in
+  let s1 = Splitmix.stream a 5 and s2 = Splitmix.stream a 5 in
+  for _ = 1 to 10 do
+    Alcotest.(check int64) "stream is a pure function of (state, k)"
+      (Splitmix.next_int64 s1) (Splitmix.next_int64 s2)
+  done;
+  Alcotest.(check int64) "deriving streams does not advance the parent"
+    (Splitmix.next_int64 witness) (Splitmix.next_int64 a)
+
+(* The seed discipline of parallel sweeps: streams derived by index must
+   be mutually independent and independent of the base's own output
+   sequence, or shards would correlate. *)
+let prop_stream_independence =
+  QCheck2.Test.make ~name:"indexed streams are pairwise distinct" ~count:200
+    QCheck2.Gen.(triple (int_range 0 1_000_000) (int_range 0 4096) (int_range 0 4096))
+    (fun (seed, j, k) ->
+      let base = Splitmix.create seed in
+      let take8 rng = List.init 8 (fun _ -> Splitmix.next_int64 rng) in
+      let draw i = take8 (Splitmix.stream base i) in
+      let base_draws = take8 (Splitmix.copy base) in
+      (j = k || draw j <> draw k) && draw j <> base_draws)
+
 let test_float_range () =
   let rng = Splitmix.create 1 in
   for _ = 1 to 1000 do
@@ -81,6 +105,8 @@ let suite =
     [ Alcotest.test_case "determinism" `Quick test_determinism;
       Alcotest.test_case "copy" `Quick test_copy_independent;
       Alcotest.test_case "split" `Quick test_split_differs;
+      Alcotest.test_case "stream purity" `Quick test_stream_pure;
+      QCheck_alcotest.to_alcotest prop_stream_independence;
       Alcotest.test_case "float range" `Quick test_float_range;
       Alcotest.test_case "int bounds" `Quick test_int_bounds;
       Alcotest.test_case "uniform moments" `Quick test_uniform_moments;
