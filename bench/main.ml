@@ -11,6 +11,13 @@
    and exits non-zero if the warm-started solver disagrees with a cold
    solve — the mode the CI perf smoke job runs.
 
+   Invoked as `main.exe scale [OUT.json]` it runs the large-n scale
+   experiment (lib/experiments/scale.ml): events/sec of the incremental
+   priority schedulers, differentially checked against the legacy resort
+   oracle, written as BENCH_scale.json.  GRIPPS_SCALE_SIZES (e.g.
+   "1000") trims the size grid; exits non-zero on any divergence — the
+   mode the CI scale smoke job runs.
+
    Scale knobs (environment variables):
      GRIPPS_BENCH_INSTANCES   instances per configuration   (default 3)
      GRIPPS_BENCH_HORIZON     arrival window in seconds     (default 30)
@@ -300,8 +307,34 @@ let run_perf () =
     exit 1
   end
 
+(* Large-n scale benchmark (CI smoke mode): events/sec of the incremental
+   priority schedulers with the legacy-oracle differential gate, written
+   as BENCH_scale.json.  GRIPPS_SCALE_SIZES trims the size grid (the CI
+   smoke leg runs n=1000 only). *)
+let run_scale () =
+  let out = if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_scale.json" in
+  let sizes =
+    match Sys.getenv_opt "GRIPPS_SCALE_SIZES" with
+    | None -> E.Scale.default_sizes
+    | Some v ->
+      (try List.map int_of_string (String.split_on_char ',' v)
+       with Failure _ -> E.Scale.default_sizes)
+  in
+  let progress k total = Printf.eprintf "\rscale: cell %d/%d%!" k total in
+  let r = E.Scale.run ~sizes ~pool ~progress ~seed:42 () in
+  Printf.eprintf "\n%!";
+  print_string (E.Scale.render r);
+  E.Scale.write_json ~path:out r;
+  Printf.eprintf "scale: wrote %s\n%!" out;
+  if not r.E.Scale.identical then begin
+    Printf.eprintf
+      "scale: error: incremental scheduler diverged from the resort oracle\n%!";
+    exit 1
+  end
+
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "perf" then run_perf ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "scale" then run_scale ()
   else begin
     print_reproduction ();
     Printf.printf "=== bechamel timings ===\n%!";

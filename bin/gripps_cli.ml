@@ -7,6 +7,7 @@
      figure    regenerate Figure 3(a)/3(b)
      overhead  regenerate the section 5.3 scheduling-overhead comparison
      perf      tracked solver benchmark against the recorded baseline
+     scale     large-n events/sec benchmark of the incremental schedulers
      faults    resilience sweep: degradation under machine failures *)
 
 open Cmdliner
@@ -300,6 +301,79 @@ let perf_cmd =
           solve.")
     Term.(ret (const action $ json_t $ out_t $ repeats_t $ jobs_t))
 
+(* ---- scale ------------------------------------------------------------ *)
+
+let scale_cmd =
+  let sizes_t =
+    Arg.(
+      value
+      & opt (list int) E.Scale.default_sizes
+      & info [ "n" ] ~docv:"N1,N2,..."
+          ~doc:"Target job counts (one pinned instance per value).")
+  in
+  let legacy_cap_t =
+    Arg.(
+      value
+      & opt int E.Scale.default_legacy_cap
+      & info [ "legacy-cap" ] ~docv:"N"
+          ~doc:"Largest n at which the legacy resort-from-scratch oracle \
+                is also run and compared (the O(n log n)-per-event path \
+                becomes impractical beyond this).")
+  in
+  let schedulers_t =
+    Arg.(
+      value
+      & opt (list string) E.Scale.panel_names
+      & info [ "schedulers" ] ~docv:"NAME1,NAME2,..."
+          ~doc:"Subset of the priority panel (FCFS, SPT, SRPT, SWPT, SWRPT).")
+  in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the machine-readable BENCH_scale.json document on \
+                stdout instead of the table.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH" ~doc:"Also write the JSON document to $(docv).")
+  in
+  let action seed sizes legacy_cap schedulers json out jobs =
+    let progress k total = Printf.eprintf "\rcell %d/%d%!" k total in
+    let r =
+      E.Scale.run ~sizes ~legacy_cap ~schedulers ~pool:(pool_of_jobs jobs)
+        ~progress ~seed ()
+    in
+    Printf.eprintf "\n%!";
+    if json then print_string (E.Scale.to_json r)
+    else print_string (E.Scale.render r);
+    (match out with
+     | Some path ->
+       E.Scale.write_json ~path r;
+       Printf.eprintf "wrote %s\n%!" path
+     | None -> ());
+    if not r.E.Scale.identical then begin
+      Printf.eprintf
+        "error: incremental scheduler diverged from the resort oracle — \
+         this is a bug\n%!";
+      exit 1
+    end;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Large-n scale experiment: events/sec of the incremental priority \
+          schedulers at n = 100..100000, differentially checked against the \
+          legacy resort path below --legacy-cap. Exits non-zero on any \
+          divergence.")
+    Term.(
+      ret
+        (const action $ seed_t $ sizes_t $ legacy_cap_t $ schedulers_t $ json_t
+         $ out_t $ jobs_t))
+
 (* ---- faults ----------------------------------------------------------- *)
 
 let faults_cmd =
@@ -486,6 +560,6 @@ let main =
          "Reproduction of 'Minimizing the stretch when scheduling flows of \
           biological requests' (Legrand, Su, Vivien).")
     [ run_cmd; optimal_cmd; table_cmd; tables_cmd; figure_cmd; overhead_cmd;
-      perf_cmd; faults_cmd; trace_cmd; validate_cmd ]
+      perf_cmd; scale_cmd; faults_cmd; trace_cmd; validate_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -84,3 +84,133 @@ let to_sorted_list h =
     | Some x -> drain (x :: acc)
   in
   drain []
+
+(* ------------------------------------------------------------------ *)
+(* Indexed heap: small-int elements with float keys, id tiebreak.      *)
+(* ------------------------------------------------------------------ *)
+
+module Indexed = struct
+  type t = {
+    keys : float array;  (* key per id; meaningful while pos.(id) >= 0 *)
+    pos : int array;     (* heap slot of id, or -1 when absent *)
+    heap : int array;    (* slots 0..size-1 hold member ids *)
+    mutable size : int;
+  }
+
+  let create ~capacity =
+    if capacity < 0 then invalid_arg "Heap.Indexed.create: negative capacity";
+    { keys = Array.make capacity 0.0;
+      pos = Array.make capacity (-1);
+      heap = Array.make capacity 0;
+      size = 0 }
+
+  let capacity h = Array.length h.pos
+  let size h = h.size
+  let is_empty h = h.size = 0
+
+  let check h id name =
+    if id < 0 || id >= Array.length h.pos then
+      invalid_arg ("Heap.Indexed." ^ name ^ ": id out of range")
+
+  let mem h id =
+    check h id "mem";
+    h.pos.(id) >= 0
+
+  let key h id =
+    check h id "key";
+    if h.pos.(id) < 0 then invalid_arg "Heap.Indexed.key: absent id";
+    h.keys.(id)
+
+  (* Strict (key, id) lexicographic order: all members are distinct ids,
+     so the induced total order is unique — the drain order of the heap
+     is exactly the sorted order of its (key, id) pairs. *)
+  let less h a b = h.keys.(a) < h.keys.(b) || (h.keys.(a) = h.keys.(b) && a < b)
+
+  let swap h i j =
+    let a = h.heap.(i) and b = h.heap.(j) in
+    h.heap.(i) <- b;
+    h.heap.(j) <- a;
+    h.pos.(b) <- i;
+    h.pos.(a) <- j
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let p = (i - 1) / 2 in
+      if less h h.heap.(i) h.heap.(p) then begin
+        swap h i p;
+        sift_up h p
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let s = ref i in
+    if l < h.size && less h h.heap.(l) h.heap.(!s) then s := l;
+    if r < h.size && less h h.heap.(r) h.heap.(!s) then s := r;
+    if !s <> i then begin
+      swap h i !s;
+      sift_down h !s
+    end
+
+  let add h id k =
+    check h id "add";
+    if h.pos.(id) >= 0 then invalid_arg "Heap.Indexed.add: id already present";
+    h.keys.(id) <- k;
+    h.heap.(h.size) <- id;
+    h.pos.(id) <- h.size;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+
+  let update h id k =
+    check h id "update";
+    let i = h.pos.(id) in
+    if i < 0 then invalid_arg "Heap.Indexed.update: absent id";
+    h.keys.(id) <- k;
+    sift_up h i;
+    sift_down h h.pos.(id)
+
+  let remove h id =
+    check h id "remove";
+    let i = h.pos.(id) in
+    if i < 0 then invalid_arg "Heap.Indexed.remove: absent id";
+    let last = h.size - 1 in
+    h.size <- last;
+    h.pos.(id) <- -1;
+    if i <> last then begin
+      let moved = h.heap.(last) in
+      h.heap.(i) <- moved;
+      h.pos.(moved) <- i;
+      sift_up h i;
+      sift_down h h.pos.(moved)
+    end
+
+  let min_elt h = if h.size = 0 then None else Some h.heap.(0)
+
+  let min_exn h =
+    if h.size = 0 then invalid_arg "Heap.Indexed.min_exn: empty heap";
+    h.heap.(0)
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.heap.(0) in
+      remove h top;
+      Some top
+    end
+
+  let pop_exn h =
+    match pop h with
+    | Some x -> x
+    | None -> invalid_arg "Heap.Indexed.pop_exn: empty heap"
+
+  let clear h =
+    for i = 0 to h.size - 1 do
+      h.pos.(h.heap.(i)) <- -1
+    done;
+    h.size <- 0
+
+  let to_sorted_list h =
+    let ids = Array.sub h.heap 0 h.size in
+    Array.sort (fun a b -> if less h a b then -1 else if less h b a then 1 else 0) ids;
+    Array.to_list ids
+end

@@ -25,3 +25,51 @@ val clear : 'a t -> unit
 
 val to_sorted_list : 'a t -> 'a list
 (** Non-destructive; ascending order. *)
+
+(** Indexed min-heap over the dense id space [0, capacity): float keys,
+    id as deterministic tiebreak, O(log n) add / decrease-or-increase-key
+    / remove by id.  The drain order is exactly the ascending sort of the
+    members' [(key, id)] pairs, which is what lets a heap-backed priority
+    scheduler reproduce a sort-based one bit for bit.
+
+    Backing for the incremental priority schedulers: one heap per
+    databank keyed by the priority rule, ids = job ids. *)
+module Indexed : sig
+  type t
+
+  val create : capacity:int -> t
+  (** Empty heap accepting ids in [0, capacity).
+      @raise Invalid_argument on a negative capacity. *)
+
+  val capacity : t -> int
+  val size : t -> int
+  val is_empty : t -> bool
+
+  val mem : t -> int -> bool
+  (** @raise Invalid_argument on an out-of-range id (all id-taking
+      operations do). *)
+
+  val key : t -> int -> float
+  (** Current key of a member. @raise Invalid_argument if absent. *)
+
+  val add : t -> int -> float -> unit
+  (** @raise Invalid_argument if the id is already present. *)
+
+  val update : t -> int -> float -> unit
+  (** Re-key a member (decrease or increase).
+      @raise Invalid_argument if absent. *)
+
+  val remove : t -> int -> unit
+  (** @raise Invalid_argument if absent. *)
+
+  val min_elt : t -> int option
+  (** Member with the smallest [(key, id)], without removing it. *)
+
+  val min_exn : t -> int
+  val pop : t -> int option
+  val pop_exn : t -> int
+  val clear : t -> unit
+
+  val to_sorted_list : t -> int list
+  (** Non-destructive; ascending [(key, id)] order. *)
+end

@@ -1,6 +1,12 @@
 module Q = Gripps_numeric.Rat
+module Heap = Gripps_collections.Heap
 
 type job = { release : Q.t; deadline : Q.t; work : Q.t }
+
+(* Active job: deadline with an insertion sequence number as tiebreak, so
+   the heap pops equal deadlines in the order the old sorted-list insert
+   kept them (new arrivals after existing ones). *)
+type active = { deadline : Q.t; seq : int; mutable rem : Q.t }
 
 let feasible jobs =
   List.iter
@@ -12,40 +18,48 @@ let feasible jobs =
          (fun a b -> Q.compare a.release b.release)
          (List.filter (fun j -> Q.sign j.work > 0) jobs))
   in
-  (* Active jobs as (deadline, remaining) sorted by deadline. *)
-  let active = ref [] in
-  let insert j =
-    let rec go = function
-      | [] -> [ j ]
-      | (d, _) :: _ as rest when Q.lt (fst j) d -> j :: rest
-      | x :: rest -> x :: go rest
-    in
-    active := go !active
+  (* Earliest deadline on top: O(log n) per release/completion instead of
+     the former O(n) sorted insert. *)
+  let cmp a b =
+    let c = Q.compare a.deadline b.deadline in
+    if c <> 0 then c else compare a.seq b.seq
+  in
+  let active = Heap.create ~cmp in
+  let seq = ref 0 in
+  let insert deadline work =
+    incr seq;
+    Heap.push active { deadline; seq = !seq; rem = work }
   in
   let rec run t =
-    (* Release everything due. *)
-    let due, later = List.partition (fun j -> Q.le j.release t) !upcoming in
-    upcoming := later;
-    List.iter (fun j -> insert (j.deadline, j.work)) due;
-    match !active with
-    | [] ->
+    (* Release everything due: a prefix of the release-sorted list. *)
+    let rec pop_due () =
+      match !upcoming with
+      | j :: rest when Q.le j.release t ->
+        upcoming := rest;
+        insert j.deadline j.work;
+        pop_due ()
+      | _ :: _ | [] -> ()
+    in
+    pop_due ();
+    match Heap.peek active with
+    | None ->
       (match !upcoming with
        | [] -> true
        | j :: _ -> run j.release)
-    | (deadline, rem) :: rest ->
+    | Some top ->
       let next_release =
         match !upcoming with [] -> None | j :: _ -> Some j.release
       in
-      let finish = Q.add t rem in
+      let finish = Q.add t top.rem in
       let run_until =
         match next_release with
         | Some r when Q.lt r finish -> r
         | Some _ | None -> finish
       in
-      if Q.gt run_until deadline then false
+      if Q.gt run_until top.deadline then false
       else begin
-        if Q.equal run_until finish then active := rest
-        else active := (deadline, Q.sub rem (Q.sub run_until t)) :: rest;
+        if Q.equal run_until finish then ignore (Heap.pop_exn active)
+        else top.rem <- Q.sub top.rem (Q.sub run_until t);
         run run_until
       end
   in

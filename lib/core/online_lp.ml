@@ -91,6 +91,10 @@ let online_egdf =
       (fun inst ->
         let sizes = Snapshot.sizes_fn inst in
         let order = ref [] in
+        (* Stamped membership marks: the straggler check below used to be
+           [List.mem] inside a filter — O(n²) per event. *)
+        let mark = Array.make (Gripps_model.Instance.num_jobs inst) 0 in
+        let stamp = ref 0 in
         fun st events ->
           if needs_replan events then begin
             match solve_state st ~refine:true with
@@ -101,8 +105,10 @@ let online_egdf =
           (* Safety: any active job missing from the order (possible after
              a degraded replan, guaranteed absent for solver output) goes
              last. *)
+          incr stamp;
+          List.iter (fun j -> mark.(j) <- !stamp) alive;
           let missing =
-            List.filter (fun j -> not (List.mem j alive)) (Sim.active_jobs st)
+            List.filter (fun j -> mark.(j) <> !stamp) (Sim.active_jobs st)
           in
           { Sim.allocation = List_sched.allocate st ~priority_order:(alive @ missing);
             horizon = None }) }

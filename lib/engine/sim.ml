@@ -1,6 +1,7 @@
 open Gripps_model
 module Obs = Gripps_obs.Obs
 module J = Obs.Journal
+module Vec = Gripps_collections.Vec
 
 type allocation = (int * (int * float) list) list
 
@@ -19,6 +20,18 @@ type state = {
   completed : float option array;
   up : bool array;
   lost : float array;
+  (* Dense per-run scratch of the incremental core.  All of it persists
+     across events so that processing one event costs O(size of the live
+     plan), never O(n): the hot loop performs no allocation or scan
+     proportional to the number of jobs. *)
+  rates : float array;       (* processing rate per job under the live plan *)
+  lost_rates : float array;  (* rate share evaporating on crashing machines *)
+  rated : int Vec.t;         (* support of the live plan: jobs with rate > 0 *)
+  tiny : int Vec.t;          (* jobs released with sub-resolution size *)
+  seen : int array;          (* duplicate-entry stamps (validation) *)
+  mutable stamp : int;
+  mutable n_completed : int;
+  mutable version : int;     (* bumps at every scheduler invocation *)
 }
 
 let instance st = st.inst
@@ -46,6 +59,19 @@ let active_jobs st =
 
 let completion_time st j = st.completed.(j)
 
+(* The dirty set handed to incremental schedulers: during a callback,
+   [rated] still holds the support of the plan segment that just ended —
+   a superset of the jobs whose remaining work changed since the previous
+   callback (it is only reset when the next plan is validated). *)
+let plan_version st = st.version
+let iter_dirty f st = Vec.iter f st.rated
+let dirty_jobs st = Vec.to_list st.rated
+
+let complete st j t =
+  st.remaining.(j) <- 0.0;
+  st.completed.(j) <- Some t;
+  st.n_completed <- st.n_completed + 1
+
 type plan = { allocation : allocation; horizon : float option }
 
 let idle = { allocation = []; horizon = None }
@@ -56,6 +82,13 @@ type scheduler = {
 }
 
 let stateless name f = { name; make = (fun _inst -> f) }
+
+let incremental ~name ~init ~on_event =
+  { name;
+    make =
+      (fun inst ->
+        let s = init inst in
+        fun st evs -> on_event s st evs) }
 
 exception Stalled of { time : float; pending : int list }
 
@@ -78,12 +111,19 @@ let c_runs = Obs.Counter.make "sim.runs"
 
 let share_eps = 1e-9
 
-(* Check the scheduler's allocation against the model invariants and
-   compute per-job processing rates. *)
+(* Check the scheduler's allocation against the model invariants and load
+   the per-job processing rates into [st.rates]/[st.rated].  The previous
+   plan's support is zeroed first, so the cost is O(|old plan| + |new
+   plan|) — independent of the total number of jobs. *)
 let check_allocation st name (alloc : allocation) =
   let platform = Instance.platform st.inst in
   let nj = Instance.num_jobs st.inst in
-  let rates = Array.make nj 0.0 in
+  Vec.iter
+    (fun j ->
+      st.rates.(j) <- 0.0;
+      st.lost_rates.(j) <- 0.0)
+    st.rated;
+  Vec.clear st.rated;
   List.iter
     (fun (mid, shares) ->
       if mid < 0 || mid >= Platform.num_machines platform then
@@ -94,10 +134,21 @@ let check_allocation st name (alloc : allocation) =
       let total = List.fold_left (fun s (_, share) -> s +. share) 0.0 shares in
       if total > 1.0 +. share_eps then
         invalid_arg (name ^ ": machine oversubscribed");
+      st.stamp <- st.stamp + 1;
+      let stamp = st.stamp in
       List.iter
         (fun (jid, share) ->
           if jid < 0 || jid >= nj then
             invalid_arg (name ^ ": allocation references unknown job");
+          if st.seen.(jid) = stamp then
+            invalid_arg
+              (Printf.sprintf "%s: duplicate entry for job %d on machine %d"
+                 name jid mid);
+          st.seen.(jid) <- stamp;
+          if share < 0.0 then
+            invalid_arg
+              (Printf.sprintf "%s: negative share %g for job %d on machine %d"
+                 name share jid mid);
           if share <= 0.0 then invalid_arg (name ^ ": non-positive share");
           if not st.released.(jid) then
             invalid_arg (name ^ ": job allocated before release");
@@ -105,10 +156,11 @@ let check_allocation st name (alloc : allocation) =
             invalid_arg (name ^ ": completed job allocated");
           if not (Machine.hosts m (Instance.job st.inst jid).Job.databank) then
             invalid_arg (name ^ ": job allocated to machine missing its databank");
-          rates.(jid) <- rates.(jid) +. (share *. m.Machine.speed))
+          let d = share *. m.Machine.speed in
+          if st.rates.(jid) = 0.0 && d > 0.0 then Vec.push st.rated jid;
+          st.rates.(jid) <- st.rates.(jid) +. d)
         shares)
-    alloc;
-  rates
+    alloc
 
 type report = {
   schedule : Schedule.t;
@@ -133,7 +185,11 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
   let st =
     { inst; now = 0.0; remaining = Array.map (fun (j : Job.t) -> j.size) (Instance.jobs inst);
       released = Array.make nj false; completed = Array.make nj None;
-      up = Array.make nm true; lost = Array.make nj 0.0 }
+      up = Array.make nm true; lost = Array.make nj 0.0;
+      rates = Array.make nj 0.0; lost_rates = Array.make nj 0.0;
+      rated = Vec.create (); tiny = Vec.create ();
+      seen = Array.make nj 0; stamp = 0;
+      n_completed = 0; version = 0 }
   in
   (* The effective fault trace: explicit edges merged with the platform's
      static downtime intervals. *)
@@ -176,6 +232,7 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
              | Recovery m ->
                J.Sim_event { time = st.now; kind = J.Recovery; subject = m }))
         evs;
+    st.version <- st.version + 1;
     let p = callback st evs in
     if J.on () then
       J.record
@@ -184,17 +241,27 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
              allocation = p.allocation; horizon = p.horizon });
     p
   in
-  let segments = ref [] in
+  let segments = Schedule.Builder.create () in
+  let completions : int Vec.t = Vec.create () in
+  let crashing = Array.make nm false in
+  let crashed : int Vec.t = Vec.create () in
   let next_arrival = ref 0 in
   let last_event = ref None in
-  (* Gather every job released at exactly the same date. *)
+  (* Gather every job released at exactly the same date, flagging those
+     whose whole size is already below the sliver resolution — they are
+     the only unallocated jobs the sliver rule can ever fire on (an
+     unallocated job's remaining work is constant, and an allocated job
+     that drops below the threshold completes in that same advance). *)
   let pop_arrivals t =
     let evs = ref [] in
     while
       !next_arrival < nj && (Instance.job inst !next_arrival).Job.release <= t +. 1e-12
     do
-      st.released.(!next_arrival) <- true;
-      evs := Arrival !next_arrival :: !evs;
+      let j = !next_arrival in
+      st.released.(j) <- true;
+      let size = (Instance.job inst j).Job.size in
+      if size <= 1e-9 *. Float.max size total_work then Vec.push st.tiny j;
+      evs := Arrival j :: !evs;
       incr next_arrival
     done;
     List.rev !evs
@@ -218,7 +285,7 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
     done;
     List.rev !evs
   in
-  let finished () = Array.for_all Option.is_some st.completed in
+  let finished () = st.n_completed = nj in
   let plan = ref idle in
   (* Kick off: jump to the first release date, applying any availability
      edge that predates it. *)
@@ -238,15 +305,15 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
               pending = active_jobs st; last_event = !last_event;
               journal = J.since mark })
      | Some _ | None -> ());
-    let rates = check_allocation st scheduler.name !plan.allocation in
-    (* Earliest completion under the current rates. *)
+    check_allocation st scheduler.name !plan.allocation;
+    (* Earliest completion under the current rates: only the plan's
+       support can complete, so scan [rated] instead of every job. *)
     let next_completion = ref infinity in
-    for j = 0 to nj - 1 do
-      if st.released.(j) && (not (is_completed st j)) && rates.(j) > 0.0 then begin
-        let t = st.now +. (st.remaining.(j) /. rates.(j)) in
-        if t < !next_completion then next_completion := t
-      end
-    done;
+    Vec.iter
+      (fun j ->
+        let t = st.now +. (st.remaining.(j) /. st.rates.(j)) in
+        if t < !next_completion then next_completion := t)
+      st.rated;
     let arrival_t =
       if !next_arrival < nj then (Instance.job inst !next_arrival).Job.release
       else infinity
@@ -266,13 +333,17 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
     (* Machines dying at [t_next] under crash semantics lose the whole
        segment's work: it is re-added to the jobs' remaining work and the
        segment records no delivery from those machines. *)
-    let crashing = Array.make nm false in
+    Vec.iter (fun m -> crashing.(m) <- false) crashed;
+    Vec.clear crashed;
     let any_crash = ref false in
     if loss = Fault.Crash then begin
       let rec scan = function
         | (e : Fault.edge) :: rest when e.Fault.time <= t_next +. 1e-12 ->
-          if (not e.Fault.up) && st.up.(e.Fault.machine) then begin
+          if (not e.Fault.up) && st.up.(e.Fault.machine)
+             && not crashing.(e.Fault.machine)
+          then begin
             crashing.(e.Fault.machine) <- true;
+            Vec.push crashed e.Fault.machine;
             any_crash := true
           end;
           scan rest
@@ -280,7 +351,6 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
       in
       scan !trace
     end;
-    let lost_rates = Array.make nj 0.0 in
     if !any_crash then
       List.iter
         (fun (mid, shares) ->
@@ -288,7 +358,7 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
             let speed = (Platform.machine platform mid).Machine.speed in
             List.iter
               (fun (jid, share) ->
-                lost_rates.(jid) <- lost_rates.(jid) +. (share *. speed))
+                st.lost_rates.(jid) <- st.lost_rates.(jid) +. (share *. speed))
               shares
           end)
         !plan.allocation;
@@ -299,9 +369,8 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
       else !plan.allocation
     in
     if dt > 0.0 && delivered <> [] then begin
-      segments :=
-        { Schedule.start_time = st.now; end_time = t_next; shares = delivered }
-        :: !segments;
+      Schedule.Builder.add segments
+        { Schedule.start_time = st.now; end_time = t_next; shares = delivered };
       Obs.Counter.incr c_segments;
       if J.on () then
         J.record
@@ -309,25 +378,27 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
              { start_time = st.now; end_time = t_next; shares = delivered })
     end;
     let eps_t = 1e-9 *. Float.max 1.0 (abs_float t_next) in
-    let completions = ref [] in
-    for j = 0 to nj - 1 do
-      if st.released.(j) && not (is_completed st j) then begin
-        if rates.(j) > 0.0 then begin
-          if lost_rates.(j) > 0.0 then begin
-            (* Part of this job's rate evaporates with the crash: only the
-               surviving machines' work counts. *)
-            st.remaining.(j) <- st.remaining.(j) -. ((rates.(j) -. lost_rates.(j)) *. dt);
-            st.lost.(j) <- st.lost.(j) +. (lost_rates.(j) *. dt)
+    Vec.clear completions;
+    (* Advance the plan's support only.  A released, uncompleted job
+       outside [rated ∪ tiny] has rate 0 and remaining work untouched
+       since the last time it was allocated (when any sub-threshold
+       sliver would already have completed it), so neither branch below
+       could fire on it. *)
+    Vec.iter
+      (fun j ->
+        if st.lost_rates.(j) > 0.0 then begin
+          (* Part of this job's rate evaporates with the crash: only the
+             surviving machines' work counts. *)
+          st.remaining.(j) <- st.remaining.(j) -. ((st.rates.(j) -. st.lost_rates.(j)) *. dt);
+          st.lost.(j) <- st.lost.(j) +. (st.lost_rates.(j) *. dt)
+        end
+        else begin
+          let t_fin = st.now +. (st.remaining.(j) /. st.rates.(j)) in
+          if t_fin <= t_next +. eps_t then begin
+            complete st j t_fin;
+            Vec.push completions j
           end
-          else begin
-            let t_fin = st.now +. (st.remaining.(j) /. rates.(j)) in
-            if t_fin <= t_next +. eps_t then begin
-              st.remaining.(j) <- 0.0;
-              st.completed.(j) <- Some t_fin;
-              completions := Completion j :: !completions
-            end
-            else st.remaining.(j) <- st.remaining.(j) -. (rates.(j) *. dt)
-          end
+          else st.remaining.(j) <- st.remaining.(j) -. (st.rates.(j) *. dt)
         end;
         (* A rounding sliver left by a float-computed plan counts as
            done — otherwise it would complete only when the scheduler
@@ -337,19 +408,33 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
           && st.remaining.(j)
              <= 1e-9 *. Float.max (Instance.job inst j).Job.size total_work
         then begin
-          st.remaining.(j) <- 0.0;
-          st.completed.(j) <- Some t_next;
-          completions := Completion j :: !completions
-        end
-      end
-    done;
+          complete st j t_next;
+          Vec.push completions j
+        end)
+      st.rated;
+    Vec.iter
+      (fun j ->
+        if
+          (not (is_completed st j))
+          && st.remaining.(j)
+             <= 1e-9 *. Float.max (Instance.job inst j).Job.size total_work
+        then begin
+          complete st j t_next;
+          Vec.push completions j
+        end)
+      st.tiny;
+    Vec.clear st.tiny;
+    (* The scheduler contract emits simultaneous completions in ascending
+       job order; the support scan discovers them in plan order, so sort. *)
+    Vec.sort compare completions;
     st.now <- t_next;
     let arrivals = pop_arrivals t_next in
     let fault_evs = pop_faults t_next in
     let boundary =
       if horizon_t <= t_next +. eps_t && not (finished ()) then [ Boundary ] else []
     in
-    let events = arrivals @ List.rev !completions @ fault_evs @ boundary in
+    let completion_evs = List.map (fun j -> Completion j) (Vec.to_list completions) in
+    let events = arrivals @ completion_evs @ fault_evs @ boundary in
     (match List.rev events with e :: _ -> last_event := Some e | [] -> ());
     if not (finished ()) then plan := dispatch events
     else begin
@@ -370,7 +455,7 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
   done;
   if J.on () then J.record (J.Run_end { time = st.now; completed = nj });
   let schedule =
-    Schedule.make ~instance:inst ~segments:(List.rev !segments)
+    Schedule.make ~instance:inst ~segments:(Schedule.Builder.segments segments)
       ~completion:(Array.copy st.completed)
   in
   { schedule;

@@ -60,6 +60,29 @@ val active_jobs : state -> int list
 
 val completion_time : state -> int -> float option
 
+(** {1 Incremental scheduling support}
+
+    The engine maintains a versioned dirty set so an incremental
+    scheduler can update per-run structures (priority heaps, cached
+    plans) in O(changes · log n) instead of rescanning every job. *)
+
+val plan_version : state -> int
+(** Monotone counter bumped at every scheduler invocation; two callbacks
+    observing different versions are separated by at least one executed
+    plan segment. *)
+
+val dirty_jobs : state -> int list
+(** During a scheduler callback: the support of the plan segment that
+    just ended — every job that was allocated a positive rate since the
+    previous callback.  This is a superset of the jobs whose remaining
+    work changed (a zero-length segment leaves work untouched); jobs
+    completed by the segment appear both here and as {!Completion}
+    events.  Empty at the initial invocation.  Reset when the returned
+    plan is validated, so it is only meaningful inside the callback. *)
+
+val iter_dirty : (int -> unit) -> state -> unit
+(** Allocation-free iteration over {!dirty_jobs} (unspecified order). *)
+
 (** A plan: the allocation to apply from [now] on, valid until the next
     arrival/completion/failure/recovery or until [horizon] (if any),
     whichever comes first.  [horizon], when given, must be strictly later
@@ -78,6 +101,18 @@ type scheduler = {
 }
 
 val stateless : string -> (state -> event list -> plan) -> scheduler
+
+val incremental :
+  name:string ->
+  init:(Instance.t -> 's) ->
+  on_event:('s -> state -> event list -> plan) ->
+  scheduler
+(** An incremental scheduler: [init] builds the per-run state once (a
+    fresh ['s] per simulation, so one scheduler value can be reused
+    across runs and domains), and [on_event] folds each event batch into
+    it — typically consulting {!dirty_jobs} to re-key only what moved.
+    Layered on the {!scheduler} record, so every entry point accepts
+    both styles unchanged. *)
 
 exception Stalled of { time : float; pending : int list }
 (** Raised when the scheduler leaves pending work unallocated with no
@@ -135,8 +170,9 @@ val run_report :
     @raise Stalled see above.
     @raise Invalid_argument when the scheduler returns an invalid
     allocation (oversubscribed machine, down machine, job without its
-    databank, unreleased or completed job, non-positive share, stale
-    horizon), or when the fault trace references an unknown machine. *)
+    databank, unreleased or completed job, negative or zero share,
+    duplicate entry for one job on one machine, stale horizon), or when
+    the fault trace references an unknown machine. *)
 
 val run :
   ?horizon:float ->

@@ -4,9 +4,6 @@ open Gripps_core
 module W = Gripps_workload
 module Obs = Gripps_obs.Obs
 
-let portfolio = Sched_registry.schedulers Sched_registry.all
-let portfolio_names = Sched_registry.names
-
 type measurement = {
   scheduler : string;
   max_stretch : float;
@@ -31,7 +28,8 @@ let with_spans f =
   Obs.with_level (if l = Obs.Counters then Obs.Spans else l) f
 
 let run_instance ?(bender98_max_sites = 3) ?(bender98_max_jobs = 60)
-    ?(schedulers = portfolio) ?(faults = []) ?(loss = Fault.Crash) config inst =
+    ?(schedulers = Sched_registry.schedulers Sched_registry.all) ?(faults = [])
+    ?(loss = Fault.Crash) config inst =
   let measurements =
     List.filter_map
       (fun s ->

@@ -11,16 +11,6 @@
 open Gripps_model
 open Gripps_engine
 
-val portfolio : Sim.scheduler list
-[@@ocaml.deprecated "use Sched_registry.all (project with Sched_registry.schedulers)"]
-(** Offline, Online, Online-EDF, Online-EGDF, Bender98, SWRPT, SRPT, SPT,
-    Bender02, MCT-Div, MCT — the Table 1 rows.
-    @deprecated use {!Sched_registry.all}. *)
-
-val portfolio_names : string list
-[@@ocaml.deprecated "use Sched_registry.names"]
-(** @deprecated use {!Sched_registry.names}. *)
-
 type measurement = {
   scheduler : string;
   max_stretch : float;

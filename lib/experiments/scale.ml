@@ -1,0 +1,185 @@
+(* Large-n scale experiment: how fast does each priority scheduler chew
+   through events as the workload grows?
+
+   For each target size n the generator's arrival window is solved from
+   its own rate formula (per-databank rate = density × total speed /
+   (databases × size_d), independent of the window), so one pinned seed
+   yields one instance of ≈ n jobs shared by every scheduler.  Each
+   (n, scheduler) cell times the incremental heap-backed path; below
+   [legacy_cap] it also times the legacy resort-from-scratch path on the
+   same instance and checks the two runs are identical — metrics,
+   segment list and completion vector compared structurally, i.e. float
+   by float.  The [identical] bit of the report gates CI. *)
+
+open Gripps_model
+open Gripps_engine
+open Gripps_sched
+module W = Gripps_workload
+
+type spec = { s_name : string; rule : Priority.rule; static : bool }
+
+let panel =
+  [ { s_name = "FCFS"; rule = Priority.fcfs; static = true };
+    { s_name = "SPT"; rule = Priority.spt; static = true };
+    { s_name = "SRPT"; rule = Priority.srpt; static = false };
+    { s_name = "SWPT"; rule = Priority.swpt; static = true };
+    { s_name = "SWRPT"; rule = Priority.swrpt; static = false } ]
+
+let panel_names = List.map (fun s -> s.s_name) panel
+let default_sizes = [ 100; 1_000; 10_000; 100_000 ]
+let default_legacy_cap = 10_000
+
+type legacy_run = {
+  l_wall_s : float;
+  l_events_per_s : float;
+  l_speedup : float;    (* legacy wall / incremental wall *)
+  l_identical : bool;   (* metrics, segments, completions all equal *)
+}
+
+type entry = {
+  n_target : int;
+  scheduler : string;
+  jobs : int;           (* realized job count (Poisson draw around n) *)
+  events : int;
+  replans : int;
+  wall_s : float;
+  events_per_s : float;
+  legacy : legacy_run option;
+}
+
+type report = {
+  seed : int;
+  domains : int;
+  sizes : int list;
+  legacy_cap : int;
+  entries : entry list;
+  identical : bool;     (* conjunction over every legacy comparison *)
+}
+
+let base_config =
+  W.Config.make ~sites:3 ~databases:3 ~availability:0.6 ~density:1.0
+    ~horizon:1.0 ()
+
+(* The instance of target size [n]: a pure function of (seed, n), so a
+   parallel sweep regenerates it identically in whichever domain the
+   (n, scheduler) cell lands. *)
+let instance_for ~seed n =
+  let rng = Gripps_rng.Splitmix.create (seed + (1_000_003 * n)) in
+  let r = W.Generator.platform rng base_config in
+  let total_speed = Platform.total_speed r.W.Generator.platform in
+  let inv_sizes = Array.fold_left (fun s z -> s +. (1.0 /. z)) 0.0 r.W.Generator.db_sizes in
+  let total_rate =
+    base_config.W.Config.density *. total_speed *. inv_sizes
+    /. float_of_int base_config.W.Config.databases
+  in
+  let c = { base_config with W.Config.horizon = float_of_int n /. total_rate } in
+  let rec draw () =
+    match W.Generator.jobs rng c r with [] -> draw () | js -> js
+  in
+  Instance.make ~platform:r.W.Generator.platform ~jobs:(draw ())
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let same_report (a : Sim.report) (b : Sim.report) =
+  a.Sim.metrics = b.Sim.metrics
+  && a.Sim.schedule.Schedule.segments = b.Sim.schedule.Schedule.segments
+  && a.Sim.schedule.Schedule.completion = b.Sim.schedule.Schedule.completion
+
+let measure_cell ~seed ~legacy_cap n spec =
+  let inst = instance_for ~seed n in
+  let incr = List_sched.scheduler ~static:spec.static ~name:spec.s_name ~rule:spec.rule () in
+  let wall_s, rep = time (fun () -> Sim.run_report ~horizon:1e12 incr inst) in
+  let per_s w = if w > 0.0 then float_of_int rep.Sim.events /. w else infinity in
+  let legacy =
+    if n > legacy_cap then None
+    else begin
+      let oracle = List_sched.resort_scheduler ~name:spec.s_name ~rule:spec.rule in
+      let l_wall_s, l_rep = time (fun () -> Sim.run_report ~horizon:1e12 oracle inst) in
+      Some
+        { l_wall_s;
+          l_events_per_s =
+            (if l_wall_s > 0.0 then float_of_int l_rep.Sim.events /. l_wall_s
+             else infinity);
+          l_speedup = (if wall_s > 0.0 then l_wall_s /. wall_s else infinity);
+          l_identical = same_report rep l_rep }
+    end
+  in
+  { n_target = n; scheduler = spec.s_name; jobs = Instance.num_jobs inst;
+    events = rep.Sim.events; replans = rep.Sim.replans; wall_s;
+    events_per_s = per_s wall_s; legacy }
+
+let run ?(sizes = default_sizes) ?(legacy_cap = default_legacy_cap)
+    ?(schedulers = panel_names) ?pool ?progress ~seed () =
+  let specs = List.filter (fun s -> List.mem s.s_name schedulers) panel in
+  let cells = List.concat_map (fun n -> List.map (fun s -> (n, s)) specs) sizes in
+  let sweep =
+    Gripps_parallel.Sweep.of_list cells (fun (n, s) ->
+        measure_cell ~seed ~legacy_cap n s)
+  in
+  let entries = Gripps_parallel.Sweep.run ?pool ?progress sweep in
+  let domains =
+    match pool with
+    | Some p -> Gripps_parallel.Pool.domains p
+    | None -> 1
+  in
+  { seed; domains; sizes; legacy_cap; entries;
+    identical =
+      List.for_all
+        (fun e -> match e.legacy with None -> true | Some l -> l.l_identical)
+        entries }
+
+(* ---- output ----------------------------------------------------------- *)
+
+let to_json r =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n  \"schema\": \"gripps-bench-scale/1\",\n";
+  add "  \"seed\": %d, \"domains\": %d, \"legacy_cap\": %d,\n" r.seed r.domains
+    r.legacy_cap;
+  add "  \"entries\": [\n";
+  List.iteri
+    (fun i e ->
+      add "    {\"n\": %d, \"scheduler\": %S, \"jobs\": %d, \"events\": %d, \
+           \"replans\": %d,\n"
+        e.n_target e.scheduler e.jobs e.events e.replans;
+      add "     \"wall_s\": %.6f, \"events_per_s\": %.1f" e.wall_s
+        e.events_per_s;
+      (match e.legacy with
+       | None -> add ", \"legacy\": null}"
+       | Some l ->
+         add ",\n     \"legacy\": {\"wall_s\": %.6f, \"events_per_s\": %.1f, \
+              \"speedup\": %.2f, \"identical\": %b}}"
+           l.l_wall_s l.l_events_per_s l.l_speedup l.l_identical);
+      add "%s\n" (if i = List.length r.entries - 1 then "" else ","))
+    r.entries;
+  add "  ],\n  \"identical\": %b\n}\n" r.identical;
+  Buffer.contents buf
+
+let write_json ~path r =
+  let oc = open_out path in
+  output_string oc (to_json r);
+  close_out oc
+
+let render r =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "Scale experiment (seed %d, %d domain%s; legacy oracle up to n = %d)\n"
+    r.seed r.domains (if r.domains = 1 then "" else "s") r.legacy_cap;
+  add "%8s %-6s %7s %8s %9s %12s %12s %8s %5s\n" "n" "sched" "jobs" "events"
+    "wall(s)" "events/s" "legacy ev/s" "speedup" "same";
+  List.iter
+    (fun e ->
+      match e.legacy with
+      | Some l ->
+        add "%8d %-6s %7d %8d %9.3f %12.0f %12.0f %7.1fx %5b\n" e.n_target
+          e.scheduler e.jobs e.events e.wall_s e.events_per_s l.l_events_per_s
+          l.l_speedup l.l_identical
+      | None ->
+        add "%8d %-6s %7d %8d %9.3f %12.0f %12s %8s %5s\n" e.n_target
+          e.scheduler e.jobs e.events e.wall_s e.events_per_s "-" "-" "-")
+    r.entries;
+  add "all legacy comparisons identical: %b\n" r.identical;
+  Buffer.contents buf

@@ -1,0 +1,65 @@
+(** Large-n scale experiment: events/sec of the priority schedulers as
+    the workload grows (n ∈ 10²…10⁵ by default).
+
+    Each (n, scheduler) cell is one shardable sweep job: it regenerates
+    the pinned instance of ≈ n jobs (a pure function of [(seed, n)], so
+    every scheduler at a given n sees the same instance in whichever
+    domain the cell lands), times the incremental heap-backed scheduler,
+    and — up to [legacy_cap] — also times the legacy
+    resort-from-scratch oracle on the same instance, recording both a
+    speedup and an identity bit (metrics, segment list and completion
+    vector compared structurally).  The report's [identical] conjunction
+    is the differential gate CI greps for in the JSON artifact. *)
+
+type legacy_run = {
+  l_wall_s : float;
+  l_events_per_s : float;
+  l_speedup : float;    (** legacy wall / incremental wall *)
+  l_identical : bool;   (** metrics, segments, completions all equal *)
+}
+
+type entry = {
+  n_target : int;
+  scheduler : string;
+  jobs : int;           (** realized job count (Poisson draw around n) *)
+  events : int;
+  replans : int;
+  wall_s : float;
+  events_per_s : float;
+  legacy : legacy_run option;  (** [None] above [legacy_cap] *)
+}
+
+type report = {
+  seed : int;
+  domains : int;
+  sizes : int list;
+  legacy_cap : int;
+  entries : entry list;
+  identical : bool;     (** conjunction over every legacy comparison *)
+}
+
+val panel_names : string list
+(** The five priority rules: FCFS, SPT, SRPT, SWPT, SWRPT. *)
+
+val default_sizes : int list
+(** [[100; 1_000; 10_000; 100_000]]. *)
+
+val default_legacy_cap : int
+(** [10_000] — the largest n the O(n log n)-per-event oracle is run at. *)
+
+val run :
+  ?sizes:int list ->
+  ?legacy_cap:int ->
+  ?schedulers:string list ->
+  ?pool:Gripps_parallel.Pool.t ->
+  ?progress:(int -> int -> unit) ->
+  seed:int ->
+  unit ->
+  report
+(** [schedulers] filters {!panel_names} (unknown names are ignored);
+    [pool] shards cells across domains (default sequential) — entries
+    come back in (size-major, panel-minor) order either way. *)
+
+val render : report -> string
+val to_json : report -> string
+val write_json : path:string -> report -> unit

@@ -8,8 +8,8 @@
     the {!Gripps_engine.Sim.scheduler} itself, and a coarse kind used to
     select panels (e.g. "everything on-line" for the resilience sweep).
 
-    The old [Runner.portfolio] aliases remain for one release, marked
-    deprecated. *)
+    The deprecated [Runner.portfolio] / [Runner.portfolio_names] aliases
+    shipped for one release and have been removed. *)
 
 open Gripps_engine
 

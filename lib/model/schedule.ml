@@ -12,6 +12,33 @@ type t = {
 
 let make ~instance ~segments ~completion = { instance; segments; completion }
 
+module Builder = struct
+  (* Growable array of segments in append order: the engine's hot loop
+     pushes one segment per event without the [seg :: acc] + final
+     [List.rev] churn of the list encoding. *)
+  type builder = {
+    mutable data : segment array;
+    mutable len : int;
+  }
+
+  let dummy = { start_time = 0.0; end_time = 0.0; shares = [] }
+  let create () = { data = [||]; len = 0 }
+  let length b = b.len
+
+  let add b seg =
+    let cap = Array.length b.data in
+    if b.len = cap then begin
+      let ncap = if cap = 0 then 16 else 2 * cap in
+      let nd = Array.make ncap dummy in
+      Array.blit b.data 0 nd 0 b.len;
+      b.data <- nd
+    end;
+    b.data.(b.len) <- seg;
+    b.len <- b.len + 1
+
+  let segments b = List.init b.len (fun i -> b.data.(i))
+end
+
 let rel_eps = 1e-6
 
 let work_received t j =

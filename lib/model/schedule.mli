@@ -27,6 +27,22 @@ val make :
   completion:float option array ->
   t
 
+(** Amortized O(1) segment accumulator for the simulator's hot loop —
+    appends in chronological order without the [seg :: acc] / final
+    [List.rev] churn of the list encoding. *)
+module Builder : sig
+  type builder
+
+  val create : unit -> builder
+  val length : builder -> int
+
+  val add : builder -> segment -> unit
+  (** Append a segment (amortized O(1)). *)
+
+  val segments : builder -> segment list
+  (** The accumulated segments in append order. *)
+end
+
 (** {1 Validation}
 
     [validate] checks the divisible-model invariants and returns a list of

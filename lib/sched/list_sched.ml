@@ -1,5 +1,6 @@
 open Gripps_model
 open Gripps_engine
+module Heap = Gripps_collections.Heap
 
 let allocate st ~priority_order =
   let inst = Sim.instance st in
@@ -22,7 +23,13 @@ let allocate st ~priority_order =
     priority_order;
   !alloc
 
-let scheduler ~name ~rule =
+(* ------------------------------------------------------------------ *)
+(* Legacy path: rebuild and re-sort the whole active-job list at every
+   event.  O(n log n) per event; kept as the differential-test oracle
+   for the incremental schedulers below.                               *)
+(* ------------------------------------------------------------------ *)
+
+let resort_scheduler ~name ~rule =
   Sim.stateless name (fun st _events ->
       let order =
         Sim.active_jobs st
@@ -32,8 +39,131 @@ let scheduler ~name ~rule =
       in
       { Sim.allocation = allocate st ~priority_order:order; horizon = None })
 
-let fcfs = scheduler ~name:"FCFS" ~rule:Priority.fcfs
-let spt = scheduler ~name:"SPT" ~rule:Priority.spt
-let srpt = scheduler ~name:"SRPT" ~rule:Priority.srpt
-let swpt = scheduler ~name:"SWPT" ~rule:Priority.swpt
-let swrpt = scheduler ~name:"SWRPT" ~rule:Priority.swrpt
+(* ------------------------------------------------------------------ *)
+(* Incremental path: one indexed min-heap per databank, keyed by the
+   priority rule with job-id tiebreak.  An arrival/completion costs
+   O(log n); re-keying after a segment costs O(log n) per job the plan
+   touched (and nothing at all for static rules).                      *)
+(* ------------------------------------------------------------------ *)
+
+type incr = {
+  rule : Priority.rule;
+  static : bool;  (* keys never change once released (FCFS/SPT/SWPT) *)
+  heaps : Heap.Indexed.t array;      (* one heap per databank *)
+  db_of_job : int array;
+  hosts : int array array;           (* machines per databank, hosts_of order *)
+  dbs_of_machine : int list array;
+  (* per-event scratch *)
+  free : bool array;                 (* machine not yet grabbed this event *)
+  free_up : int array;               (* per databank: # free ∧ up hosts *)
+}
+
+let make_incr ~rule ~static inst =
+  let platform = Instance.platform inst in
+  let nj = Instance.num_jobs inst in
+  let nm = Platform.num_machines platform in
+  let nd = Platform.num_databanks platform in
+  let hosts =
+    Array.init nd (fun d ->
+        Platform.hosts_of platform d
+        |> List.map (fun (m : Machine.t) -> m.id)
+        |> Array.of_list)
+  in
+  let dbs_of_machine =
+    Array.init nm (fun mid ->
+        let m = Platform.machine platform mid in
+        List.filter (fun d -> Machine.hosts m d) (List.init nd Fun.id))
+  in
+  { rule; static;
+    heaps = Array.init nd (fun _ -> Heap.Indexed.create ~capacity:nj);
+    db_of_job = Array.init nj (fun j -> (Instance.job inst j).Job.databank);
+    hosts; dbs_of_machine;
+    free = Array.make nm true;
+    free_up = Array.make nd 0 }
+
+(* One list-scheduling pass driven by the heaps instead of a global sort.
+
+   Equivalence to [allocate] over the fully sorted active-job list: the
+   sorted walk only changes machine state at jobs whose databank still
+   has a free up host, and such a job takes {e all} of them — so its
+   databank immediately stops qualifying, and the next state-changing
+   job is exactly the minimum (key, id) among the tops of the databanks
+   that still qualify.  Grabs are emitted in the same (job-major,
+   hosts_of-minor) prepend order, so the resulting allocation list —
+   and hence every downstream segment, journal entry and metric — is
+   identical, not just equivalent. *)
+let heap_allocate s st =
+  let nd = Array.length s.heaps in
+  Array.fill s.free 0 (Array.length s.free) true;
+  for d = 0 to nd - 1 do
+    let n = ref 0 in
+    Array.iter (fun m -> if Sim.machine_up st m then incr n) s.hosts.(d);
+    s.free_up.(d) <- !n
+  done;
+  let alloc = ref [] in
+  let popped = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let best_d = ref (-1) and best_j = ref max_int and best_k = ref nan in
+    for d = 0 to nd - 1 do
+      if s.free_up.(d) > 0 then
+        match Heap.Indexed.min_elt s.heaps.(d) with
+        | None -> ()
+        | Some j ->
+          let k = Heap.Indexed.key s.heaps.(d) j in
+          if !best_d < 0 || k < !best_k || (k = !best_k && j < !best_j) then begin
+            best_d := d;
+            best_j := j;
+            best_k := k
+          end
+    done;
+    if !best_d < 0 then continue_ := false
+    else begin
+      let d = !best_d and j = !best_j and k = !best_k in
+      ignore (Heap.Indexed.pop_exn s.heaps.(d));
+      popped := (d, j, k) :: !popped;
+      Array.iter
+        (fun m ->
+          if s.free.(m) && Sim.machine_up st m then begin
+            s.free.(m) <- false;
+            alloc := (m, [ (j, 1.0) ]) :: !alloc;
+            List.iter
+              (fun d' -> s.free_up.(d') <- s.free_up.(d') - 1)
+              s.dbs_of_machine.(m)
+          end)
+        s.hosts.(d)
+    end
+  done;
+  (* The popped jobs are still active: restore them with their keys
+     untouched. *)
+  List.iter (fun (d, j, k) -> Heap.Indexed.add s.heaps.(d) j k) !popped;
+  !alloc
+
+let on_event s st events =
+  List.iter
+    (fun e ->
+      match e with
+      | Sim.Arrival j ->
+        Heap.Indexed.add s.heaps.(s.db_of_job.(j)) j (s.rule st j)
+      | Sim.Completion j -> Heap.Indexed.remove s.heaps.(s.db_of_job.(j)) j
+      | Sim.Boundary | Sim.Failure _ | Sim.Recovery _ -> ())
+    events;
+  (* Re-key what the last segment touched.  The fresh key is computed by
+     the very expression the resort oracle sorts on, so stored keys stay
+     bit-identical to recomputed ones. *)
+  if not s.static then
+    Sim.iter_dirty
+      (fun j ->
+        let h = s.heaps.(s.db_of_job.(j)) in
+        if Heap.Indexed.mem h j then Heap.Indexed.update h j (s.rule st j))
+      st;
+  { Sim.allocation = heap_allocate s st; horizon = None }
+
+let scheduler ?(static = false) ~name ~rule () =
+  Sim.incremental ~name ~init:(make_incr ~rule ~static) ~on_event
+
+let fcfs = scheduler ~static:true ~name:"FCFS" ~rule:Priority.fcfs ()
+let spt = scheduler ~static:true ~name:"SPT" ~rule:Priority.spt ()
+let srpt = scheduler ~name:"SRPT" ~rule:Priority.srpt ()
+let swpt = scheduler ~static:true ~name:"SWPT" ~rule:Priority.swpt ()
+let swrpt = scheduler ~name:"SWRPT" ~rule:Priority.swrpt ()

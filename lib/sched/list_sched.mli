@@ -3,11 +3,31 @@
     The paper's rule (§3.2): {e while some processors are idle, select the
     job with the highest priority and distribute its processing on all
     appropriate processors that are available}.  Rescheduling happens at
-    every arrival and completion (free preemption). *)
+    every arrival and completion (free preemption).
+
+    Two implementations of the same policy coexist:
+    - {!scheduler} is incremental: one indexed min-heap per databank keyed
+      by the rule, fed by the engine's event batches and dirty set, so an
+      event costs O(changes · log n) instead of a full re-sort;
+    - {!resort_scheduler} rebuilds and re-sorts the whole active-job list
+      at every event — the original O(n log n)-per-event path, kept as
+      the differential-test oracle.
+
+    Both produce bit-identical allocations (the heap walk reproduces the
+    sorted walk's grab sequence exactly), hence bit-identical schedules,
+    metrics and journals. *)
 
 open Gripps_engine
 
-val scheduler : name:string -> rule:Priority.rule -> Sim.scheduler
+val scheduler :
+  ?static:bool -> name:string -> rule:Priority.rule -> unit -> Sim.scheduler
+(** Incremental heap-backed list scheduler.  [static] declares that the
+    rule's key for a released job never changes (FCFS/SPT/SWPT), letting
+    the scheduler skip re-keying the dirty set after each segment;
+    default [false] (always safe). *)
+
+val resort_scheduler : name:string -> rule:Priority.rule -> Sim.scheduler
+(** The legacy recompute-from-scratch path (differential-test oracle). *)
 
 val allocate :
   Sim.state -> priority_order:int list -> Sim.allocation

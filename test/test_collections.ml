@@ -31,6 +31,79 @@ let prop_heap_sorts =
       let h = Heap.of_list ~cmp:Int.compare l in
       Heap.to_sorted_list h = List.sort Int.compare l)
 
+let test_indexed_basic () =
+  let h = Heap.Indexed.create ~capacity:8 in
+  Alcotest.(check bool) "empty" true (Heap.Indexed.is_empty h);
+  Alcotest.(check int) "capacity" 8 (Heap.Indexed.capacity h);
+  Alcotest.(check (option int)) "min empty" None (Heap.Indexed.min_elt h);
+  List.iter (fun (id, k) -> Heap.Indexed.add h id k)
+    [ (3, 5.0); (0, 2.0); (5, 9.0); (1, 2.0); (7, 0.5) ];
+  Alcotest.(check int) "size" 5 (Heap.Indexed.size h);
+  Alcotest.(check bool) "mem 5" true (Heap.Indexed.mem h 5);
+  Alcotest.(check bool) "mem 4" false (Heap.Indexed.mem h 4);
+  Alcotest.(check (float 0.0)) "key" 5.0 (Heap.Indexed.key h 3);
+  (* equal keys break ties by ascending id: 0 before 1 *)
+  Alcotest.(check (list int)) "sorted drain" [ 7; 0; 1; 3; 5 ]
+    (Heap.Indexed.to_sorted_list h);
+  Alcotest.(check int) "non-destructive" 5 (Heap.Indexed.size h);
+  Alcotest.(check int) "pop min" 7 (Heap.Indexed.pop_exn h);
+  Alcotest.(check (option int)) "next min" (Some 0) (Heap.Indexed.min_elt h)
+
+let test_indexed_update_remove () =
+  let h = Heap.Indexed.create ~capacity:4 in
+  List.iter (fun (id, k) -> Heap.Indexed.add h id k)
+    [ (0, 4.0); (1, 3.0); (2, 2.0); (3, 1.0) ];
+  Heap.Indexed.update h 0 0.5;          (* decrease-key to the top *)
+  Alcotest.(check int) "decreased to min" 0 (Heap.Indexed.min_exn h);
+  Heap.Indexed.update h 0 10.0;         (* increase-key to the bottom *)
+  Alcotest.(check int) "increased away" 3 (Heap.Indexed.min_exn h);
+  Heap.Indexed.remove h 3;
+  Alcotest.(check bool) "removed" false (Heap.Indexed.mem h 3);
+  Alcotest.(check (list int)) "order after edits" [ 2; 1; 0 ]
+    (Heap.Indexed.to_sorted_list h);
+  Heap.Indexed.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.Indexed.is_empty h)
+
+let test_indexed_errors () =
+  let h = Heap.Indexed.create ~capacity:2 in
+  Heap.Indexed.add h 0 1.0;
+  Alcotest.check_raises "double add"
+    (Invalid_argument "Heap.Indexed.add: id already present")
+    (fun () -> Heap.Indexed.add h 0 2.0);
+  Alcotest.check_raises "update absent"
+    (Invalid_argument "Heap.Indexed.update: absent id")
+    (fun () -> Heap.Indexed.update h 1 2.0);
+  Alcotest.check_raises "remove absent"
+    (Invalid_argument "Heap.Indexed.remove: absent id")
+    (fun () -> Heap.Indexed.remove h 1);
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Heap.Indexed.add: id out of range")
+    (fun () -> Heap.Indexed.add h 2 1.0);
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Heap.Indexed.create: negative capacity")
+    (fun () -> ignore (Heap.Indexed.create ~capacity:(-1)))
+
+(* The load-bearing property: drain order = ascending sort of (key, id),
+   even through interleaved adds, re-keys and removes. *)
+let prop_indexed_matches_sort =
+  QCheck2.Test.make ~name:"indexed heap drains as (key, id) sort" ~count:300
+    QCheck2.Gen.(list (pair (int_bound 31) (float_bound_inclusive 10.0)))
+    (fun ops ->
+      let h = Heap.Indexed.create ~capacity:32 in
+      let model = Hashtbl.create 32 in
+      List.iteri
+        (fun i (id, k) ->
+          if Heap.Indexed.mem h id then
+            if i mod 3 = 0 then (Heap.Indexed.remove h id; Hashtbl.remove model id)
+            else (Heap.Indexed.update h id k; Hashtbl.replace model id k)
+          else (Heap.Indexed.add h id k; Hashtbl.replace model id k))
+        ops;
+      let expect =
+        Hashtbl.fold (fun id k acc -> (k, id) :: acc) model []
+        |> List.sort compare |> List.map snd
+      in
+      Heap.Indexed.to_sorted_list h = expect)
+
 let test_vec_basic () =
   let v = Vec.create () in
   Alcotest.(check bool) "empty" true (Vec.is_empty v);
@@ -62,5 +135,10 @@ let suite =
       Alcotest.test_case "heap exceptions" `Quick test_heap_exn;
       Alcotest.test_case "heap custom order" `Quick test_heap_custom_order;
       QCheck_alcotest.to_alcotest prop_heap_sorts;
+      Alcotest.test_case "indexed heap basic" `Quick test_indexed_basic;
+      Alcotest.test_case "indexed heap update/remove" `Quick
+        test_indexed_update_remove;
+      Alcotest.test_case "indexed heap errors" `Quick test_indexed_errors;
+      QCheck_alcotest.to_alcotest prop_indexed_matches_sort;
       Alcotest.test_case "vec basic" `Quick test_vec_basic;
       Alcotest.test_case "vec iter/fold" `Quick test_vec_iter_fold ] )

@@ -188,6 +188,67 @@ let test_rejects_unknown_job () =
 let test_rejects_nonpositive_share () =
   reject_test "bad-s" (fun _ -> [ (0, [ (0, 0.0) ]) ]) "non-positive share"
 
+let test_rejects_duplicate_entry () =
+  (* Two sub-unit shares for the same job on one machine: the sum fits, so
+     only the duplicate-entry guard can catch it. *)
+  reject_test "bad-dup"
+    (fun _ -> [ (0, [ (0, 0.3); (0, 0.3) ]) ])
+    "duplicate entry for job 0 on machine 0"
+
+let test_rejects_negative_share () =
+  reject_test "bad-neg"
+    (fun _ -> [ (0, [ (0, -0.5) ]) ])
+    "negative share -0.5 for job 0 on machine 0"
+
+let test_duplicate_across_machines_ok () =
+  (* The duplicate guard is per machine: the same job may legitimately run
+     on several machines at once. *)
+  let spread =
+    Sim.stateless "spread" (fun st _events ->
+        match Sim.active_jobs st with
+        | [] -> Sim.idle
+        | j :: _ ->
+          { Sim.allocation = [ (0, [ (j, 1.0) ]); (1, [ (j, 1.0) ]) ];
+            horizon = None })
+  in
+  let inst =
+    Instance.make ~platform:(Platform.uniform ~speeds:[ 1.0; 1.0 ])
+      ~jobs:[ mk_job ~size:2.0 () ]
+  in
+  let sched = run_all spread inst in
+  Alcotest.(check (float 1e-9)) "runs at combined speed" 1.0
+    (Schedule.completion_exn sched 0)
+
+let test_plan_version_and_dirty_set () =
+  (* The version bumps at every scheduler invocation, and the dirty set
+     after an invocation is the support of the plan it installed. *)
+  let versions = ref [] and dirt = ref [] in
+  let spy =
+    Sim.stateless "version-spy" (fun st _events ->
+        versions := Sim.plan_version st :: !versions;
+        dirt := List.sort compare (Sim.dirty_jobs st) :: !dirt;
+        match Sim.active_jobs st with
+        | [] -> Sim.idle
+        | js -> { Sim.allocation = [ (0, List.map (fun j -> (j, 0.5)) js) ];
+                  horizon = None })
+  in
+  let inst =
+    Instance.make ~platform:(Platform.single ~speed:1.0)
+      ~jobs:[ mk_job ~size:1.0 (); mk_job ~id:1 ~release:0.5 ~size:1.0 () ]
+  in
+  ignore (run_all spy inst);
+  let versions = List.rev !versions and dirt = List.rev !dirt in
+  Alcotest.(check bool) "strictly increasing versions" true
+    (List.sort_uniq compare versions = versions);
+  (* First call: nothing planned yet.  Second call (job 1's arrival): the
+     dirty set is the support of the first plan, i.e. job 0. *)
+  (match dirt with
+   | [] :: ([ 0 ] :: _) -> ()
+   | _ -> Alcotest.fail "unexpected dirty sets");
+  (* Arrival of 0, arrival of 1, completion of 0 — the final completion
+     batch ends the run without a replan. *)
+  Alcotest.(check int) "one invocation per event batch" 3 (List.length versions)
+
 let test_rejects_unreleased_job () =
   let bad =
     Sim.stateless "early" (fun _st _events ->
@@ -296,6 +357,14 @@ let suite =
       Alcotest.test_case "rejects unknown job" `Quick test_rejects_unknown_job;
       Alcotest.test_case "rejects non-positive share" `Quick
         test_rejects_nonpositive_share;
+      Alcotest.test_case "rejects duplicate entry" `Quick
+        test_rejects_duplicate_entry;
+      Alcotest.test_case "rejects negative share" `Quick
+        test_rejects_negative_share;
+      Alcotest.test_case "same job on two machines ok" `Quick
+        test_duplicate_across_machines_ok;
+      Alcotest.test_case "plan version and dirty set" `Quick
+        test_plan_version_and_dirty_set;
       Alcotest.test_case "rejects unreleased job" `Quick test_rejects_unreleased_job;
       Alcotest.test_case "rejects completed job" `Quick test_rejects_completed_job;
       Alcotest.test_case "rejects stale horizon" `Quick test_rejects_stale_horizon;

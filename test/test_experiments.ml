@@ -205,3 +205,46 @@ let prop_pipeline_integration =
 
 let suite =
   (fst suite, snd suite @ [ QCheck_alcotest.to_alcotest prop_pipeline_integration ])
+
+(* Scale experiment: one tiny size, full panel, legacy oracle on — the
+   identity bit is the differential gate CI relies on. *)
+let test_scale_smoke () =
+  let r = E.Scale.run ~sizes:[ 60 ] ~legacy_cap:100 ~seed:9 () in
+  Alcotest.(check int) "one entry per panel scheduler"
+    (List.length E.Scale.panel_names) (List.length r.E.Scale.entries);
+  List.iter
+    (fun (e : E.Scale.entry) ->
+      Alcotest.(check bool) "realized jobs > 0" true (e.E.Scale.jobs > 0);
+      Alcotest.(check bool) "events counted" true (e.E.Scale.events > 0);
+      match e.E.Scale.legacy with
+      | None -> Alcotest.fail "legacy oracle should run below the cap"
+      | Some l ->
+        Alcotest.(check bool) "byte-identical to resort" true
+          l.E.Scale.l_identical)
+    r.E.Scale.entries;
+  Alcotest.(check bool) "report identity bit" true r.E.Scale.identical;
+  (* The JSON artifact carries the gate CI greps for. *)
+  let js = E.Scale.to_json r in
+  let contains sub =
+    let n = String.length js and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub js i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "json gate present" true
+    (contains "\"identical\": true");
+  Alcotest.(check bool) "render mentions the verdict" true
+    (String.length (E.Scale.render r) > 0)
+
+let test_scale_above_cap_skips_legacy () =
+  let r = E.Scale.run ~sizes:[ 60 ] ~legacy_cap:10 ~schedulers:[ "SRPT" ] ~seed:9 () in
+  (match r.E.Scale.entries with
+   | [ e ] -> Alcotest.(check bool) "no oracle above cap" true (e.E.Scale.legacy = None)
+   | _ -> Alcotest.fail "expected exactly one entry");
+  Alcotest.(check bool) "identity bit vacuously true" true r.E.Scale.identical
+
+let suite =
+  ( fst suite,
+    snd suite
+    @ [ Alcotest.test_case "scale smoke" `Slow test_scale_smoke;
+        Alcotest.test_case "scale above legacy cap" `Quick
+          test_scale_above_cap_skips_legacy ] )

@@ -256,3 +256,135 @@ let prop_swpt_equals_spt =
 
 let suite =
   (fst suite, snd suite @ [ QCheck_alcotest.to_alcotest prop_swpt_equals_spt ])
+
+(* ---- incremental vs legacy resort: the byte-identity contract ----------
+
+   The heap-backed incremental schedulers must be indistinguishable from
+   the sort-from-scratch originals: same metrics, same segment list, same
+   completion vector, same journal (replans, allocations, sim events) —
+   structural equality, i.e. float by float, fault traces included. *)
+
+module Obs = Gripps_obs.Obs
+module J = Obs.Journal
+module Pool = Gripps_parallel.Pool
+module Sweep = Gripps_parallel.Sweep
+module W = Gripps_workload
+
+let diff_panel =
+  [ ("FCFS", Priority.fcfs, true); ("SPT", Priority.spt, true);
+    ("SRPT", Priority.srpt, false); ("SWPT", Priority.swpt, true);
+    ("SWRPT", Priority.swrpt, false) ]
+
+(* A generated workload (restricted databank availability and all), or
+   [None] when the Poisson draw comes up empty. *)
+let gen_workload seed =
+  let rng = Gripps_rng.Splitmix.create seed in
+  let c =
+    W.Config.make ~sites:2 ~databases:3 ~availability:0.7 ~density:1.0
+      ~horizon:6.0 ()
+  in
+  let r = W.Generator.platform rng c in
+  match W.Generator.jobs rng c r with
+  | [] -> None
+  | jobs -> Some (Instance.make ~platform:r.W.Generator.platform ~jobs)
+
+(* Journal slice of one run, minus wall-clock span records. *)
+let sim_journal (r : Sim.report) =
+  List.filter (function J.Span_closed _ -> false | _ -> true) r.Sim.journal
+
+let same_run (a : Sim.report) (b : Sim.report) =
+  a.Sim.metrics = b.Sim.metrics
+  && a.Sim.schedule.Schedule.segments = b.Sim.schedule.Schedule.segments
+  && a.Sim.schedule.Schedule.completion = b.Sim.schedule.Schedule.completion
+  && a.Sim.lost = b.Sim.lost
+  && a.Sim.replans = b.Sim.replans
+  && a.Sim.events = b.Sim.events
+  && compare (sim_journal a) (sim_journal b) = 0
+
+let journaled f =
+  Obs.with_level Obs.Events (fun () ->
+      J.clear ();
+      Fun.protect ~finally:J.clear f)
+
+let prop_incremental_equals_resort =
+  QCheck2.Test.make
+    ~name:"heap-backed schedulers byte-identical to resort originals"
+    ~count:20
+    QCheck2.Gen.(pair (int_range 1 100_000) bool)
+    (fun (seed, with_faults) ->
+      match gen_workload seed with
+      | None -> true
+      | Some inst ->
+        let machines =
+          Array.length (Platform.machines (Instance.platform inst))
+        in
+        let faults, loss =
+          if with_faults then
+            ( Some
+                (Fault.poisson
+                   (Gripps_rng.Splitmix.create (seed + 17))
+                   ~mtbf:8.0 ~mttr:1.0 ~machines ~until:40.0),
+              Some Fault.Crash )
+          else (None, None)
+        in
+        List.for_all
+          (fun (name, rule, static) ->
+            journaled (fun () ->
+                let incr =
+                  Sim.run_report ~horizon:1e9 ?faults ?loss
+                    (List_sched.scheduler ~static ~name ~rule ())
+                    inst
+                in
+                let legacy =
+                  Sim.run_report ~horizon:1e9 ?faults ?loss
+                    (List_sched.resort_scheduler ~name ~rule)
+                    inst
+                in
+                same_run incr legacy))
+          diff_panel)
+
+(* Under a 2-domain pool the merged journal stream (one shard per rule)
+   must also match the legacy path's, shard order and all. *)
+let test_incremental_differential_pool () =
+  let rec first_workload seed =
+    match gen_workload seed with
+    | Some i -> i
+    | None -> first_workload (seed + 1)
+  in
+  let inst = first_workload 11 in
+  let run_panel mk =
+    Obs.with_level Obs.Events (fun () ->
+        J.clear ();
+        let sweep =
+          Sweep.of_list diff_panel (fun (name, rule, static) ->
+              let r = Sim.run_report ~horizon:1e9 (mk ~name ~rule ~static) inst in
+              ( r.Sim.metrics,
+                r.Sim.schedule.Schedule.segments,
+                r.Sim.schedule.Schedule.completion ))
+        in
+        let rs = Sweep.run ~pool:(Pool.create ~domains:2 ()) sweep in
+        let evs =
+          List.filter
+            (function J.Span_closed _ -> false | _ -> true)
+            (J.events ())
+        in
+        J.clear ();
+        (rs, evs))
+  in
+  let ri, ji =
+    run_panel (fun ~name ~rule ~static -> List_sched.scheduler ~static ~name ~rule ())
+  in
+  let rl, jl =
+    run_panel (fun ~name ~rule ~static:_ -> List_sched.resort_scheduler ~name ~rule)
+  in
+  Alcotest.(check bool) "panel results identical under --jobs 2" true
+    (compare ri rl = 0);
+  Alcotest.(check bool) "merged journals identical under --jobs 2" true
+    (compare ji jl = 0)
+
+let suite =
+  ( fst suite,
+    snd suite
+    @ [ QCheck_alcotest.to_alcotest prop_incremental_equals_resort;
+        Alcotest.test_case "incremental differential under 2-domain pool" `Quick
+          test_incremental_differential_pool ] )
