@@ -18,6 +18,11 @@
    "1000") trims the size grid; exits non-zero on any divergence — the
    mode the CI scale smoke job runs.
 
+   Invoked as `main.exe serve [OUT.json]` it streams GRIPPS_SERVE_JOBS
+   Poisson jobs (default 10^6) through the crash-safe scheduler daemon
+   with a GRIPPS_SERVE_MAXLIVE slot pool (default 4096), gates on the
+   bounded-memory and drain guarantees, and writes BENCH_serve.json.
+
    Scale knobs (environment variables):
      GRIPPS_BENCH_INSTANCES   instances per configuration   (default 3)
      GRIPPS_BENCH_HORIZON     arrival window in seconds     (default 30)
@@ -332,9 +337,81 @@ let run_scale () =
     exit 1
   end
 
+(* Streaming daemon benchmark (CI smoke mode): pushes GRIPPS_SERVE_JOBS
+   Poisson jobs (default 10^6) through the crash-safe daemon at ~90% of
+   the platform's fluid capacity, with a GRIPPS_SERVE_MAXLIVE slot pool
+   (default 4096) and Drop admission, journaling and checkpoints off.
+   Gates on the memory bound (peak live <= max-live, peak queue <=
+   queue-cap) and on draining; written as BENCH_serve.json. *)
+let run_serve () =
+  let module S = Gripps_service.Service in
+  let out = if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_serve.json" in
+  let n_jobs = env_int "GRIPPS_SERVE_JOBS" 1_000_000 in
+  let max_live = env_int "GRIPPS_SERVE_MAXLIVE" 4096 in
+  let queue_cap = max_live / 4 in
+  let seed = 42 in
+  let c =
+    W.Config.make ~sites:3 ~databases:3 ~availability:0.6 ~density:1.0
+      ~horizon:60.0 ()
+  in
+  let real = W.Generator.platform (Gripps_rng.Splitmix.create seed) c in
+  let platform = real.W.Generator.platform in
+  let sizes = real.W.Generator.db_sizes in
+  let mean_size =
+    Array.fold_left ( +. ) 0.0 sizes /. float_of_int (Array.length sizes)
+  in
+  (* 90% utilization: arrivals almost saturate the fluid capacity, so the
+     pool stays busy without the queue growing unboundedly. *)
+  let rate =
+    0.9 *. Gripps_model.Platform.total_speed platform /. mean_size
+  in
+  let cfg =
+    S.config ~platform ~rule:S.Swrpt ~policy:S.Drop ~max_live ~queue_cap
+      ~source_desc:(Printf.sprintf "bench:seed=%d:jobs=%d" seed n_jobs)
+      ()
+  in
+  Printf.eprintf "serve: %d jobs, rate %.1f/s, max-live %d...\n%!" n_jobs rate
+    max_live;
+  let src = W.Source.poisson ~seed ~rate ~sizes ~jobs:n_jobs () in
+  let t0 = Unix.gettimeofday () in
+  let r = S.run cfg src in
+  let wall = Unix.gettimeofday () -. t0 in
+  let events_per_s = float_of_int r.S.events /. wall in
+  let within_cap = r.S.peak_live <= max_live && r.S.peak_queue <= queue_cap in
+  let drained = r.S.outcome = S.Drained in
+  let buf = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n  \"jobs\": %d,\n  \"max_live\": %d,\n  \"queue_cap\": %d,\n" n_jobs
+    max_live queue_cap;
+  add "  \"rate\": %.3f,\n  \"wall_s\": %.3f,\n  \"events\": %d,\n" rate wall
+    r.S.events;
+  add "  \"events_per_s\": %.1f,\n  \"replans\": %d,\n  \"replan_p99_s\": %.6g,\n"
+    events_per_s r.S.replans r.S.replan_p99_s;
+  add "  \"completed\": %d,\n  \"admitted\": %d,\n  \"dropped\": %d,\n"
+    r.S.metrics.S.completed r.S.admitted r.S.dropped;
+  add "  \"peak_live\": %d,\n  \"peak_queue\": %d,\n" r.S.peak_live
+    r.S.peak_queue;
+  add "  \"max_stretch\": %.6f,\n  \"drained\": %b,\n  \"within_cap\": %b\n}\n"
+    r.S.metrics.S.max_stretch drained within_cap;
+  Gripps_obs.Fsio.write_atomic ~path:out (Buffer.contents buf);
+  Printf.eprintf
+    "serve: %d events in %.2fs (%.0f events/s), peak live %d/%d, peak queue \
+     %d/%d, p99 replan %.2gs\n%!"
+    r.S.events wall events_per_s r.S.peak_live max_live r.S.peak_queue
+    queue_cap r.S.replan_p99_s;
+  Printf.eprintf "serve: wrote %s\n%!" out;
+  if not (within_cap && drained) then begin
+    Printf.eprintf
+      "serve: error: daemon %s — memory bound or drain guarantee violated\n%!"
+      (if drained then "exceeded its slot or queue capacity"
+       else "failed to drain the stream");
+    exit 1
+  end
+
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "perf" then run_perf ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "scale" then run_scale ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then run_serve ()
   else begin
     print_reproduction ();
     Printf.printf "=== bechamel timings ===\n%!";

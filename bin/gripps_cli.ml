@@ -133,22 +133,51 @@ let run_cmd =
 (* ---- optimal ---------------------------------------------------------- *)
 
 let optimal_cmd =
-  let action seed sites databases availability density horizon =
+  let budget_iters_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget-iters" ] ~docv:"N"
+          ~doc:"Cap the solver at $(docv) feasibility probes / Newton \
+                steps; exits 3 when the budget is exhausted.")
+  in
+  let budget_secs_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "budget-secs" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock cap on the solver; exits 3 when the budget is \
+                exhausted.")
+  in
+  let action seed sites databases availability density horizon biters bsecs =
     let c = config ~sites ~databases ~availability ~density ~horizon in
     let rng = Gripps_rng.Splitmix.create seed in
     let inst = W.Generator.instance rng c in
-    let s = Gripps_core.Offline.optimal_max_stretch inst in
+    let budget =
+      match (biters, bsecs) with
+      | None, None -> None
+      | _ ->
+        let d = Gripps_core.Stretch_solver.default_budget in
+        Some
+          { Gripps_core.Stretch_solver.max_iters =
+              Option.value biters ~default:d.Gripps_core.Stretch_solver.max_iters;
+            max_seconds = Option.value bsecs ~default:d.max_seconds }
+    in
+    let s = Gripps_core.Offline.optimal_max_stretch ?budget inst in
     Printf.printf "%d jobs; exact optimal max-stretch S* = %s = %.9f\n"
       (Instance.num_jobs inst) (Q.to_string s) (Q.to_float s);
     `Ok ()
   in
   Cmd.v
     (Cmd.info "optimal"
-       ~doc:"Print the exact (rational) optimal max-stretch of a random instance.")
+       ~doc:
+         "Print the exact (rational) optimal max-stretch of a random \
+          instance. With --budget-iters/--budget-secs the solver is \
+          guarded: a blown budget exits with status 3 instead of hanging.")
     Term.(
       ret
         (const action $ seed_t $ sites_t $ databases_t $ availability_t $ density_t
-         $ horizon_t 60.0))
+         $ horizon_t 60.0 $ budget_iters_t $ budget_secs_t))
 
 (* ---- table ------------------------------------------------------------ *)
 
@@ -528,6 +557,257 @@ let trace_cmd =
           and replay-based verification.")
     Term.(ret (const action $ scenario_t $ level_t $ jsonl_t $ verify_t $ jobs_t))
 
+(* ---- serve ------------------------------------------------------------ *)
+
+module S = Gripps_service.Service
+
+let serve_cmd =
+  let source_t =
+    Arg.(
+      value
+      & opt string "poisson"
+      & info [ "source" ] ~docv:"poisson|FILE|-"
+          ~doc:
+            "Job stream: $(b,poisson) for the synthetic open-loop driver \
+             (see --rate/--n-jobs), a file path for the line protocol \
+             ('release size databank' per line), or $(b,-) for stdin.")
+  in
+  let rate_t =
+    Arg.(
+      value
+      & opt float 2.0
+      & info [ "rate" ] ~docv:"JOBS/S" ~doc:"Poisson arrival rate.")
+  in
+  let n_jobs_t =
+    Arg.(
+      value
+      & opt int 1000
+      & info [ "n-jobs" ] ~docv:"N" ~doc:"Number of Poisson jobs to stream.")
+  in
+  let rule_t =
+    Arg.(
+      value
+      & opt string "SWRPT"
+      & info [ "scheduler" ] ~docv:"RULE"
+          ~doc:"Priority rule: FCFS, SPT, SRPT, SWPT or SWRPT.")
+  in
+  let policy_t =
+    Arg.(
+      value
+      & opt string "drop"
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:"Admission policy when full: $(b,drop), $(b,block) or $(b,shed).")
+  in
+  let max_live_t =
+    Arg.(
+      value
+      & opt int 4096
+      & info [ "max-live" ] ~docv:"N" ~doc:"Slot-pool capacity (live jobs).")
+  in
+  let queue_cap_t =
+    Arg.(
+      value
+      & opt int 1024
+      & info [ "queue-cap" ] ~docv:"N" ~doc:"Pending-queue capacity.")
+  in
+  let checkpoint_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"Atomically checkpoint the daemon state to $(docv).")
+  in
+  let every_t =
+    Arg.(
+      value
+      & opt int 4096
+      & info [ "checkpoint-every" ] ~docv:"EVENTS"
+          ~doc:"Events between checkpoints.")
+  in
+  let journal_dir_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal-dir" ] ~docv:"DIR"
+          ~doc:"Rotate the event journal to JSONL segments under $(docv).")
+  in
+  let seg_limit_t =
+    Arg.(
+      value
+      & opt int 65536
+      & info [ "seg-limit" ] ~docv:"N" ~doc:"Max records per journal segment.")
+  in
+  let resume_t =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Restore from --checkpoint and continue where the previous \
+                (possibly killed) daemon left off.")
+  in
+  let mtbf_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "mtbf" ] ~docv:"SECONDS"
+          ~doc:"Inject Poisson machine failures with this \
+                mean-time-between-failures.")
+  in
+  let mttr_t =
+    Arg.(
+      value
+      & opt float 60.0
+      & info [ "mttr" ] ~docv:"SECONDS" ~doc:"Mean time to repair.")
+  in
+  let pause_t =
+    Arg.(
+      value & flag
+      & info [ "pause" ]
+          ~doc:"Pause semantics: in-flight work survives an outage \
+                (default: crash, work since the last event is lost).")
+  in
+  let horizon_opt_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "horizon" ] ~docv:"SECONDS"
+          ~doc:"Stop (cleanly, checkpointing) before advancing past this \
+                date; a later --resume with a larger horizon continues.")
+  in
+  let stop_after_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stop-after-events" ] ~docv:"N"
+          ~doc:"Simulate a SIGKILL after $(docv) events: return without \
+                flushing or checkpointing (torture-testing the resume \
+                path).")
+  in
+  let action seed sites databases availability source rate n_jobs rule policy
+      max_live queue_cap checkpoint every journal_dir seg_limit resume mtbf
+      mttr pause horizon stop_after =
+    let rule =
+      match S.rule_of_string rule with
+      | Some r -> r
+      | None ->
+        Printf.eprintf "unknown rule %s (use FCFS, SPT, SRPT, SWPT or SWRPT)\n"
+          rule;
+        exit 2
+    in
+    let policy =
+      match S.policy_of_string policy with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "unknown policy %s (use drop, block or shed)\n" policy;
+        exit 2
+    in
+    if resume && checkpoint = None then begin
+      Printf.eprintf "--resume requires --checkpoint\n";
+      exit 2
+    end;
+    if resume && source = "-" then begin
+      Printf.eprintf "--resume cannot re-open stdin; use a file source\n";
+      exit 2
+    end;
+    (* The platform draw only uses the cluster/databank axes of the
+       configuration; density and window are irrelevant to serving. *)
+    let c = config ~sites ~databases ~availability ~density:1.0 ~horizon:60.0 in
+    let real = W.Generator.platform (Gripps_rng.Splitmix.create seed) c in
+    let platform = real.W.Generator.platform in
+    let faults =
+      match mtbf with
+      | None -> []
+      | Some mtbf ->
+        let until =
+          match horizon with
+          | Some h -> h
+          | None when source = "poisson" -> 2.0 *. float_of_int n_jobs /. rate
+          | None ->
+            Printf.eprintf "--mtbf with a file/stdin source needs --horizon \
+                            to bound the fault window\n";
+            exit 2
+        in
+        Fault.poisson
+          (Gripps_rng.Splitmix.stream (Gripps_rng.Splitmix.create seed) 1)
+          ~mtbf ~mttr ~machines:(Platform.num_machines platform) ~until
+    in
+    let loss = if pause then Fault.Pause else Fault.Crash in
+    let source_desc =
+      match source with
+      | "poisson" ->
+        Printf.sprintf "poisson:seed=%d:rate=%.17g:jobs=%d" seed rate n_jobs
+      | "-" -> "stdin"
+      | path -> "file:" ^ path
+    in
+    let cfg =
+      S.config ~platform ~rule ~policy ~max_live ~queue_cap ~faults ~loss
+        ?horizon ?checkpoint ~checkpoint_every:every ?journal_dir ~seg_limit
+        ~source_desc ()
+    in
+    let report =
+      if resume then
+        S.resume ?stop_after_events:stop_after cfg (fun ~cursor ~clock ->
+            match source with
+            | "poisson" ->
+              W.Source.poisson ~seed ~rate ~sizes:real.W.Generator.db_sizes
+                ~jobs:n_jobs ~cursor ~clock ()
+            | path -> W.Source.of_file ~skip:cursor path)
+      else begin
+        let src =
+          match source with
+          | "poisson" ->
+            W.Source.poisson ~seed ~rate ~sizes:real.W.Generator.db_sizes
+              ~jobs:n_jobs ()
+          | "-" -> W.Source.of_channel ~name:"stdin" stdin
+          | path -> W.Source.of_file path
+        in
+        Fun.protect
+          ~finally:(fun () -> W.Source.close src)
+          (fun () -> S.run ?stop_after_events:stop_after cfg src)
+      end
+    in
+    let outcome =
+      match report.S.outcome with
+      | S.Drained -> "drained"
+      | S.Horizon_reached -> "horizon"
+      | S.Killed -> "killed"
+    in
+    Printf.printf "outcome: %s\n" outcome;
+    let m = report.S.metrics in
+    (* One stable line the kill-and-resume smoke test diffs verbatim. *)
+    Printf.printf
+      "metrics completed=%d sum_stretch=%.17g max_stretch=%.17g \
+       sum_flow=%.17g max_flow=%.17g makespan=%.17g\n"
+      m.S.completed m.S.sum_stretch m.S.max_stretch m.S.sum_flow m.S.max_flow
+      m.S.makespan;
+    Printf.printf
+      "admission admitted=%d enqueued=%d dropped=%d shed=%d peak_live=%d \
+       peak_queue=%d\n"
+      report.S.admitted report.S.enqueued report.S.dropped report.S.shed
+      report.S.peak_live report.S.peak_queue;
+    Printf.printf
+      "progress events=%d replans=%d checkpoints=%d source_cursor=%d \
+       final_time=%.17g lost_work=%.17g\n"
+      report.S.events report.S.replans report.S.checkpoints
+      report.S.source_cursor report.S.final_time report.S.lost_work;
+    Printf.printf "latency replan_p99_s=%.6g deadline_misses=%d\n"
+      report.S.replan_p99_s report.S.deadline_misses;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the crash-safe streaming scheduler daemon over a job source: \
+          bounded-memory admission (drop/block/shed), periodic atomic \
+          checkpoints, journal rotation, and --resume to continue a killed \
+          run bit-identically.")
+    Term.(
+      ret
+        (const action $ seed_t $ sites_t $ databases_t $ availability_t
+         $ source_t $ rate_t $ n_jobs_t $ rule_t $ policy_t $ max_live_t
+         $ queue_cap_t $ checkpoint_t $ every_t $ journal_dir_t $ seg_limit_t
+         $ resume_t $ mtbf_t $ mttr_t $ pause_t $ horizon_opt_t
+         $ stop_after_t))
+
 (* ---- validate --------------------------------------------------------- *)
 
 let validate_cmd =
@@ -560,6 +840,38 @@ let main =
          "Reproduction of 'Minimizing the stretch when scheduling flows of \
           biological requests' (Legrand, Su, Vivien).")
     [ run_cmd; optimal_cmd; table_cmd; tables_cmd; figure_cmd; overhead_cmd;
-      perf_cmd; scale_cmd; faults_cmd; trace_cmd; validate_cmd ]
+      perf_cmd; scale_cmd; faults_cmd; trace_cmd; serve_cmd; validate_cmd ]
 
-let () = exit (Cmd.eval main)
+(* Exit-code contract (audited by test/cli_exit_codes.sh):
+     0  success
+     1  verification mismatch (perf cold/warm, scale divergence, trace --verify)
+     2  usage or configuration error (unknown names, invalid parameters,
+        unreadable files)
+     3  data or guardrail error (malformed source stream, torn/corrupt
+        checkpoint, solver budget exhausted, stalled daemon) *)
+let () =
+  let code =
+    try Cmd.eval ~catch:false main with
+    | Gripps_core.Stretch_solver.Budget_exhausted { stage; iters; elapsed } ->
+      Printf.eprintf
+        "error: solver budget exhausted in %s stage after %d iterations \
+         (%.3fs)\n"
+        stage iters elapsed;
+      3
+    | S.Stalled { time; live; queued } ->
+      Printf.eprintf
+        "error: daemon stalled at t=%.6f with %d live and %d queued jobs \
+         that can never finish\n"
+        time live queued;
+      3
+    | Failure msg ->
+      Printf.eprintf "error: %s\n" msg;
+      3
+    | Invalid_argument msg ->
+      Printf.eprintf "error: invalid argument: %s\n" msg;
+      2
+    | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      2
+  in
+  exit code

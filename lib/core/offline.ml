@@ -1,8 +1,8 @@
 open Gripps_engine
 module Q = Gripps_numeric.Rat
 
-let optimal_max_stretch inst =
-  Stretch_solver.optimal_max_stretch (Snapshot.of_instance inst).Snapshot.problem
+let optimal_max_stretch ?budget inst =
+  Stretch_solver.optimal_max_stretch ?budget (Snapshot.of_instance inst).Snapshot.problem
 
 (* Degradation chain for the clairvoyant solve: the exact rational
    pipeline falls back to the float pipeline under the same budget, and

@@ -11,8 +11,11 @@ open Gripps_model
 open Gripps_engine
 module Q = Gripps_numeric.Rat
 
-val optimal_max_stretch : Instance.t -> Q.t
-(** The exact optimum [S*] for the whole instance. *)
+val optimal_max_stretch : ?budget:Stretch_solver.budget -> Instance.t -> Q.t
+(** The exact optimum [S*] for the whole instance.
+    @raise Stretch_solver.Budget_exhausted when the optional guardrail is
+    blown (default: {!Stretch_solver.default_budget}, which well-posed
+    instances never hit). *)
 
 val scheduler : Sim.scheduler
 (** Simulator realization of the optimal schedule. *)

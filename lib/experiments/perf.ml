@@ -244,10 +244,9 @@ let to_json r =
     r.all_cold_warm_match r.all_baseline_match;
   Buffer.contents buf
 
-let write_json ~path r =
-  let oc = open_out path in
-  output_string oc (to_json r);
-  close_out oc
+(* Atomic (temp + fsync + rename): a killed benchmark never leaves a torn
+   BENCH_*.json behind for the CI comparison step to choke on. *)
+let write_json ~path r = Gripps_obs.Fsio.write_atomic ~path (to_json r)
 
 let render r =
   let buf = Buffer.create 1024 in

@@ -158,10 +158,8 @@ let to_json r =
   add "  ],\n  \"identical\": %b\n}\n" r.identical;
   Buffer.contents buf
 
-let write_json ~path r =
-  let oc = open_out path in
-  output_string oc (to_json r);
-  close_out oc
+(* Atomic, like {!Perf.write_json}: no torn BENCH_scale.json on a kill. *)
+let write_json ~path r = Gripps_obs.Fsio.write_atomic ~path (to_json r)
 
 let render r =
   let buf = Buffer.create 1024 in

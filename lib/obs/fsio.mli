@@ -1,0 +1,22 @@
+(** Crash-safe small-file IO shared by checkpoints and benchmark
+    artifacts.
+
+    A tracked artifact (BENCH_*.json) or a daemon checkpoint must never
+    be observable half-written: {!write_atomic} stages the content in a
+    temporary file in the same directory, fsyncs it, and renames it over
+    the destination — on POSIX the rename is atomic, so a reader (or a
+    resumed daemon) sees either the old complete file or the new one,
+    never a torn mix. *)
+
+val write_atomic : path:string -> string -> unit
+(** Write [content] to [path] via temp-file + fsync + atomic rename.
+    @raise Sys_error / [Unix.Unix_error] on IO failure (the temp file is
+    removed on a failed attempt). *)
+
+val read_file : string -> string
+(** Whole-file read (binary). @raise Sys_error on unreadable files. *)
+
+val fnv64 : string -> string
+(** FNV-1a 64-bit checksum, as 16 lowercase hex digits — the integrity
+    seal of checkpoint payloads.  Not cryptographic: it detects torn or
+    bit-rotted files, not adversaries. *)

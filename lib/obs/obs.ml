@@ -65,6 +65,8 @@ type dstate = {
   mutable depth : int;
   mutable jbuf : event array;
   mutable jlen : int;
+  mutable jbase : int;  (* absolute position of jbuf.(0): events rotated or
+                           truncated away keep later positions stable *)
   mutable sink : (event -> unit) option;
 }
 
@@ -76,6 +78,7 @@ let fresh_dstate ~lvl ~clock =
     depth = 0;
     jbuf = Array.make 256 dummy_event;
     jlen = 0;
+    jbase = 0;
     sink = None }
 
 (* A spawned domain inherits its parent's verbosity level and clock (so
@@ -305,14 +308,39 @@ module Journal = struct
     if level_rank s.lvl >= 2 then journal_push s e
 
   let set_sink sk = (st ()).sink <- sk
-  let position () = (st ()).jlen
+  let position () = let s = st () in s.jbase + s.jlen
 
+  (* Positions are absolute (monotone across rotations).  A mark that has
+     been rotated or truncated away is clamped to the oldest retained
+     event, mirroring the pre-rotation tolerance for a mid-run [clear]. *)
   let since k =
     let s = st () in
-    Array.to_list (Array.sub s.jbuf k (s.jlen - k))
+    let from = min (max k s.jbase) (s.jbase + s.jlen) in
+    Array.to_list (Array.sub s.jbuf (from - s.jbase) (s.jbase + s.jlen - from))
 
   let events () = since 0
-  let clear () = (st ()).jlen <- 0
+
+  let clear () =
+    let s = st () in
+    s.jlen <- 0;
+    s.jbase <- 0
+
+  let truncate_before k =
+    let s = st () in
+    let k = min (max k s.jbase) (s.jbase + s.jlen) in
+    let d = k - s.jbase in
+    if d > 0 then begin
+      Array.blit s.jbuf d s.jbuf 0 (s.jlen - d);
+      (* Release the dropped slots so rotated events can be collected. *)
+      Array.fill s.jbuf (s.jlen - d) d dummy_event;
+      s.jlen <- s.jlen - d;
+      s.jbase <- k
+    end
+
+  let rotate () =
+    let evs = events () in
+    truncate_before (position ());
+    evs
 
   (* -- JSON writing.  17 significant digits round-trip every finite
      double; non-finite floats are encoded as null / signed sentinels. -- *)
@@ -648,8 +676,12 @@ module Journal = struct
          | _ -> None
        with Parse_error | Not_found -> None)
 
-  let write_jsonl ~path events =
-    let oc = open_out path in
+  let write_jsonl_gen ~append ~path events =
+    let oc =
+      if append then
+        open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+      else open_out path
+    in
     Fun.protect
       ~finally:(fun () -> close_out oc)
       (fun () ->
@@ -658,6 +690,9 @@ module Journal = struct
             output_string oc (to_json e);
             output_char oc '\n')
           events)
+
+  let write_jsonl ~path events = write_jsonl_gen ~append:false ~path events
+  let append_jsonl ~path events = write_jsonl_gen ~append:true ~path events
 
   let read_jsonl ~path =
     let ic = open_in path in
@@ -675,6 +710,54 @@ module Journal = struct
            done
          with End_of_file -> ());
         List.rev !acc)
+
+  (* The strict reader refuses what the lenient one skips: a malformed
+     line is named by number, and a partial last record (no trailing
+     newline — the signature of a write cut short by a crash) is called
+     out as truncation rather than silently dropped.  Replay-grade
+     integrity checks must use this path. *)
+  let read_jsonl_strict ~path =
+    let ic = open_in_bin path in
+    let contents =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    let n = String.length contents in
+    let complete = n = 0 || contents.[n - 1] = '\n' in
+    let body = if complete then String.sub contents 0 (max 0 (n - 1)) else contents in
+    if body = "" then []
+    else begin
+      let lines = String.split_on_char '\n' body in
+      let total = List.length lines in
+      let acc = ref [] in
+      List.iteri
+        (fun i line ->
+          if String.trim line <> "" then
+            match of_json line with
+            | Some e -> acc := e :: !acc
+            | None ->
+              if i = total - 1 && not complete then
+                failwith
+                  (Printf.sprintf
+                     "%s: truncated journal: partial record on last line %d \
+                      (no trailing newline)"
+                     path (i + 1))
+              else
+                failwith
+                  (Printf.sprintf "%s: malformed journal record at line %d"
+                     path (i + 1)))
+        lines;
+      if not complete then
+        (* The last line parsed even without its newline: the file was cut
+           exactly at a record boundary minus the terminator.  Still a
+           torn write — reject it, the caller must repair or truncate. *)
+        failwith
+          (Printf.sprintf
+             "%s: truncated journal: missing trailing newline after line %d"
+             path total);
+      List.rev !acc
+    end
 end
 
 (* ---- export: delta capture and cross-domain merge ----------------------- *)
@@ -708,7 +791,7 @@ module Export = struct
     { m_cells = Array.copy s.cells;
       m_polls = poll_values ();
       m_spans = span_values ();
-      m_jpos = s.jlen }
+      m_jpos = s.jbase + s.jlen }
 
   let stop mark =
     let s = st () in
@@ -743,11 +826,13 @@ module Export = struct
           if c = bc && t = bt then None else Some (name, c - bc, t -. bt))
         (span_values ())
     in
-    let jpos = min mark.m_jpos s.jlen in
+    (* Clamp like {!Journal.since}: a mark invalidated by a mid-shard
+       clear or rotation exports the retained suffix. *)
+    let jpos = min (max mark.m_jpos s.jbase) (s.jbase + s.jlen) in
     { e_counters = deltas;
       e_polls = delta_polls;
       e_spans = delta_spans;
-      e_journal = Array.sub s.jbuf jpos (s.jlen - jpos) }
+      e_journal = Array.sub s.jbuf (jpos - s.jbase) (s.jbase + s.jlen - jpos) }
 
   let merge e =
     let s = st () in

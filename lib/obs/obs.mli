@@ -177,13 +177,33 @@ module Journal : sig
       JSONL writing); [None] disables. *)
 
   val position : unit -> int
-  (** Current length — marks a point to {!since} from. *)
+  (** Current absolute position — marks a point to {!since} from.
+      Monotone across {!rotate}/{!truncate_before}, so a mark taken
+      before a rotation still addresses the right suffix. *)
 
   val since : int -> event list
-  (** Events recorded after the given {!position}, in order. *)
+  (** Events recorded after the given {!position}, in order.  A position
+      older than the oldest retained event (rotated or truncated away)
+      is clamped: only what is still buffered comes back. *)
 
   val events : unit -> event list
+
   val clear : unit -> unit
+  (** Drop everything and reset {!position} to 0. *)
+
+  val truncate_before : int -> unit
+  (** Drop every buffered event before the given absolute position
+      (clamped to the buffered range).  Later events keep their
+      positions: this is the memory-bounding primitive of long-running
+      runs — journal a window, persist it, truncate it away. *)
+
+  val rotate : unit -> event list
+  (** Atomically take the whole buffered window and truncate it away:
+      returns the events in order, leaves the buffer empty, and leaves
+      {!position} unchanged (it keeps counting from where it was).  The
+      streaming-service daemon calls this at every checkpoint to spill
+      the window to an on-disk segment, keeping resident journal memory
+      O(window), not O(run). *)
 
   (** {2 JSONL}
 
@@ -195,9 +215,22 @@ module Journal : sig
   (** Parse a line emitted by {!to_json}; [None] on malformed input. *)
 
   val write_jsonl : path:string -> event list -> unit
+
+  val append_jsonl : path:string -> event list -> unit
+  (** Like {!write_jsonl} but appends (creating the file if absent) —
+      the segment-spilling primitive of rotated journals. *)
+
   val read_jsonl : path:string -> event list
   (** @raise Sys_error on unreadable files; malformed lines are
       skipped. *)
+
+  val read_jsonl_strict : path:string -> event list
+  (** Like {!read_jsonl} but integrity-checking: a malformed line raises
+      [Failure] naming the line number, and a partial last record (the
+      file does not end in a newline — the signature of a crash-torn
+      write) raises [Failure] naming the truncation, instead of being
+      silently dropped.
+      @raise Sys_error on unreadable files. *)
 end
 
 (** {1 Export: delta capture and cross-domain merge}

@@ -1,0 +1,1122 @@
+open Gripps_model
+module Fault = Gripps_engine.Fault
+module Source = Gripps_workload.Source
+module Obs = Gripps_obs.Obs
+module J = Obs.Journal
+module Fsio = Gripps_obs.Fsio
+module Vec = Gripps_collections.Vec
+module Heap = Gripps_collections.Heap
+
+(* ---- configuration ----------------------------------------------------- *)
+
+type rule = Fcfs | Spt | Srpt | Swpt | Swrpt
+
+let rule_name = function
+  | Fcfs -> "FCFS"
+  | Spt -> "SPT"
+  | Srpt -> "SRPT"
+  | Swpt -> "SWPT"
+  | Swrpt -> "SWRPT"
+
+let rule_of_string s =
+  match String.uppercase_ascii s with
+  | "FCFS" -> Some Fcfs
+  | "SPT" -> Some Spt
+  | "SRPT" -> Some Srpt
+  | "SWPT" -> Some Swpt
+  | "SWRPT" -> Some Swrpt
+  | _ -> None
+
+(* Static rules never re-key a released job (mirrors List_sched). *)
+let rule_static = function Fcfs | Spt | Swpt -> true | Srpt | Swrpt -> false
+
+type policy = Drop | Block | Shed
+
+let policy_name = function Drop -> "drop" | Block -> "block" | Shed -> "shed"
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "drop" -> Some Drop
+  | "block" -> Some Block
+  | "shed" -> Some Shed
+  | _ -> None
+
+type config = {
+  platform : Platform.t;
+  rule : rule;
+  policy : policy;
+  max_live : int;
+  queue_cap : int;
+  faults : Fault.trace;
+  loss : Fault.loss;
+  horizon : float option;
+  checkpoint : string option;
+  checkpoint_every : int;
+  journal_dir : string option;
+  seg_limit : int;
+  source_desc : string;
+  replan_deadline : float option;
+}
+
+let config ~platform ?(rule = Swrpt) ?(policy = Drop) ?(max_live = 4096)
+    ?(queue_cap = 1024) ?(faults = []) ?(loss = Fault.Crash) ?horizon
+    ?checkpoint ?(checkpoint_every = 4096) ?journal_dir ?(seg_limit = 65536)
+    ?(source_desc = "") ?replan_deadline () =
+  if max_live < 1 then invalid_arg "Service.config: max_live must be positive";
+  if queue_cap < 0 then invalid_arg "Service.config: negative queue_cap";
+  if checkpoint_every < 1 then
+    invalid_arg "Service.config: checkpoint_every must be positive";
+  if seg_limit < 1 then invalid_arg "Service.config: seg_limit must be positive";
+  let nm = Platform.num_machines platform in
+  List.iter
+    (fun (e : Fault.edge) ->
+      if e.machine >= nm then
+        invalid_arg "Service.config: fault trace references unknown machine")
+    faults;
+  { platform; rule; policy; max_live; queue_cap;
+    faults = Fault.normalize faults; loss; horizon; checkpoint;
+    checkpoint_every; journal_dir; seg_limit; source_desc; replan_deadline }
+
+let fingerprint cfg =
+  let b = Buffer.create 256 in
+  let nm = Platform.num_machines cfg.platform in
+  (* The horizon and the checkpoint cadence are deliberately absent: a
+     resumed daemon may push the horizon further or checkpoint at a
+     different rhythm without invalidating the state it restores. *)
+  Buffer.add_string b
+    (Printf.sprintf "v1 %s %s live=%d cap=%d loss=%s seglim=%d src=%s m=%d d=%d"
+       (rule_name cfg.rule) (policy_name cfg.policy) cfg.max_live cfg.queue_cap
+       (match cfg.loss with Fault.Crash -> "crash" | Fault.Pause -> "pause")
+       cfg.seg_limit cfg.source_desc nm
+       (Platform.num_databanks cfg.platform));
+  for m = 0 to nm - 1 do
+    let mc = Platform.machine cfg.platform m in
+    Buffer.add_string b (Printf.sprintf " %.17g:" mc.Machine.speed);
+    Array.iter (fun h -> Buffer.add_char b (if h then '1' else '0')) mc.Machine.databanks
+  done;
+  List.iter
+    (fun (e : Fault.edge) ->
+      Buffer.add_string b
+        (Printf.sprintf " f%.17g/%d/%b" e.Fault.time e.Fault.machine e.Fault.up))
+    cfg.faults;
+  Fsio.fnv64 (Buffer.contents b)
+
+(* ---- outcomes and reports ---------------------------------------------- *)
+
+type outcome = Drained | Horizon_reached | Killed
+
+type metrics = {
+  completed : int;
+  sum_stretch : float;
+  max_stretch : float;
+  sum_flow : float;
+  max_flow : float;
+  makespan : float;
+}
+
+type report = {
+  outcome : outcome;
+  metrics : metrics;
+  admitted : int;
+  enqueued : int;
+  dropped : int;
+  shed : int;
+  peak_live : int;
+  peak_queue : int;
+  events : int;
+  replans : int;
+  checkpoints : int;
+  deadline_misses : int;
+  lost_work : float;
+  final_time : float;
+  source_cursor : int;
+  replan_p99_s : float;
+}
+
+exception Stalled of { time : float; live : int; queued : int }
+
+let c_events = Obs.Counter.make "serve.events"
+let c_replans = Obs.Counter.make "serve.replans"
+let c_segments = Obs.Counter.make "serve.segments"
+let c_admitted = Obs.Counter.make "serve.admitted"
+let c_enqueued = Obs.Counter.make "serve.enqueued"
+let c_dropped = Obs.Counter.make "serve.dropped"
+let c_shed = Obs.Counter.make "serve.shed"
+let c_checkpoints = Obs.Counter.make "serve.checkpoints"
+
+(* ---- daemon state ------------------------------------------------------ *)
+
+type qitem = { q_ext : int; q_release : float; q_size : float; q_db : int }
+
+(* Replan latency histogram: 16 log-spaced bins per decade over
+   [1e-8 s, 1 s), plus an overflow bin — fixed memory, any run length. *)
+let lat_bins = 129
+
+let lat_bin dur =
+  if dur <= 1e-8 then 0
+  else
+    let i = int_of_float (16.0 *. (log10 dur +. 8.0)) in
+    if i < 0 then 0 else if i >= lat_bins then lat_bins - 1 else i
+
+let lat_upper i = 10.0 ** ((float_of_int (i + 1) /. 16.0) -. 8.0)
+
+type daemon = {
+  cfg : config;
+  src : Source.t;
+  nm : int;
+  nd : int;
+  speeds : float array;
+  hosts : int array array;            (* machines per databank *)
+  dbs_of_machine : int list array;
+  up : bool array;
+  mutable trace : Fault.edge list;
+  (* slot pool: the only per-job storage, recycled on completion *)
+  ext : int array;                    (* external job id; -1 = free *)
+  release : float array;
+  size : float array;
+  db : int array;
+  remaining : float array;
+  ctime : float array;                (* completion date scratch *)
+  free_slots : int Vec.t;             (* stack; top = next assigned *)
+  mutable live : int;
+  heaps : Heap.Indexed.t array;       (* per databank, ids = slots *)
+  (* allocator scratch *)
+  mfree : bool array;
+  free_up : int array;
+  (* live plan *)
+  mutable alloc : (int * (int * float) list) list;  (* slot-addressed *)
+  rates : float array;
+  lost_rates : float array;
+  rated : int Vec.t;
+  crashing : bool array;
+  crashed : int Vec.t;
+  completions : int Vec.t;
+  (* pending queue (FIFO; two-list queue so it serializes trivially) *)
+  mutable q_front : qitem list;
+  mutable q_back : qitem list;
+  mutable q_len : int;
+  (* clock and accounting *)
+  mutable now : float;
+  mutable events : int;
+  mutable replans : int;
+  mutable since_ckpt : int;
+  mutable checkpoints : int;
+  mutable completed : int;
+  mutable sum_stretch : float;
+  mutable max_stretch : float;
+  mutable sum_flow : float;
+  mutable max_flow : float;
+  mutable makespan : float;
+  mutable admitted : int;
+  mutable enqueued : int;
+  mutable dropped : int;
+  mutable shed : int;
+  mutable peak_live : int;
+  mutable peak_queue : int;
+  mutable deadline_misses : int;
+  mutable lost_work : float;
+  (* on-disk journal segments *)
+  mutable seg_index : int;
+  mutable seg_lines : int;
+  (* wall-clock observables: never checkpointed *)
+  lat_hist : int array;
+  mutable lat_count : int;
+}
+
+let key d s =
+  match d.cfg.rule with
+  | Fcfs -> d.release.(s)
+  | Spt -> d.size.(s)
+  | Srpt -> d.remaining.(s)
+  | Swpt -> d.size.(s) *. d.size.(s)
+  | Swrpt -> d.remaining.(s) *. d.size.(s)
+
+let make_daemon cfg src =
+  let platform = cfg.platform in
+  let nm = Platform.num_machines platform in
+  let nd = Platform.num_databanks platform in
+  let k = cfg.max_live in
+  let free_slots = Vec.create () in
+  for s = k - 1 downto 0 do
+    Vec.push free_slots s
+  done;
+  { cfg; src; nm; nd;
+    speeds = Array.init nm (fun m -> (Platform.machine platform m).Machine.speed);
+    hosts =
+      Array.init nd (fun d ->
+          Platform.hosts_of platform d
+          |> List.map (fun (m : Machine.t) -> m.id)
+          |> Array.of_list);
+    dbs_of_machine =
+      Array.init nm (fun mid ->
+          let m = Platform.machine platform mid in
+          List.filter (fun d -> Machine.hosts m d) (List.init nd Fun.id));
+    up = Array.make nm true;
+    trace = Fault.merge cfg.faults (Fault.of_platform platform);
+    ext = Array.make k (-1);
+    release = Array.make k 0.0;
+    size = Array.make k 0.0;
+    db = Array.make k 0;
+    remaining = Array.make k 0.0;
+    ctime = Array.make k 0.0;
+    free_slots; live = 0;
+    heaps = Array.init nd (fun _ -> Heap.Indexed.create ~capacity:k);
+    mfree = Array.make nm true;
+    free_up = Array.make nd 0;
+    alloc = [];
+    rates = Array.make k 0.0;
+    lost_rates = Array.make k 0.0;
+    rated = Vec.create ();
+    crashing = Array.make nm false;
+    crashed = Vec.create ();
+    completions = Vec.create ();
+    q_front = []; q_back = []; q_len = 0;
+    now = 0.0; events = 0; replans = 0;
+    (* force an initial checkpoint on the first loop iteration, so even
+       an instantly-killed daemon leaves a resumable state behind *)
+    since_ckpt = cfg.checkpoint_every;
+    checkpoints = 0; completed = 0;
+    sum_stretch = 0.0; max_stretch = 0.0; sum_flow = 0.0; max_flow = 0.0;
+    makespan = 0.0; admitted = 0; enqueued = 0; dropped = 0; shed = 0;
+    peak_live = 0; peak_queue = 0; deadline_misses = 0; lost_work = 0.0;
+    seg_index = 0; seg_lines = 0;
+    lat_hist = Array.make lat_bins 0; lat_count = 0 }
+
+let map_alloc d al =
+  List.map (fun (m, shares) ->
+      (m, List.map (fun (s, sh) -> (d.ext.(s), sh)) shares))
+    al
+
+(* ---- journal segments -------------------------------------------------- *)
+
+let seg_path dir i = Filename.concat dir (Printf.sprintf "seg-%06d.jsonl" i)
+
+let segment_index_of name = Scanf.sscanf_opt name "seg-%06d.jsonl%!" Fun.id
+
+let segment_files ~dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> segment_index_of f <> None)
+  |> List.sort compare
+  |> List.map (Filename.concat dir)
+
+let read_journal ~dir =
+  segment_files ~dir
+  |> List.concat_map (fun path -> J.read_jsonl_strict ~path)
+
+let rec take_at_most n = function
+  | [] -> ([], [])
+  | l when n <= 0 -> ([], l)
+  | x :: rest ->
+    let a, b = take_at_most (n - 1) rest in
+    (x :: a, b)
+
+(* Spill the whole in-memory journal window to segment files, rolling to
+   the next segment whenever the current one reaches [seg_limit] — the
+   roll points are a pure function of the event sequence, so an
+   uninterrupted run and a resumed one cut identical segments. *)
+let flush_journal d =
+  match d.cfg.journal_dir with
+  | None -> ()
+  | Some dir ->
+    let rec spill evs =
+      if evs <> [] then begin
+        if d.seg_lines >= d.cfg.seg_limit then begin
+          d.seg_index <- d.seg_index + 1;
+          d.seg_lines <- 0
+        end;
+        let batch, rest = take_at_most (d.cfg.seg_limit - d.seg_lines) evs in
+        J.append_jsonl ~path:(seg_path dir d.seg_index) batch;
+        d.seg_lines <- d.seg_lines + List.length batch;
+        spill rest
+      end
+    in
+    spill (J.rotate ())
+
+(* ---- checkpoint format ------------------------------------------------- *)
+
+let ckpt_magic = "gripps-ckpt"
+let ckpt_version = 1
+
+let serialize d =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "now %.17g\n" d.now;
+  pf "counts %d %d %d %d\n" d.events d.replans d.checkpoints d.deadline_misses;
+  pf "metrics %d %.17g %.17g %.17g %.17g %.17g %.17g\n" d.completed
+    d.sum_stretch d.max_stretch d.sum_flow d.max_flow d.makespan d.lost_work;
+  pf "admission %d %d %d %d %d %d\n" d.admitted d.enqueued d.dropped d.shed
+    d.peak_live d.peak_queue;
+  pf "source %d %.17g\n" (Source.cursor d.src) (Source.clock d.src);
+  Buffer.add_string b "up";
+  Array.iter (fun u -> pf " %d" (if u then 1 else 0)) d.up;
+  Buffer.add_char b '\n';
+  pf "faults %d\n" (List.length d.trace);
+  List.iter
+    (fun (e : Fault.edge) ->
+      pf "fault %.17g %d %d\n" e.Fault.time e.Fault.machine
+        (if e.Fault.up then 1 else 0))
+    d.trace;
+  pf "live %d\n" d.live;
+  for s = 0 to d.cfg.max_live - 1 do
+    if d.ext.(s) >= 0 then
+      pf "slot %d %d %.17g %.17g %d %.17g\n" s d.ext.(s) d.release.(s)
+        d.size.(s) d.db.(s) d.remaining.(s)
+  done;
+  pf "free %d" (Vec.length d.free_slots);
+  Vec.iter (fun s -> pf " %d" s) d.free_slots;
+  Buffer.add_char b '\n';
+  pf "queue %d\n" d.q_len;
+  List.iter
+    (fun q -> pf "qitem %d %.17g %.17g %d\n" q.q_ext q.q_release q.q_size q.q_db)
+    (d.q_front @ List.rev d.q_back);
+  pf "plan %d\n" (List.length d.alloc);
+  List.iter
+    (fun (m, shares) ->
+      pf "pentry %d %d" m (List.length shares);
+      List.iter (fun (s, sh) -> pf " %d %.17g" s sh) shares;
+      Buffer.add_char b '\n')
+    d.alloc;
+  pf "jseg %d %d\n" d.seg_index d.seg_lines;
+  Buffer.contents b
+
+let write_checkpoint d =
+  match d.cfg.checkpoint with
+  | None -> d.since_ckpt <- 0
+  | Some path ->
+    d.checkpoints <- d.checkpoints + 1;
+    Obs.Counter.incr c_checkpoints;
+    let payload = serialize d in
+    let header =
+      Printf.sprintf "%s %d %s %d %s\n" ckpt_magic ckpt_version
+        (fingerprint d.cfg) (String.length payload) (Fsio.fnv64 payload)
+    in
+    Fsio.write_atomic ~path (header ^ payload);
+    d.since_ckpt <- 0
+
+(* ---- checkpoint restore ------------------------------------------------ *)
+
+let corrupt path fmt =
+  Printf.ksprintf (fun m -> failwith (path ^ ": " ^ m)) fmt
+
+(* Sequential tagged-line parser over the payload. *)
+type parser_state = { path : string; mutable lines : string list; mutable ln : int }
+
+let next_line ps tag =
+  match ps.lines with
+  | [] -> corrupt ps.path "truncated checkpoint: missing '%s' record" tag
+  | l :: rest ->
+    ps.lines <- rest;
+    ps.ln <- ps.ln + 1;
+    (match String.split_on_char ' ' l with
+     | t :: fields when t = tag -> fields
+     | t :: _ ->
+       corrupt ps.path "checkpoint line %d: expected '%s', found '%s'" ps.ln tag t
+     | [] -> corrupt ps.path "checkpoint line %d: empty record" ps.ln)
+
+let p_int ps v =
+  match int_of_string_opt v with
+  | Some i -> i
+  | None -> corrupt ps.path "checkpoint line %d: bad integer %S" ps.ln v
+
+let p_float ps v =
+  match float_of_string_opt v with
+  | Some f -> f
+  | None -> corrupt ps.path "checkpoint line %d: bad float %S" ps.ln v
+
+let restore cfg path make_source =
+  let raw =
+    try Fsio.read_file path
+    with Sys_error m -> failwith ("cannot read checkpoint: " ^ m)
+  in
+  let header, payload =
+    match String.index_opt raw '\n' with
+    | None -> corrupt path "not a checkpoint (no header line)"
+    | Some i ->
+      (String.sub raw 0 i, String.sub raw (i + 1) (String.length raw - i - 1))
+  in
+  (match String.split_on_char ' ' header with
+   | [ magic; version; fp; len; sum ] ->
+     if magic <> ckpt_magic then corrupt path "not a checkpoint (bad magic %S)" magic;
+     if int_of_string_opt version <> Some ckpt_version then
+       corrupt path "unsupported checkpoint version %s" version;
+     if fp <> fingerprint cfg then
+       corrupt path
+         "checkpoint was written under a different configuration (fingerprint %s, ours %s)"
+         fp (fingerprint cfg);
+     (match int_of_string_opt len with
+      | Some l when l = String.length payload -> ()
+      | _ -> corrupt path "torn checkpoint: payload length mismatch");
+     if sum <> Fsio.fnv64 payload then corrupt path "checkpoint checksum mismatch"
+   | _ -> corrupt path "not a checkpoint (malformed header)");
+  let ps =
+    { path;
+      lines =
+        (String.split_on_char '\n' payload
+         |> List.filter (fun l -> l <> ""));
+      ln = 1 }
+  in
+  let now =
+    match next_line ps "now" with
+    | [ v ] -> p_float ps v
+    | _ -> corrupt path "malformed 'now' record"
+  in
+  let events, replans, checkpoints, deadline_misses =
+    match next_line ps "counts" with
+    | [ a; b; c; dl ] -> (p_int ps a, p_int ps b, p_int ps c, p_int ps dl)
+    | _ -> corrupt path "malformed 'counts' record"
+  in
+  let completed, sum_stretch, max_stretch, sum_flow, max_flow, makespan, lost_work =
+    match next_line ps "metrics" with
+    | [ n; ss; ms; sf; mf; mk; lw ] ->
+      (p_int ps n, p_float ps ss, p_float ps ms, p_float ps sf, p_float ps mf,
+       p_float ps mk, p_float ps lw)
+    | _ -> corrupt path "malformed 'metrics' record"
+  in
+  let admitted, enqueued, dropped, shed, peak_live, peak_queue =
+    match next_line ps "admission" with
+    | [ a; e; dr; sh; pl; pq ] ->
+      (p_int ps a, p_int ps e, p_int ps dr, p_int ps sh, p_int ps pl, p_int ps pq)
+    | _ -> corrupt path "malformed 'admission' record"
+  in
+  let cursor, clock =
+    match next_line ps "source" with
+    | [ c; k ] -> (p_int ps c, p_float ps k)
+    | _ -> corrupt path "malformed 'source' record"
+  in
+  let src = make_source ~cursor ~clock in
+  if Source.cursor src <> cursor then
+    corrupt path "resumed source reports cursor %d, checkpoint says %d"
+      (Source.cursor src) cursor;
+  let d = make_daemon cfg src in
+  d.now <- now;
+  d.events <- events;
+  d.replans <- replans;
+  d.checkpoints <- checkpoints;
+  d.deadline_misses <- deadline_misses;
+  d.completed <- completed;
+  d.sum_stretch <- sum_stretch;
+  d.max_stretch <- max_stretch;
+  d.sum_flow <- sum_flow;
+  d.max_flow <- max_flow;
+  d.makespan <- makespan;
+  d.lost_work <- lost_work;
+  d.admitted <- admitted;
+  d.enqueued <- enqueued;
+  d.dropped <- dropped;
+  d.shed <- shed;
+  d.peak_live <- peak_live;
+  d.peak_queue <- peak_queue;
+  let ups = next_line ps "up" in
+  if List.length ups <> d.nm then corrupt path "malformed 'up' record";
+  List.iteri (fun m v -> d.up.(m) <- p_int ps v <> 0) ups;
+  let nfaults =
+    match next_line ps "faults" with
+    | [ n ] -> p_int ps n
+    | _ -> corrupt path "malformed 'faults' record"
+  in
+  d.trace <-
+    List.init nfaults (fun _ ->
+        match next_line ps "fault" with
+        | [ t; m; u ] ->
+          { Fault.time = p_float ps t; machine = p_int ps m;
+            up = p_int ps u <> 0 }
+        | _ -> corrupt path "malformed 'fault' record");
+  let nlive =
+    match next_line ps "live" with
+    | [ n ] -> p_int ps n
+    | _ -> corrupt path "malformed 'live' record"
+  in
+  for _ = 1 to nlive do
+    match next_line ps "slot" with
+    | [ s; e; r; w; db; rem ] ->
+      let s = p_int ps s in
+      if s < 0 || s >= cfg.max_live then corrupt path "slot id out of range";
+      d.ext.(s) <- p_int ps e;
+      d.release.(s) <- p_float ps r;
+      d.size.(s) <- p_float ps w;
+      d.db.(s) <- p_int ps db;
+      d.remaining.(s) <- p_float ps rem
+    | _ -> corrupt path "malformed 'slot' record"
+  done;
+  d.live <- nlive;
+  (* Rebuild the per-databank heaps from slot data: an indexed heap's
+     drain order is the ascending (key, slot) sort of its members, so
+     the rebuilt heaps schedule identically whatever the original
+     insertion history was. *)
+  for s = 0 to cfg.max_live - 1 do
+    if d.ext.(s) >= 0 then begin
+      if d.db.(s) < 0 || d.db.(s) >= d.nd then
+        corrupt path "slot %d references unknown databank %d" s d.db.(s);
+      Heap.Indexed.add d.heaps.(d.db.(s)) s (key d s)
+    end
+  done;
+  (match next_line ps "free" with
+   | n :: ids ->
+     if p_int ps n <> List.length ids then corrupt path "malformed 'free' record";
+     Vec.clear d.free_slots;
+     List.iter
+       (fun v ->
+         let s = p_int ps v in
+         if s < 0 || s >= cfg.max_live || d.ext.(s) >= 0 then
+           corrupt path "free stack names an occupied or out-of-range slot";
+         Vec.push d.free_slots s)
+       ids
+   | [] -> corrupt path "malformed 'free' record");
+  if Vec.length d.free_slots + d.live <> cfg.max_live then
+    corrupt path "slot accounting mismatch (%d free + %d live <> %d)"
+      (Vec.length d.free_slots) d.live cfg.max_live;
+  let nq =
+    match next_line ps "queue" with
+    | [ n ] -> p_int ps n
+    | _ -> corrupt path "malformed 'queue' record"
+  in
+  d.q_front <-
+    List.init nq (fun _ ->
+        match next_line ps "qitem" with
+        | [ e; r; w; db ] ->
+          { q_ext = p_int ps e; q_release = p_float ps r;
+            q_size = p_float ps w; q_db = p_int ps db }
+        | _ -> corrupt path "malformed 'qitem' record");
+  d.q_back <- [];
+  d.q_len <- nq;
+  let nplan =
+    match next_line ps "plan" with
+    | [ n ] -> p_int ps n
+    | _ -> corrupt path "malformed 'plan' record"
+  in
+  d.alloc <-
+    List.init nplan (fun _ ->
+        match next_line ps "pentry" with
+        | m :: n :: rest ->
+          let m = p_int ps m and n = p_int ps n in
+          if m < 0 || m >= d.nm then corrupt path "plan references unknown machine";
+          let rec shares n = function
+            | [] when n = 0 -> []
+            | s :: sh :: rest when n > 0 ->
+              (p_int ps s, p_float ps sh) :: shares (n - 1) rest
+            | _ -> corrupt path "malformed 'pentry' record"
+          in
+          (m, shares n rest)
+        | _ -> corrupt path "malformed 'pentry' record");
+  (* Reload the rates from the restored plan in allocation-list order —
+     the same order the original run's loader used, so the completion
+     scan walks [rated] identically. *)
+  List.iter
+    (fun (m, shares) ->
+      List.iter
+        (fun (s, share) ->
+          if s < 0 || s >= cfg.max_live || d.ext.(s) < 0 then
+            corrupt path "plan references a free slot";
+          let r = share *. d.speeds.(m) in
+          if d.rates.(s) = 0.0 && r > 0.0 then Vec.push d.rated s;
+          d.rates.(s) <- d.rates.(s) +. r)
+        shares)
+    d.alloc;
+  let seg_index, seg_lines =
+    match next_line ps "jseg" with
+    | [ i; n ] -> (p_int ps i, p_int ps n)
+    | _ -> corrupt path "malformed 'jseg' record"
+  in
+  d.seg_index <- seg_index;
+  d.seg_lines <- seg_lines;
+  if ps.lines <> [] then corrupt path "trailing garbage after checkpoint payload";
+  (* The restored run must not re-fire the checkpoint that produced this
+     state: the writer reset its cadence exactly here. *)
+  d.since_ckpt <- 0;
+  d
+
+(* Discard journal events the killed run spilled past its last
+   checkpoint: segments after the recorded one are deleted, the recorded
+   one is truncated to the recorded line count. *)
+let truncate_segments d =
+  match d.cfg.journal_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then
+      failwith (dir ^ ": journal directory missing at resume");
+    Array.iter
+      (fun f ->
+        match segment_index_of f with
+        | Some i when i > d.seg_index -> Sys.remove (Filename.concat dir f)
+        | Some _ | None -> ())
+      (Sys.readdir dir);
+    let path = seg_path dir d.seg_index in
+    if d.seg_lines = 0 then begin
+      if Sys.file_exists path then Sys.remove path
+    end
+    else begin
+      if not (Sys.file_exists path) then
+        failwith (Printf.sprintf "%s: checkpoint expects %d journal records, file missing"
+                    path d.seg_lines);
+      let lines =
+        String.split_on_char '\n' (Fsio.read_file path)
+        |> List.filter (fun l -> l <> "")
+      in
+      if List.length lines < d.seg_lines then
+        failwith (Printf.sprintf "%s: checkpoint expects %d journal records, found %d"
+                    path d.seg_lines (List.length lines));
+      let keep, _ = take_at_most d.seg_lines lines in
+      Fsio.write_atomic ~path (String.concat "\n" keep ^ "\n")
+    end
+
+(* ---- admission --------------------------------------------------------- *)
+
+let admit_live d ~ext ~release ~size ~databank =
+  if databank < 0 || databank >= d.nd then
+    failwith
+      (Printf.sprintf "service: job %d requests unknown databank %d" ext databank);
+  if Array.length d.hosts.(databank) = 0 then
+    failwith
+      (Printf.sprintf "service: job %d requests databank %d with no replica"
+         ext databank);
+  let s =
+    match Vec.pop d.free_slots with
+    | Some s -> s
+    | None -> assert false (* caller checks live < max_live *)
+  in
+  d.ext.(s) <- ext;
+  d.release.(s) <- release;
+  d.size.(s) <- size;
+  d.db.(s) <- databank;
+  d.remaining.(s) <- size;
+  Heap.Indexed.add d.heaps.(databank) s (key d s);
+  d.live <- d.live + 1;
+  if d.live > d.peak_live then d.peak_live <- d.live;
+  d.admitted <- d.admitted + 1;
+  Obs.Counter.incr c_admitted;
+  if J.on () then
+    J.record (J.Sim_event { time = d.now; kind = J.Arrival; subject = ext })
+
+let enqueue d q =
+  d.q_back <- q :: d.q_back;
+  d.q_len <- d.q_len + 1;
+  if d.q_len > d.peak_queue then d.peak_queue <- d.q_len;
+  d.enqueued <- d.enqueued + 1;
+  Obs.Counter.incr c_enqueued;
+  if J.on () then
+    J.record (J.Note { key = "serve.enqueue"; value = string_of_int q.q_ext })
+
+let dequeue d =
+  (match d.q_front with
+   | [] ->
+     d.q_front <- List.rev d.q_back;
+     d.q_back <- []
+   | _ :: _ -> ());
+  match d.q_front with
+  | [] -> assert false (* caller checks q_len > 0 *)
+  | q :: rest ->
+    d.q_front <- rest;
+    d.q_len <- d.q_len - 1;
+    q
+
+(* Shed: evict the largest pending job (ties to the most recent) to make
+   room for the newcomer. *)
+let shed_largest d =
+  let all = d.q_front @ List.rev d.q_back in
+  let _, victim_idx, _ =
+    List.fold_left
+      (fun (i, vi, vs) q ->
+        if q.q_size >= vs then (i + 1, i, q.q_size) else (i + 1, vi, vs))
+      (0, -1, neg_infinity) all
+  in
+  let victim = List.nth all victim_idx in
+  d.q_front <- List.filteri (fun i _ -> i <> victim_idx) all;
+  d.q_back <- [];
+  d.q_len <- d.q_len - 1;
+  d.shed <- d.shed + 1;
+  Obs.Counter.incr c_shed;
+  if J.on () then
+    J.record (J.Note { key = "serve.shed"; value = string_of_int victim.q_ext })
+
+(* Consume every due source item the policy allows.  Each consumed item
+   becomes exactly one event (admission, enqueue, drop or shed+enqueue),
+   so the loop always makes progress. *)
+let pop_arrivals d batch =
+  let continue_ = ref true in
+  while !continue_ do
+    match Source.peek d.src with
+    | Some it when it.Source.release <= d.now +. 1e-12 ->
+      let room = d.live < d.cfg.max_live || d.q_len < d.cfg.queue_cap in
+      if d.cfg.policy = Block && not room then continue_ := false
+      else begin
+        let ext = Source.cursor d.src in
+        ignore (Source.next d.src);
+        if d.live < d.cfg.max_live then
+          admit_live d ~ext ~release:it.Source.release ~size:it.Source.size
+            ~databank:it.Source.databank
+        else begin
+          let q =
+            { q_ext = ext; q_release = it.Source.release;
+              q_size = it.Source.size; q_db = it.Source.databank }
+          in
+          if d.q_len < d.cfg.queue_cap then enqueue d q
+          else
+            match d.cfg.policy with
+            | Block -> assert false (* no room: handled above *)
+            | Drop ->
+              d.dropped <- d.dropped + 1;
+              Obs.Counter.incr c_dropped;
+              if J.on () then
+                J.record (J.Note { key = "serve.drop"; value = string_of_int ext })
+            | Shed when d.q_len > 0 ->
+              shed_largest d;
+              enqueue d q
+            | Shed ->
+              (* nothing pending to evict (queue_cap = 0): shedding
+                 degenerates to dropping the newcomer *)
+              d.dropped <- d.dropped + 1;
+              Obs.Counter.incr c_dropped;
+              if J.on () then
+                J.record (J.Note { key = "serve.drop"; value = string_of_int ext })
+        end;
+        incr batch
+      end
+    | Some _ | None -> continue_ := false
+  done
+
+(* ---- scheduling -------------------------------------------------------- *)
+
+(* The List_sched heap walk, re-targeted at slots: repeatedly grab every
+   free up replica of the globally smallest (key, slot) among databanks
+   that still have one.  Slot ids stand in for job ids in the tiebreak;
+   slot assignment is itself deterministic (and checkpointed), so the
+   walk is reproducible across kill and resume. *)
+let heap_walk d =
+  Array.fill d.mfree 0 d.nm true;
+  for db = 0 to d.nd - 1 do
+    let n = ref 0 in
+    Array.iter (fun m -> if d.up.(m) then incr n) d.hosts.(db);
+    d.free_up.(db) <- !n
+  done;
+  let alloc = ref [] in
+  let popped = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    let best_d = ref (-1) and best_s = ref max_int and best_k = ref nan in
+    for db = 0 to d.nd - 1 do
+      if d.free_up.(db) > 0 then
+        match Heap.Indexed.min_elt d.heaps.(db) with
+        | None -> ()
+        | Some s ->
+          let k = Heap.Indexed.key d.heaps.(db) s in
+          if !best_d < 0 || k < !best_k || (k = !best_k && s < !best_s) then begin
+            best_d := db;
+            best_s := s;
+            best_k := k
+          end
+    done;
+    if !best_d < 0 then continue_ := false
+    else begin
+      let db = !best_d and s = !best_s and k = !best_k in
+      ignore (Heap.Indexed.pop_exn d.heaps.(db));
+      popped := (db, s, k) :: !popped;
+      Array.iter
+        (fun m ->
+          if d.mfree.(m) && d.up.(m) then begin
+            d.mfree.(m) <- false;
+            alloc := (m, [ (s, 1.0) ]) :: !alloc;
+            List.iter
+              (fun db' -> d.free_up.(db') <- d.free_up.(db') - 1)
+              d.dbs_of_machine.(m)
+          end)
+        d.hosts.(db)
+    end
+  done;
+  List.iter (fun (db, s, k) -> Heap.Indexed.add d.heaps.(db) s k) !popped;
+  !alloc
+
+let record_latency d dur =
+  d.lat_hist.(lat_bin dur) <- d.lat_hist.(lat_bin dur) + 1;
+  d.lat_count <- d.lat_count + 1;
+  match d.cfg.replan_deadline with
+  | Some dl when dur > dl -> d.deadline_misses <- d.deadline_misses + 1
+  | Some _ | None -> ()
+
+let replan d =
+  let t0 = Unix.gettimeofday () in
+  (* Re-key what the last segment advanced (still-live members of the
+     old plan's support); static rules never need it. *)
+  if not (rule_static d.cfg.rule) then
+    Vec.iter
+      (fun s ->
+        if d.ext.(s) >= 0 then begin
+          let h = d.heaps.(d.db.(s)) in
+          if Heap.Indexed.mem h s then Heap.Indexed.update h s (key d s)
+        end)
+      d.rated;
+  Vec.iter
+    (fun s ->
+      d.rates.(s) <- 0.0;
+      d.lost_rates.(s) <- 0.0)
+    d.rated;
+  Vec.clear d.rated;
+  d.alloc <- heap_walk d;
+  List.iter
+    (fun (m, shares) ->
+      List.iter
+        (fun (s, share) ->
+          let r = share *. d.speeds.(m) in
+          if d.rates.(s) = 0.0 && r > 0.0 then Vec.push d.rated s;
+          d.rates.(s) <- d.rates.(s) +. r)
+        shares)
+    d.alloc;
+  d.replans <- d.replans + 1;
+  Obs.Counter.incr c_replans;
+  if J.on () then
+    J.record
+      (J.Replan
+         { time = d.now; scheduler = rule_name d.cfg.rule;
+           allocation = map_alloc d d.alloc; horizon = None });
+  record_latency d (Unix.gettimeofday () -. t0)
+
+(* ---- the event step ---------------------------------------------------- *)
+
+let complete d s t completions =
+  d.ctime.(s) <- t;
+  d.remaining.(s) <- 0.0;
+  Vec.push completions s
+
+(* Advance the fluid plan to [t_next], then process the event batch due
+   there (completions, fault edges, promotions, admissions) and replan.
+   Mirrors Sim's advance, including crash-loss semantics; the sliver
+   threshold is per-job (1e-9 × size) because a stream has no
+   total-work yardstick. *)
+let step d t_next =
+  let dt = t_next -. d.now in
+  Vec.iter (fun m -> d.crashing.(m) <- false) d.crashed;
+  Vec.clear d.crashed;
+  let any_crash = ref false in
+  if d.cfg.loss = Fault.Crash then begin
+    let rec scan = function
+      | (e : Fault.edge) :: rest when e.Fault.time <= t_next +. 1e-12 ->
+        if
+          (not e.Fault.up) && d.up.(e.Fault.machine)
+          && not d.crashing.(e.Fault.machine)
+        then begin
+          d.crashing.(e.Fault.machine) <- true;
+          Vec.push d.crashed e.Fault.machine;
+          any_crash := true
+        end;
+        scan rest
+      | _ :: _ | [] -> ()
+    in
+    scan d.trace
+  end;
+  if !any_crash then
+    List.iter
+      (fun (mid, shares) ->
+        if d.crashing.(mid) then
+          List.iter
+            (fun (s, share) ->
+              d.lost_rates.(s) <- d.lost_rates.(s) +. (share *. d.speeds.(mid)))
+            shares)
+      d.alloc;
+  let delivered =
+    if !any_crash then List.filter (fun (mid, _) -> not d.crashing.(mid)) d.alloc
+    else d.alloc
+  in
+  if dt > 0.0 && delivered <> [] then begin
+    Obs.Counter.incr c_segments;
+    if J.on () then
+      J.record
+        (J.Segment
+           { start_time = d.now; end_time = t_next;
+             shares = map_alloc d delivered })
+  end;
+  let eps_t = 1e-9 *. Float.max 1.0 (Float.abs t_next) in
+  Vec.clear d.completions;
+  Vec.iter
+    (fun s ->
+      let finished = ref false in
+      if d.lost_rates.(s) > 0.0 then begin
+        d.remaining.(s) <-
+          d.remaining.(s) -. ((d.rates.(s) -. d.lost_rates.(s)) *. dt);
+        d.lost_work <- d.lost_work +. (d.lost_rates.(s) *. dt)
+      end
+      else begin
+        let t_fin = d.now +. (d.remaining.(s) /. d.rates.(s)) in
+        if t_fin <= t_next +. eps_t then begin
+          complete d s t_fin d.completions;
+          finished := true
+        end
+        else d.remaining.(s) <- d.remaining.(s) -. (d.rates.(s) *. dt)
+      end;
+      if (not !finished) && d.remaining.(s) <= 1e-9 *. d.size.(s) then
+        complete d s t_next d.completions)
+    d.rated;
+  (* Simultaneous completions retire in ascending external-id order —
+     the slot pool recycles ids, so slot order is not arrival order. *)
+  Vec.sort (fun a b -> compare d.ext.(a) d.ext.(b)) d.completions;
+  d.now <- t_next;
+  let batch = ref 0 in
+  Vec.iter
+    (fun s ->
+      let e = d.ext.(s) and t = d.ctime.(s) in
+      let flow = t -. d.release.(s) in
+      let stretch = flow /. d.size.(s) in
+      d.completed <- d.completed + 1;
+      d.sum_flow <- d.sum_flow +. flow;
+      if flow > d.max_flow then d.max_flow <- flow;
+      d.sum_stretch <- d.sum_stretch +. stretch;
+      if stretch > d.max_stretch then d.max_stretch <- stretch;
+      if t > d.makespan then d.makespan <- t;
+      if J.on () then
+        J.record (J.Sim_event { time = t; kind = J.Completion; subject = e });
+      Heap.Indexed.remove d.heaps.(d.db.(s)) s;
+      d.ext.(s) <- -1;
+      Vec.push d.free_slots s;
+      d.live <- d.live - 1;
+      incr batch)
+    d.completions;
+  let continue_ = ref true in
+  while !continue_ do
+    match d.trace with
+    | e :: rest when e.Fault.time <= d.now +. 1e-12 ->
+      d.trace <- rest;
+      if e.Fault.up <> d.up.(e.Fault.machine) then begin
+        d.up.(e.Fault.machine) <- e.Fault.up;
+        if J.on () then
+          J.record
+            (J.Sim_event
+               { time = d.now;
+                 kind = (if e.Fault.up then J.Recovery else J.Failure);
+                 subject = e.Fault.machine });
+        incr batch
+      end
+    | _ :: _ | [] -> continue_ := false
+  done;
+  (* Queued jobs are strictly older than anything still in the source:
+     promote them into freed slots first. *)
+  while d.live < d.cfg.max_live && d.q_len > 0 do
+    let q = dequeue d in
+    admit_live d ~ext:q.q_ext ~release:q.q_release ~size:q.q_size
+      ~databank:q.q_db;
+    incr batch
+  done;
+  pop_arrivals d batch;
+  d.events <- d.events + !batch;
+  d.since_ckpt <- d.since_ckpt + !batch;
+  Obs.Counter.add c_events !batch;
+  replan d
+
+(* ---- main loop --------------------------------------------------------- *)
+
+let p99_latency d =
+  if d.lat_count = 0 then 0.0
+  else begin
+    let target = int_of_float (ceil (0.99 *. float_of_int d.lat_count)) in
+    let acc = ref 0 and bin = ref 0 in
+    (try
+       for i = 0 to lat_bins - 1 do
+         acc := !acc + d.lat_hist.(i);
+         if !acc >= target then begin
+           bin := i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    lat_upper !bin
+  end
+
+let report_of d outcome =
+  { outcome;
+    metrics =
+      { completed = d.completed; sum_stretch = d.sum_stretch;
+        max_stretch = d.max_stretch; sum_flow = d.sum_flow;
+        max_flow = d.max_flow; makespan = d.makespan };
+    admitted = d.admitted; enqueued = d.enqueued; dropped = d.dropped;
+    shed = d.shed; peak_live = d.peak_live; peak_queue = d.peak_queue;
+    events = d.events; replans = d.replans; checkpoints = d.checkpoints;
+    deadline_misses = d.deadline_misses; lost_work = d.lost_work;
+    final_time = d.now; source_cursor = Source.cursor d.src;
+    replan_p99_s = p99_latency d }
+
+let loop d ~stop_after_events =
+  let stop = Option.value ~default:max_int stop_after_events in
+  let outcome = ref None in
+  while !outcome = None do
+    if d.events >= stop then outcome := Some Killed
+    else begin
+      (* The checkpoint lands at a post-replan quiescent point: the live
+         plan, heap keys and metric accumulators are all current, so no
+         in-flight information exists outside the serialized state. *)
+      if
+        (d.cfg.checkpoint <> None || d.cfg.journal_dir <> None)
+        && d.since_ckpt >= d.cfg.checkpoint_every
+      then begin
+        flush_journal d;
+        write_checkpoint d
+      end;
+      let next_completion = ref infinity in
+      Vec.iter
+        (fun s ->
+          let t = d.now +. (d.remaining.(s) /. d.rates.(s)) in
+          if t < !next_completion then next_completion := t)
+        d.rated;
+      let arrival_t =
+        match Source.peek d.src with
+        | None -> infinity
+        | Some it ->
+          if
+            d.cfg.policy = Block && d.live >= d.cfg.max_live
+            && d.q_len >= d.cfg.queue_cap
+          then infinity
+          else Float.max d.now it.Source.release
+      in
+      let fault_t =
+        match d.trace with e :: _ -> e.Fault.time | [] -> infinity
+      in
+      let t_next = Float.min !next_completion (Float.min arrival_t fault_t) in
+      if t_next = infinity then begin
+        if d.live = 0 && d.q_len = 0 && Source.peek d.src = None then
+          outcome := Some Drained
+        else raise (Stalled { time = d.now; live = d.live; queued = d.q_len })
+      end
+      else
+        match d.cfg.horizon with
+        | Some h when t_next > h +. 1e-12 -> outcome := Some Horizon_reached
+        | Some _ | None -> step d t_next
+    end
+  done;
+  let outcome = Option.get !outcome in
+  (match outcome with
+   | Killed -> ()  (* a kill flushes nothing: that is the point *)
+   | Drained | Horizon_reached ->
+     if outcome = Drained && J.on () then
+       J.record (J.Run_end { time = d.now; completed = d.completed });
+     flush_journal d;
+     if d.cfg.checkpoint <> None then write_checkpoint d;
+     Source.close d.src);
+  report_of d outcome
+
+let with_journaling cfg f =
+  match cfg.journal_dir with
+  | None -> f ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    Obs.with_level Obs.Events f
+
+let run ?stop_after_events cfg src =
+  with_journaling cfg (fun () ->
+      (match cfg.journal_dir with
+       | None -> ()
+       | Some dir ->
+         (* a fresh daemon owns the directory: stale segments from a
+            previous run must not be mistaken for this run's journal *)
+         List.iter Sys.remove (segment_files ~dir);
+         J.clear ();
+         J.record (J.Note { key = "serve.start"; value = cfg.source_desc }));
+      let d = make_daemon cfg src in
+      loop d ~stop_after_events)
+
+let resume ?stop_after_events cfg make_source =
+  let path =
+    match cfg.checkpoint with
+    | Some p -> p
+    | None -> invalid_arg "Service.resume: config has no checkpoint path"
+  in
+  with_journaling cfg (fun () ->
+      if cfg.journal_dir <> None then J.clear ();
+      let d = restore cfg path make_source in
+      truncate_segments d;
+      loop d ~stop_after_events)

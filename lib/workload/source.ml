@@ -1,0 +1,171 @@
+module Splitmix = Gripps_rng.Splitmix
+module Dist = Gripps_rng.Dist
+
+type item = { release : float; size : float; databank : int }
+
+type t = {
+  mutable cursor : int;        (* items consumed *)
+  mutable clock : float;       (* release of the last consumed item *)
+  mutable lookahead : item option;
+  pull : t -> item option;     (* produce the next item after the lookahead *)
+  mutable chan : in_channel option;
+  mutable line_no : int;       (* line-protocol bookkeeping *)
+  name : string;
+}
+
+let cursor s = s.cursor
+let clock s = s.clock
+
+let close s =
+  match s.chan with
+  | Some ic ->
+    s.chan <- None;
+    close_in_noerr ic
+  | None -> ()
+
+let peek s =
+  match s.lookahead with
+  | Some _ as it -> it
+  | None ->
+    let it = s.pull s in
+    s.lookahead <- it;
+    it
+
+let next s =
+  match peek s with
+  | None -> None
+  | Some it as r ->
+    s.lookahead <- None;
+    s.cursor <- s.cursor + 1;
+    s.clock <- it.release;
+    r
+
+let skip_items n s =
+  for _ = 1 to n do
+    match next s with
+    | Some _ -> ()
+    | None ->
+      failwith
+        (Printf.sprintf "%s: resume skip overruns the stream (cursor %d)"
+           s.name n)
+  done
+
+(* ---- line protocol ----------------------------------------------------- *)
+
+let parse_line line =
+  let body =
+    match String.index_opt line '#' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match
+    String.split_on_char ' ' (String.map (function '\t' -> ' ' | c -> c) body)
+    |> List.filter (fun f -> f <> "")
+  with
+  | [] -> Ok None
+  | [ r; w; d ] ->
+    (match (float_of_string_opt r, float_of_string_opt w, int_of_string_opt d) with
+     | Some release, Some size, Some databank ->
+       if Float.is_nan release || release < 0.0 then
+         Error "negative or NaN release date"
+       else if Float.is_nan size || size <= 0.0 then
+         Error "non-positive or NaN size"
+       else if databank < 0 then Error "negative databank index"
+       else Ok (Some { release; size; databank })
+     | None, _, _ -> Error "unparsable release date"
+     | _, None, _ -> Error "unparsable size"
+     | _, _, None -> Error "unparsable databank index")
+  | fields ->
+    Error
+      (Printf.sprintf "expected 3 fields <release> <size> <databank>, got %d"
+         (List.length fields))
+
+let pull_lines s =
+  match s.chan with
+  | None -> None
+  | Some ic ->
+    let rec go () =
+      match input_line ic with
+      | exception End_of_file ->
+        close s;
+        None
+      | line ->
+        s.line_no <- s.line_no + 1;
+        (match parse_line line with
+         | Ok None -> go ()
+         | Ok (Some it) ->
+           (* [pull] only runs with an empty lookahead, so [clock] is the
+              release frontier of everything produced so far. *)
+           if it.release < s.clock then
+             failwith
+               (Printf.sprintf
+                  "%s: line %d: release date %g before previous %g (the \
+                   protocol streams in non-decreasing release order)"
+                  s.name s.line_no it.release s.clock);
+           Some it
+         | Error reason ->
+           failwith (Printf.sprintf "%s: line %d: %s" s.name s.line_no reason))
+    in
+    go ()
+
+let of_channel ?(skip = 0) ~name ic =
+  let s =
+    { cursor = 0; clock = 0.0; lookahead = None; pull = pull_lines;
+      chan = Some ic; line_no = 0; name }
+  in
+  skip_items skip s;
+  s.cursor <- skip;  (* the skipped prefix is the restored cursor *)
+  s
+
+let of_file ?skip path = of_channel ?skip ~name:path (open_in path)
+
+let of_list ?(skip = 0) items =
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      if b.release < a.release then
+        invalid_arg "Source.of_list: decreasing release dates";
+      check rest
+    | [ _ ] | [] -> ()
+  in
+  check items;
+  let remaining = ref items in
+  let pull _ =
+    match !remaining with
+    | [] -> None
+    | it :: rest ->
+      remaining := rest;
+      Some it
+  in
+  let s =
+    { cursor = 0; clock = 0.0; lookahead = None; pull; chan = None;
+      line_no = 0; name = "<list>" }
+  in
+  skip_items skip s;
+  s.cursor <- skip;
+  s
+
+(* ---- open-loop Poisson driver ------------------------------------------ *)
+
+(* Item [k] draws its gap, size and databank from derived stream [k]; the
+   release date is the running sum of gaps, carried in [clock] — which is
+   why [(cursor, clock)] is a complete resume point. *)
+let poisson ~seed ~rate ~sizes ~jobs ?(cursor = 0) ?(clock = 0.0) () =
+  if rate <= 0.0 then invalid_arg "Source.poisson: rate must be positive";
+  if jobs <= 0 then invalid_arg "Source.poisson: jobs must be positive";
+  if Array.length sizes = 0 then invalid_arg "Source.poisson: empty size table";
+  if cursor < 0 || cursor > jobs then invalid_arg "Source.poisson: bad cursor";
+  let base = Splitmix.create seed in
+  (* [pull] only runs with an empty lookahead, so every earlier item has
+     been consumed: the next index is exactly [cursor] and [clock] is the
+     previous release. *)
+  let pull s =
+    if s.cursor >= jobs then None
+    else begin
+      let rng = Splitmix.stream base s.cursor in
+      let gap = Dist.exponential rng ~rate in
+      let db = Splitmix.int rng (Array.length sizes) in
+      Some { release = s.clock +. gap; size = sizes.(db); databank = db }
+    end
+  in
+  { cursor; clock; lookahead = None; pull; chan = None; line_no = 0;
+    name = "<poisson>" }

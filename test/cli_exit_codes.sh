@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Exit-code contract of gripps_cli (see the table at the bottom of
+# bin/gripps_cli.ml):
+#   0 success; 1 verification mismatch; 2 usage/configuration error;
+#   3 data or guardrail error (malformed stream, corrupt checkpoint,
+#     solver budget exhausted).
+# Run by the dune runtest alias with the CLI binary as $1.
+set -u
+
+CLI="$1"
+TMP="$(mktemp -d "${TMPDIR:-/tmp}/gripps_cli_exit.XXXXXX")"
+trap 'rm -rf "$TMP"' EXIT
+
+fails=0
+
+expect() {
+  local want="$1"; shift
+  local desc="$1"; shift
+  "$@" >/dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL: $desc: expected exit $want, got $got ($*)" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok: $desc (exit $got)"
+  fi
+}
+
+# Positive controls.
+expect 0 "optimal on a tiny instance" \
+  "$CLI" optimal --seed 1 --sites 2 --databases 2 --horizon 5
+expect 0 "serve drains a small poisson stream" \
+  "$CLI" serve --seed 1 --n-jobs 20 --rate 4 --max-live 4 --queue-cap 2
+
+# Guardrail: a starved solver budget exits 3.
+expect 3 "optimal with an exhausted budget" \
+  "$CLI" optimal --seed 1 --sites 2 --databases 2 --horizon 5 --budget-iters 1
+
+# Usage/configuration errors exit 2.
+expect 2 "negative workload density" "$CLI" run --density=-1
+expect 2 "unknown trace scenario" "$CLI" trace no-such-scenario
+expect 2 "unknown serve rule" "$CLI" serve --scheduler BOGUS
+expect 2 "serve on a missing source file" \
+  "$CLI" serve --source "$TMP/absent.jobs"
+expect 2 "resume without a checkpoint" "$CLI" serve --resume
+
+# Malformed data exits 3.
+printf '0.0 10.0 0\nbogus line\n' > "$TMP/bad.jobs"
+expect 3 "malformed source stream" "$CLI" serve --source "$TMP/bad.jobs"
+
+# A corrupt checkpoint exits 3.
+"$CLI" serve --seed 1 --n-jobs 40 --rate 4 --max-live 4 --queue-cap 2 \
+  --checkpoint "$TMP/ck.bin" --checkpoint-every 3 --stop-after-events 10 \
+  >/dev/null 2>&1
+printf 'garbage' >> "$TMP/ck.bin"
+expect 3 "resume from a corrupt checkpoint" \
+  "$CLI" serve --seed 1 --n-jobs 40 --rate 4 --max-live 4 --queue-cap 2 \
+  --checkpoint "$TMP/ck.bin" --checkpoint-every 3 --resume
+
+# The kill-and-resume flow itself succeeds end to end.
+rm -f "$TMP/ck.bin"
+"$CLI" serve --seed 1 --n-jobs 40 --rate 4 --max-live 4 --queue-cap 2 \
+  --checkpoint "$TMP/ck.bin" --checkpoint-every 3 --stop-after-events 10 \
+  >/dev/null 2>&1
+expect 0 "resume a killed run to drain" \
+  "$CLI" serve --seed 1 --n-jobs 40 --rate 4 --max-live 4 --queue-cap 2 \
+  --checkpoint "$TMP/ck.bin" --checkpoint-every 3 --resume
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails exit-code check(s) failed" >&2
+  exit 1
+fi
+echo "all exit-code checks passed"

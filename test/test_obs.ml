@@ -174,6 +174,93 @@ let test_of_json_malformed () =
     [ ""; "garbage"; "{"; "{\"type\":\"bogus\"}"; "{\"type\":\"probe\"}";
       "[1,2,3]"; "{\"type\":\"event\",\"kind\":\"nope\",\"time\":1,\"subject\":0}" ]
 
+(* ---- rotation, truncation, segment spill ------------------------------ *)
+
+let note k = J.Note { key = "k"; value = string_of_int k }
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_rotate_positions () =
+  Obs.set_level Obs.Events;
+  J.clear ();
+  for k = 1 to 5 do
+    J.record (note k)
+  done;
+  Alcotest.(check int) "position counts records" 5 (J.position ());
+  let window = J.rotate () in
+  Alcotest.(check int) "rotate takes the whole window" 5 (List.length window);
+  Alcotest.(check bool) "buffer left empty" true (J.events () = []);
+  Alcotest.(check int) "position survives rotation" 5 (J.position ());
+  for k = 6 to 8 do
+    J.record (note k)
+  done;
+  (* A mark older than the rotated-away prefix clamps to what is
+     retained; a live mark addresses the exact suffix. *)
+  Alcotest.(check bool) "stale mark clamps to retained suffix" true
+    (compare (J.since 2) [ note 6; note 7; note 8 ] = 0);
+  Alcotest.(check bool) "live mark addresses its suffix" true
+    (compare (J.since 6) [ note 7; note 8 ] = 0);
+  J.truncate_before 7;
+  Alcotest.(check bool) "truncation keeps later positions stable" true
+    (compare (J.since 5) [ note 8 ] = 0);
+  J.clear ();
+  Alcotest.(check int) "clear resets position" 0 (J.position ())
+
+(* The daemon's spill loop: record a window, [rotate], [append_jsonl] it
+   to a segment, repeat — the concatenated segments must read back as
+   exactly the full journal. *)
+let test_segment_spill_roundtrip () =
+  let path = Filename.temp_file "gripps_obs_seg" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () ->
+      Sys.remove path (* append_jsonl must create the file itself *);
+      Obs.set_level Obs.Events;
+      J.clear ();
+      List.iter J.record (List.filteri (fun i _ -> i < 7) sample_events);
+      J.append_jsonl ~path (J.rotate ());
+      List.iter J.record (List.filteri (fun i _ -> i >= 7) sample_events);
+      J.append_jsonl ~path (J.rotate ());
+      Alcotest.(check int) "position counts both windows"
+        (List.length sample_events) (J.position ());
+      let back = J.read_jsonl_strict ~path in
+      Alcotest.(check bool) "spilled segments concatenate to the journal"
+        true
+        (same_events sample_events back))
+
+let test_read_jsonl_strict_errors () =
+  let path = Filename.temp_file "gripps_obs_bad" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let write s =
+        let oc = open_out path in
+        output_string oc s;
+        close_out oc
+      in
+      let expect_failure label fragment =
+        match J.read_jsonl_strict ~path with
+        | _ -> Alcotest.fail (label ^ ": accepted")
+        | exception Failure msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s names the damage (%s)" label msg)
+            true (contains msg fragment)
+      in
+      write (J.to_json (note 1) ^ "\n" ^ "garbage\n");
+      expect_failure "malformed line" "line 2";
+      Alcotest.(check int) "lenient reader skips the malformed line" 1
+        (List.length (J.read_jsonl ~path));
+      (* A file not ending in a newline is the signature of a crash-torn
+         append: the strict reader must refuse the whole file. *)
+      write (J.to_json (note 1) ^ "\n"
+             ^ String.sub (J.to_json (note 2)) 0 5);
+      expect_failure "torn last record" "truncated";
+      write (J.to_json (note 1) ^ "\n" ^ J.to_json (note 2));
+      expect_failure "missing trailing newline" "truncated")
+
 (* ---- journal replay --------------------------------------------------- *)
 
 let run_and_replay scheduler inst =
@@ -231,6 +318,62 @@ let test_replay_under_faults () =
           report.Sim.journal
       in
       Alcotest.(check bool) "journal recorded failures" true has_failure)
+
+let two_job_inst () =
+  Instance.make
+    ~platform:(Platform.single ~speed:1.0)
+    ~jobs:
+      [ Job.make ~id:0 ~release:0.0 ~size:1.0 ~databank:0;
+        Job.make ~id:1 ~release:0.0 ~size:1.0 ~databank:0 ]
+
+let test_replay_empty_journal () =
+  let inst = two_job_inst () in
+  let sch = Replay.schedule_of_journal inst [] in
+  Alcotest.(check (list string)) "empty journal is vacuously valid" []
+    (Schedule.validate sch);
+  Alcotest.(check bool) "nothing completed" false (Schedule.all_completed sch);
+  Alcotest.(check int) "no completions counted" 0 (Replay.completed_jobs [])
+
+(* A crash can journal a [Replan] whose realized segments never made it
+   to disk: replay must yield the delivered prefix as a valid partial
+   schedule, ignoring the dangling plan. *)
+let test_replay_mid_replan_tail () =
+  let inst = two_job_inst () in
+  let journal =
+    [ J.Run_start { scheduler = "daemon"; jobs = 2; machines = 1 };
+      J.Segment
+        { start_time = 0.0; end_time = 1.0; shares = [ (0, [ (0, 1.0) ]) ] };
+      J.Sim_event { time = 1.0; kind = J.Completion; subject = 0 };
+      J.Replan
+        { time = 1.0; scheduler = "daemon";
+          allocation = [ (0, [ (1, 1.0) ]) ]; horizon = None } ]
+  in
+  let sch = Replay.schedule_of_journal inst journal in
+  Alcotest.(check (list string)) "partial schedule validates" []
+    (Schedule.validate sch);
+  Alcotest.(check bool) "job 1 still open" false (Schedule.all_completed sch);
+  Alcotest.(check (float 0.0)) "job 0 got its work" 1.0
+    (Schedule.work_received sch 0);
+  Alcotest.(check (float 0.0)) "planned-only work not delivered" 0.0
+    (Schedule.work_received sch 1);
+  Alcotest.(check int) "one completion" 1 (Replay.completed_jobs journal)
+
+(* Failure/Recovery subjects are machine ids, which may exceed the job
+   range — replay must not misread them as completions. *)
+let test_replay_ignores_fault_events () =
+  let inst = two_job_inst () in
+  let journal =
+    [ J.Sim_event { time = 0.5; kind = J.Failure; subject = 7 };
+      J.Sim_event { time = 0.9; kind = J.Recovery; subject = 7 };
+      J.Segment
+        { start_time = 1.0; end_time = 2.0; shares = [ (0, [ (0, 1.0) ]) ] };
+      J.Sim_event { time = 2.0; kind = J.Completion; subject = 0 } ]
+  in
+  let sch = Replay.schedule_of_journal inst journal in
+  Alcotest.(check (list string)) "fault records replay fine" []
+    (Schedule.validate sch);
+  Alcotest.(check int) "fault subjects not counted as completions" 1
+    (Replay.completed_jobs journal)
 
 let test_replay_rejects_foreign_jobs () =
   let inst =
@@ -364,6 +507,18 @@ let suite =
         (sandboxed test_jsonl_file_roundtrip);
       Alcotest.test_case "malformed json rejected" `Quick
         (sandboxed test_of_json_malformed);
+      Alcotest.test_case "journal rotation keeps positions" `Quick
+        (sandboxed test_rotate_positions);
+      Alcotest.test_case "segment spill round-trip" `Quick
+        (sandboxed test_segment_spill_roundtrip);
+      Alcotest.test_case "strict reader rejects damage" `Quick
+        (sandboxed test_read_jsonl_strict_errors);
+      Alcotest.test_case "replay of an empty journal" `Quick
+        (sandboxed test_replay_empty_journal);
+      Alcotest.test_case "replay of a mid-replan tail" `Quick
+        (sandboxed test_replay_mid_replan_tail);
+      Alcotest.test_case "replay ignores fault events" `Quick
+        (sandboxed test_replay_ignores_fault_events);
       QCheck_alcotest.to_alcotest prop_replay_reproduces_run;
       Alcotest.test_case "replay under faults" `Quick
         (sandboxed test_replay_under_faults);
