@@ -312,11 +312,21 @@ let run_perf () =
     exit 1
   end
 
-(* Large-n scale benchmark (CI smoke mode): events/sec of the incremental
-   priority schedulers with the legacy-oracle differential gate, written
-   as BENCH_scale.json.  GRIPPS_SCALE_SIZES trims the size grid (the CI
-   smoke leg runs n=1000 only). *)
+(* Large-n scale benchmark (CI smoke mode): events/sec of the flat
+   zero-allocation priority schedulers with the legacy-oracle
+   differential gate, written as BENCH_scale.json.  GRIPPS_SCALE_SIZES
+   trims the size grid (the CI smoke leg runs n=1000 only);
+   GRIPPS_SCALE_REPEATS (default 1) takes the best of N timed runs per
+   cell, the standard answer to wall-clock noise on a contended box.
+   Optional hard gates, both off unless set:
+     GRIPPS_SCALE_MIN_EVENTS_S   minimum events/s any cell may report
+     GRIPPS_SCALE_MAX_MW_PER_EV  maximum minor-words-per-event any cell
+                                 may allocate (steady state is 0; the
+                                 residue is setup amortized over events)
+   Any divergence from the oracle, or any gate violation, names the
+   failing cells and exits non-zero. *)
 let run_scale () =
+  Gripps_engine.Gc_tune.throughput ();
   let out = if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_scale.json" in
   let sizes =
     match Sys.getenv_opt "GRIPPS_SCALE_SIZES" with
@@ -325,17 +335,45 @@ let run_scale () =
       (try List.map int_of_string (String.split_on_char ',' v)
        with Failure _ -> E.Scale.default_sizes)
   in
+  let min_events_s = env_float "GRIPPS_SCALE_MIN_EVENTS_S" 0.0 in
+  let max_mw_per_ev = env_float "GRIPPS_SCALE_MAX_MW_PER_EV" infinity in
+  let repeats = env_int "GRIPPS_SCALE_REPEATS" 1 in
   let progress k total = Printf.eprintf "\rscale: cell %d/%d%!" k total in
-  let r = E.Scale.run ~sizes ~pool ~progress ~seed:42 () in
+  let r = E.Scale.run ~sizes ~repeats ~pool ~progress ~seed:42 () in
   Printf.eprintf "\n%!";
   print_string (E.Scale.render r);
   E.Scale.write_json ~path:out r;
-  Printf.eprintf "scale: wrote %s\n%!" out;
+  Printf.eprintf "scale: wrote %s (gc: %s)\n%!" out
+    (Gripps_engine.Gc_tune.describe ());
+  let failed = ref false in
   if not r.E.Scale.identical then begin
-    Printf.eprintf
-      "scale: error: incremental scheduler diverged from the resort oracle\n%!";
-    exit 1
-  end
+    failed := true;
+    List.iter
+      (fun (n, s) ->
+        Printf.eprintf
+          "scale: error: n=%d %s: flat/incremental diverged from the resort \
+           oracle\n%!"
+          n s)
+      (E.Scale.failing_cells r)
+  end;
+  List.iter
+    (fun (e : E.Scale.entry) ->
+      if e.E.Scale.events_per_s < min_events_s then begin
+        failed := true;
+        Printf.eprintf
+          "scale: error: n=%d %s: %.0f events/s below the %.0f floor\n%!"
+          e.E.Scale.n_target e.E.Scale.scheduler e.E.Scale.events_per_s
+          min_events_s
+      end;
+      if e.E.Scale.mw_per_event > max_mw_per_ev then begin
+        failed := true;
+        Printf.eprintf
+          "scale: error: n=%d %s: %.3f minor words/event above the %.3f cap\n%!"
+          e.E.Scale.n_target e.E.Scale.scheduler e.E.Scale.mw_per_event
+          max_mw_per_ev
+      end)
+    r.E.Scale.entries;
+  if !failed then exit 1
 
 (* Streaming daemon benchmark (CI smoke mode): pushes GRIPPS_SERVE_JOBS
    Poisson jobs (default 10^6) through the crash-safe daemon at ~90% of
@@ -344,6 +382,7 @@ let run_scale () =
    Gates on the memory bound (peak live <= max-live, peak queue <=
    queue-cap) and on draining; written as BENCH_serve.json. *)
 let run_serve () =
+  Gripps_engine.Gc_tune.throughput ();
   let module S = Gripps_service.Service in
   let out = if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_serve.json" in
   let n_jobs = env_int "GRIPPS_SERVE_JOBS" 1_000_000 in

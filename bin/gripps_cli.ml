@@ -370,6 +370,7 @@ let scale_cmd =
       & info [ "out" ] ~docv:"PATH" ~doc:"Also write the JSON document to $(docv).")
   in
   let action seed sizes legacy_cap schedulers json out jobs =
+    Gripps_engine.Gc_tune.throughput ();
     let progress k total = Printf.eprintf "\rcell %d/%d%!" k total in
     let r =
       E.Scale.run ~sizes ~legacy_cap ~schedulers ~pool:(pool_of_jobs jobs)
@@ -384,9 +385,13 @@ let scale_cmd =
        Printf.eprintf "wrote %s\n%!" path
      | None -> ());
     if not r.E.Scale.identical then begin
-      Printf.eprintf
-        "error: incremental scheduler diverged from the resort oracle — \
-         this is a bug\n%!";
+      List.iter
+        (fun (n, s) ->
+          Printf.eprintf
+            "error: n=%d %s: flat/incremental diverged from the resort \
+             oracle — this is a bug\n%!"
+            n s)
+        (E.Scale.failing_cells r);
       exit 1
     end;
     `Ok ()
@@ -394,10 +399,11 @@ let scale_cmd =
   Cmd.v
     (Cmd.info "scale"
        ~doc:
-         "Large-n scale experiment: events/sec of the incremental priority \
-          schedulers at n = 100..100000, differentially checked against the \
-          legacy resort path below --legacy-cap. Exits non-zero on any \
-          divergence.")
+         "Large-n scale experiment: events/sec of the flat zero-allocation \
+          priority schedulers at n = 100..1000000, differentially checked \
+          against the incremental and legacy resort paths below \
+          --legacy-cap. Exits non-zero on any divergence, naming the \
+          failing cells.")
     Term.(
       ret
         (const action $ seed_t $ sizes_t $ legacy_cap_t $ schedulers_t $ json_t
@@ -685,6 +691,7 @@ let serve_cmd =
   let action seed sites databases availability source rate n_jobs rule policy
       max_live queue_cap checkpoint every journal_dir seg_limit resume mtbf
       mttr pause horizon stop_after =
+    Gripps_engine.Gc_tune.throughput ();
     let rule =
       match S.rule_of_string rule with
       | Some r -> r

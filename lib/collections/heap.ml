@@ -94,6 +94,15 @@ module Indexed = struct
     keys : float array;  (* key per id; meaningful while pos.(id) >= 0 *)
     pos : int array;     (* heap slot of id, or -1 when absent *)
     heap : int array;    (* slots 0..size-1 hold member ids *)
+    hkeys : float array; (* key per SLOT: hkeys.(i) = keys.(heap.(i)).
+                            Sift comparisons read this column instead of
+                            chasing [keys.(id)] through random ids — on a
+                            deep heap the id-indexed reads are a cache
+                            miss per comparison, and sibling slots
+                            [2i+1]/[2i+2] share a line here.  Key values
+                            are identical either way, so the comparison
+                            sequence — and the drain order — is
+                            unchanged. *)
     mutable size : int;
   }
 
@@ -102,6 +111,7 @@ module Indexed = struct
     { keys = Array.make capacity 0.0;
       pos = Array.make capacity (-1);
       heap = Array.make capacity 0;
+      hkeys = Array.make capacity 0.0;
       size = 0 }
 
   let capacity h = Array.length h.pos
@@ -126,17 +136,25 @@ module Indexed = struct
      is exactly the sorted order of its (key, id) pairs. *)
   let less h a b = h.keys.(a) < h.keys.(b) || (h.keys.(a) = h.keys.(b) && a < b)
 
+  (* The same order read through the slot columns. *)
+  let less_slot h i j =
+    h.hkeys.(i) < h.hkeys.(j)
+    || (h.hkeys.(i) = h.hkeys.(j) && h.heap.(i) < h.heap.(j))
+
   let swap h i j =
     let a = h.heap.(i) and b = h.heap.(j) in
     h.heap.(i) <- b;
     h.heap.(j) <- a;
+    let k = h.hkeys.(i) in
+    h.hkeys.(i) <- h.hkeys.(j);
+    h.hkeys.(j) <- k;
     h.pos.(b) <- i;
     h.pos.(a) <- j
 
   let rec sift_up h i =
     if i > 0 then begin
       let p = (i - 1) / 2 in
-      if less h h.heap.(i) h.heap.(p) then begin
+      if less_slot h i p then begin
         swap h i p;
         sift_up h p
       end
@@ -145,27 +163,34 @@ module Indexed = struct
   let rec sift_down h i =
     let l = (2 * i) + 1 and r = (2 * i) + 2 in
     let s = ref i in
-    if l < h.size && less h h.heap.(l) h.heap.(!s) then s := l;
-    if r < h.size && less h h.heap.(r) h.heap.(!s) then s := r;
+    if l < h.size && less_slot h l !s then s := l;
+    if r < h.size && less_slot h r !s then s := r;
     if !s <> i then begin
       swap h i !s;
       sift_down h !s
     end
 
+  (* Append id (whose key is staged in [keys]) at the bottom and restore
+     the heap property. *)
+  let append h id =
+    h.heap.(h.size) <- id;
+    h.hkeys.(h.size) <- h.keys.(id);
+    h.pos.(id) <- h.size;
+    h.size <- h.size + 1;
+    sift_up h (h.size - 1)
+
   let add h id k =
     check h id "add";
     if h.pos.(id) >= 0 then invalid_arg "Heap.Indexed.add: id already present";
     h.keys.(id) <- k;
-    h.heap.(h.size) <- id;
-    h.pos.(id) <- h.size;
-    h.size <- h.size + 1;
-    sift_up h (h.size - 1)
+    append h id
 
   let update h id k =
     check h id "update";
     let i = h.pos.(id) in
     if i < 0 then invalid_arg "Heap.Indexed.update: absent id";
     h.keys.(id) <- k;
+    h.hkeys.(i) <- k;
     sift_up h i;
     sift_down h h.pos.(id)
 
@@ -179,10 +204,46 @@ module Indexed = struct
     if i <> last then begin
       let moved = h.heap.(last) in
       h.heap.(i) <- moved;
+      h.hkeys.(i) <- h.hkeys.(last);
       h.pos.(moved) <- i;
       sift_up h i;
       sift_down h h.pos.(moved)
     end
+
+  (* Allocation-free key passing.  In native code (no flambda) a [float]
+     argument or result of a non-inlined call is boxed at the boundary,
+     so [add]/[update]/[key] each cost one minor-heap box per call.  The
+     [_keyed] variants instead read the key from the [keys] column, and
+     [put_key]/[get_key] are single array accesses — small enough that
+     the compiler inlines them, keeping the float unboxed end to end. *)
+
+  let put_key h id k = h.keys.(id) <- k
+
+  let get_key h id = h.keys.(id)
+
+  let add_keyed h id =
+    check h id "add_keyed";
+    if h.pos.(id) >= 0 then
+      invalid_arg "Heap.Indexed.add_keyed: id already present";
+    append h id
+
+  let update_keyed h id =
+    check h id "update_keyed";
+    let i = h.pos.(id) in
+    if i < 0 then invalid_arg "Heap.Indexed.update_keyed: absent id";
+    h.hkeys.(i) <- h.keys.(id);
+    sift_up h i;
+    sift_down h h.pos.(id)
+
+  (* Read-only slot views.  The array layout is a binary min-heap: slot 0
+     is the minimum and the children of slot [i] are [2i+1]/[2i+2], so a
+     caller can enumerate the k smallest members in order — without
+     modifying the heap — by keeping a small frontier of candidate slots
+     (start at 0; consuming a slot adds its children).  One-liners so
+     they inline: [slot_key] then reads an unboxed float. *)
+  let slot_count h = h.size
+  let slot_id h i = h.heap.(i)
+  let slot_key h i = h.hkeys.(i)
 
   let min_elt h = if h.size = 0 then None else Some h.heap.(0)
 

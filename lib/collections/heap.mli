@@ -60,7 +60,51 @@ module Indexed : sig
       @raise Invalid_argument if absent. *)
 
   val remove : t -> int -> unit
-  (** @raise Invalid_argument if absent. *)
+  (** @raise Invalid_argument if absent.  The removed id's key cell is
+      left untouched, so a later {!add_keyed} reinstates the member with
+      its old key without the caller having to save it. *)
+
+  (** {2 Allocation-free key passing}
+
+      In native code a [float] crossing a non-inlined call boundary is
+      boxed on the minor heap, so [add h id k] costs one allocation per
+      call.  The split protocol below stages the key with a single
+      (inlinable) array store and then runs the O(log n) operation with
+      no float in its signature — nothing is boxed. *)
+
+  val put_key : t -> int -> float -> unit
+  (** Stage [id]'s key.  No membership check: for a member this re-keys
+      it {e without} restoring heap order (pair with {!update_keyed});
+      for a non-member it sets the key a later {!add_keyed} will use.
+      @raise Invalid_argument on an out-of-range id. *)
+
+  val get_key : t -> int -> float
+  (** Raw key-cell read, no membership check: meaningful for members and
+      for ids staged with {!put_key} or removed with {!remove} since
+      their last key write.  @raise Invalid_argument on out-of-range. *)
+
+  val add_keyed : t -> int -> unit
+  (** {!add} with the key already staged by {!put_key} (or left behind
+      by {!remove}).  @raise Invalid_argument if already present. *)
+
+  val update_keyed : t -> int -> unit
+  (** Restore heap order around [id] after {!put_key} changed its key.
+      @raise Invalid_argument if absent. *)
+
+  val slot_count : t -> int
+  (** Number of members; slots [0 .. slot_count - 1] are live. *)
+
+  val slot_id : t -> int -> int
+  (** Member id stored in a heap slot.  Slot 0 is the minimum and the
+      children of slot [i] are [2i+1] and [2i+2], so the k smallest
+      members can be enumerated in [(key, id)] order — without mutating
+      the heap — from a frontier of candidate slots (start with slot 0;
+      consuming a slot adds its children).  Unchecked: the slot must be
+      [< slot_count]. *)
+
+  val slot_key : t -> int -> float
+  (** Key stored in a heap slot.  Inlines to an unboxed float read.
+      Unchecked: the slot must be [< slot_count]. *)
 
   val min_elt : t -> int option
   (** Member with the smallest [(key, id)], without removing it. *)

@@ -57,6 +57,22 @@ let sort cmp v =
   Array.sort cmp a;
   v.data <- a
 
+(* Top-level so no closure is created per call: [insertion_sort] runs in
+   zero-allocation hot loops where even a 3-word closure per event would
+   show up in the minor-words audit. *)
+let rec shift_left cmp a j x =
+  if j > 0 && cmp a.(j - 1) x > 0 then begin
+    a.(j) <- a.(j - 1);
+    shift_left cmp a (j - 1) x
+  end
+  else a.(j) <- x
+
+let insertion_sort cmp v =
+  let a = v.data in
+  for i = 1 to v.size - 1 do
+    shift_left cmp a i a.(i)
+  done
+
 let dedup_sorted eq v =
   if v.size > 1 then begin
     let w = ref 1 in

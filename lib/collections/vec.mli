@@ -26,6 +26,14 @@ val clear : 'a t -> unit
 val sort : ('a -> 'a -> int) -> 'a t -> unit
 (** In-place (not stable) sort of the live prefix. *)
 
+val insertion_sort : ('a -> 'a -> int) -> 'a t -> unit
+(** In-place stable insertion sort of the live prefix.  Unlike {!sort}
+    (which round-trips through an exact-size array copy) this allocates
+    nothing, making it the right choice for small, nearly-sorted batches
+    inside zero-allocation hot loops — e.g. the simulator's simultaneous
+    completion batches.  O(k²) worst case over the live prefix of length
+    k; O(k) when already sorted. *)
+
 val dedup_sorted : ('a -> 'a -> bool) -> 'a t -> unit
 (** Collapse runs of adjacent equal elements; on sorted input this leaves
     each equivalence class's first representative. *)

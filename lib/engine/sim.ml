@@ -12,12 +12,164 @@ type event =
   | Failure of int
   | Recovery of int
 
+(* Buffered event codes: the hot loop stores the pending batch as two int
+   columns instead of consing an [event list] per dispatch. *)
+let k_arrival = 0
+let k_completion = 1
+let k_boundary = 2
+let k_failure = 3
+let k_recovery = 4
+
+let event_of_code k subj =
+  match k with
+  | 0 -> Arrival subj
+  | 1 -> Completion subj
+  | 2 -> Boundary
+  | 3 -> Failure subj
+  | _ -> Recovery subj
+
+(* ------------------------------------------------------------------ *)
+(* Flat plan buffer                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Plan_buf = struct
+  (* A plan as four parallel columns instead of the legacy
+     [(machine, (job, share) list) list]: machine "runs" (one per legacy
+     group, in write order) indexing into a flat (job, share) entry
+     array.  The buffer is cleared and refilled at every replan, so a
+     steady-state dispatch allocates nothing once the columns have grown
+     to the plan's working size.
+
+     Write order vs. canonical order: the legacy heap walk builds its
+     list by prepending, so the allocation list is the {e reverse} of
+     grab order.  A flat writer pushes runs in grab order and clears the
+     buffer with [~grab_order:true]; every canonical-order accessor then
+     maps run [i] to raw run [nruns - 1 - i], reproducing the legacy
+     list order — float summation order included — bit for bit.  The
+     engine's adapter for legacy list-returning schedulers flattens in
+     list order with [grab_order = false]. *)
+  type t = {
+    mutable run_mach : int array;  (* machine id per run, write order *)
+    mutable run_start : int array; (* first entry of each run *)
+    mutable nruns : int;
+    mutable e_job : int array;
+    mutable e_share : float array;
+    mutable len : int;
+    hor : float array;             (* hor.(0): horizon; [infinity] = none.
+                                      A cell, not a mutable field: float
+                                      fields of a mixed record box on
+                                      every store. *)
+    mutable grab_order : bool;
+  }
+
+  let create () =
+    { run_mach = Array.make 8 0;
+      run_start = Array.make 8 0;
+      nruns = 0;
+      e_job = Array.make 16 0;
+      e_share = Array.make 16 0.0;
+      len = 0;
+      hor = Array.make 1 infinity;
+      grab_order = false }
+
+  let clear ?(grab_order = false) b =
+    b.nruns <- 0;
+    b.len <- 0;
+    b.hor.(0) <- infinity;
+    b.grab_order <- grab_order
+
+  let set_horizon b h = b.hor.(0) <- h
+  let horizon b = b.hor.(0)
+
+  let begin_machine b m =
+    if b.nruns = Array.length b.run_mach then begin
+      let ncap = 2 * b.nruns in
+      let nm = Array.make ncap 0 and ns = Array.make ncap 0 in
+      Array.blit b.run_mach 0 nm 0 b.nruns;
+      Array.blit b.run_start 0 ns 0 b.nruns;
+      b.run_mach <- nm;
+      b.run_start <- ns
+    end;
+    b.run_mach.(b.nruns) <- m;
+    b.run_start.(b.nruns) <- b.len;
+    b.nruns <- b.nruns + 1
+
+  let push_share b ~job ~share =
+    if b.nruns = 0 then invalid_arg "Plan_buf.push_share: no current machine";
+    if b.len = Array.length b.e_job then begin
+      let ncap = 2 * b.len in
+      let nj = Array.make ncap 0 and nsh = Array.make ncap 0.0 in
+      Array.blit b.e_job 0 nj 0 b.len;
+      Array.blit b.e_share 0 nsh 0 b.len;
+      b.e_job <- nj;
+      b.e_share <- nsh
+    end;
+    b.e_job.(b.len) <- job;
+    b.e_share.(b.len) <- share;
+    b.len <- b.len + 1
+
+  (* [push_share ~share:1.0] without the float argument: [push_share] is
+     too big to inline, so its [share] is boxed at every call — one
+     minor-heap block per machine grab.  Full-share grabs are the whole
+     of list scheduling, so give them a float-free entry point (the 1.0
+     is a static constant inside the callee). *)
+  let push_unit_share b ~job = push_share b ~job ~share:1.0
+
+  let runs b = b.nruns
+  let is_empty b = b.nruns = 0
+
+  (* Canonical-order indexing (one-liners so they inline and stay
+     allocation-free at every call site). *)
+  let raw b i = if b.grab_order then b.nruns - 1 - i else i
+  let run_machine b i = b.run_mach.(raw b i)
+
+  let run_length b i =
+    let r = raw b i in
+    (if r + 1 < b.nruns then b.run_start.(r + 1) else b.len) - b.run_start.(r)
+
+  let entry_job b i k = b.e_job.(b.run_start.(raw b i) + k)
+  let entry_share b i k = b.e_share.(b.run_start.(raw b i) + k)
+
+  let of_allocation b (alloc : allocation) =
+    clear b;
+    List.iter
+      (fun (m, shares) ->
+        begin_machine b m;
+        List.iter (fun (j, share) -> push_share b ~job:j ~share) shares)
+      alloc
+
+  let to_allocation b : allocation =
+    let rec entries i k acc =
+      if k < 0 then acc
+      else entries i (k - 1) ((entry_job b i k, entry_share b i k) :: acc)
+    in
+    let rec go i acc =
+      if i < 0 then acc
+      else go (i - 1) ((run_machine b i, entries i (run_length b i - 1) []) :: acc)
+    in
+    go (runs b - 1) []
+end
+
+(* ------------------------------------------------------------------ *)
+(* Engine state                                                        *)
+(* ------------------------------------------------------------------ *)
+
 type state = {
   inst : Instance.t;
-  mutable now : float;
+  clock : float array;       (* clock.(0) = now.  A float cell instead of a
+                                mutable field: mixed-record float stores box
+                                on the minor heap at every event. *)
+  scratch : float array;     (* scratch.(0): rolling accumulator (running
+                                minima / share totals); scratch.(1): the
+                                segment end date, visible to the loop's
+                                pre-built closures without a boxed float
+                                argument. *)
   remaining : float array;
   released : bool array;
-  completed : float option array;
+  ctimes : float array;      (* completion date per job; NaN = pending.  A
+                                float column instead of [float option array]:
+                                completing a job is an unboxed store, not a
+                                [Some] allocation. *)
   up : bool array;
   lost : float array;
   (* Dense per-run scratch of the incremental core.  All of it persists
@@ -32,13 +184,20 @@ type state = {
   mutable stamp : int;
   mutable n_completed : int;
   mutable version : int;     (* bumps at every scheduler invocation *)
+  (* the pending event batch, as int columns *)
+  mutable ev_kinds : int array;
+  mutable ev_subj : int array;
+  mutable ev_len : int;
+  mutable last_kind : int;   (* last dispatched event; -1 = none *)
+  mutable last_subj : int;
+  plan : Plan_buf.t;         (* the live plan *)
 }
 
 let instance st = st.inst
-let now st = st.now
+let now st = st.clock.(0)
 
 let is_released st j = st.released.(j)
-let is_completed st j = Option.is_some st.completed.(j)
+let is_completed st j = not (Float.is_nan st.ctimes.(j))
 
 let remaining st j =
   if not st.released.(j) then invalid_arg "Sim.remaining: job not released";
@@ -57,7 +216,13 @@ let active_jobs st =
   done;
   !acc
 
-let completion_time st j = st.completed.(j)
+let completion_time st j =
+  if is_completed st j then Some st.ctimes.(j) else None
+
+module Columns = struct
+  let remaining st = st.remaining
+  let completion_times st = st.ctimes
+end
 
 (* The dirty set handed to incremental schedulers: during a callback,
    [rated] still holds the support of the plan segment that just ended —
@@ -66,10 +231,49 @@ let completion_time st j = st.completed.(j)
 let plan_version st = st.version
 let iter_dirty f st = Vec.iter f st.rated
 let dirty_jobs st = Vec.to_list st.rated
+let dirty_count st = Vec.length st.rated
+let dirty_job st i = Vec.get st.rated i
+
+module Events = struct
+  let count st = st.ev_len
+
+  let kind st i =
+    match st.ev_kinds.(i) with
+    | 0 -> `Arrival
+    | 1 -> `Completion
+    | 2 -> `Boundary
+    | 3 -> `Failure
+    | _ -> `Recovery
+
+  let subject st i = st.ev_subj.(i)
+end
+
+let push_event st k subj =
+  let cap = Array.length st.ev_kinds in
+  if st.ev_len = cap then begin
+    let ncap = 2 * cap in
+    let nk = Array.make ncap 0 and ns = Array.make ncap 0 in
+    Array.blit st.ev_kinds 0 nk 0 st.ev_len;
+    Array.blit st.ev_subj 0 ns 0 st.ev_len;
+    st.ev_kinds <- nk;
+    st.ev_subj <- ns
+  end;
+  st.ev_kinds.(st.ev_len) <- k;
+  st.ev_subj.(st.ev_len) <- subj;
+  st.ev_len <- st.ev_len + 1
+
+let materialize_events st =
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (event_of_code st.ev_kinds.(i) st.ev_subj.(i) :: acc)
+  in
+  go (st.ev_len - 1) []
+
+
 
 let complete st j t =
   st.remaining.(j) <- 0.0;
-  st.completed.(j) <- Some t;
+  st.ctimes.(j) <- t;
   st.n_completed <- st.n_completed + 1
 
 type plan = { allocation : allocation; horizon : float option }
@@ -90,6 +294,20 @@ let incremental ~name ~init ~on_event =
         let s = init inst in
         fun st evs -> on_event s st evs) }
 
+type flat_scheduler = {
+  fname : string;
+  fmake : Instance.t -> state -> Plan_buf.t -> unit;
+}
+
+let flat_stateless name f = { fname = name; fmake = (fun _inst -> f) }
+
+let flat_incremental ~name ~init ~on_event =
+  { fname = name;
+    fmake =
+      (fun inst ->
+        let s = init inst in
+        fun st buf -> on_event s st buf) }
+
 exception Stalled of { time : float; pending : int list }
 
 exception
@@ -109,58 +327,82 @@ let c_replans = Obs.Counter.make "sim.replans"
 let c_segments = Obs.Counter.make "sim.segments"
 let c_runs = Obs.Counter.make "sim.runs"
 
+(* Minor-heap words allocated inside [run_core], accumulated through the
+   registry so harnesses (Scale, CI's allocations-per-event gate) can
+   read allocations-per-event without instrumenting the engine. *)
+let c_minor_words = Obs.Counter.make "sim.minor_words"
+
 let share_eps = 1e-9
 
-(* Check the scheduler's allocation against the model invariants and load
-   the per-job processing rates into [st.rates]/[st.rated].  The previous
+(* Local min/max over finite floats: one-liners the compiler inlines, so
+   no boxing at a call boundary (the [Float.min]/[Float.max] NaN-handling
+   branches are irrelevant here — event dates and work sizes are never
+   NaN). *)
+let fmin (a : float) (b : float) = if b < a then b else a
+let fmax (a : float) (b : float) = if b > a then b else a
+
+(* Integer comparator at the top level: passing it to
+   [Vec.insertion_sort] allocates nothing (a closure literal would). *)
+let int_compare (a : int) (b : int) = compare a b
+
+(* Check the plan buffer against the model invariants and load the
+   per-job processing rates into [st.rates]/[st.rated].  The previous
    plan's support is zeroed first, so the cost is O(|old plan| + |new
-   plan|) — independent of the total number of jobs. *)
-let check_allocation st name (alloc : allocation) =
+   plan|) — independent of the total number of jobs — and the pass
+   allocates nothing (error paths excepted). *)
+let check_plan st name (b : Plan_buf.t) =
   let platform = Instance.platform st.inst in
+  let nmach = Platform.num_machines platform in
   let nj = Instance.num_jobs st.inst in
-  Vec.iter
-    (fun j ->
-      st.rates.(j) <- 0.0;
-      st.lost_rates.(j) <- 0.0)
-    st.rated;
+  for i = 0 to Vec.length st.rated - 1 do
+    let j = Vec.get st.rated i in
+    st.rates.(j) <- 0.0;
+    st.lost_rates.(j) <- 0.0
+  done;
   Vec.clear st.rated;
-  List.iter
-    (fun (mid, shares) ->
-      if mid < 0 || mid >= Platform.num_machines platform then
-        invalid_arg (name ^ ": allocation references unknown machine");
-      if not st.up.(mid) then
-        invalid_arg (name ^ ": allocation references down machine");
-      let m = Platform.machine platform mid in
-      let total = List.fold_left (fun s (_, share) -> s +. share) 0.0 shares in
-      if total > 1.0 +. share_eps then
-        invalid_arg (name ^ ": machine oversubscribed");
-      st.stamp <- st.stamp + 1;
-      let stamp = st.stamp in
-      List.iter
-        (fun (jid, share) ->
-          if jid < 0 || jid >= nj then
-            invalid_arg (name ^ ": allocation references unknown job");
-          if st.seen.(jid) = stamp then
-            invalid_arg
-              (Printf.sprintf "%s: duplicate entry for job %d on machine %d"
-                 name jid mid);
-          st.seen.(jid) <- stamp;
-          if share < 0.0 then
-            invalid_arg
-              (Printf.sprintf "%s: negative share %g for job %d on machine %d"
-                 name share jid mid);
-          if share <= 0.0 then invalid_arg (name ^ ": non-positive share");
-          if not st.released.(jid) then
-            invalid_arg (name ^ ": job allocated before release");
-          if is_completed st jid then
-            invalid_arg (name ^ ": completed job allocated");
-          if not (Machine.hosts m (Instance.job st.inst jid).Job.databank) then
-            invalid_arg (name ^ ": job allocated to machine missing its databank");
-          let d = share *. m.Machine.speed in
-          if st.rates.(jid) = 0.0 && d > 0.0 then Vec.push st.rated jid;
-          st.rates.(jid) <- st.rates.(jid) +. d)
-        shares)
-    alloc
+  let nr = Plan_buf.runs b in
+  for i = 0 to nr - 1 do
+    let mid = Plan_buf.run_machine b i in
+    if mid < 0 || mid >= nmach then
+      invalid_arg (name ^ ": allocation references unknown machine");
+    if not st.up.(mid) then
+      invalid_arg (name ^ ": allocation references down machine");
+    let m = Platform.machine platform mid in
+    let len = Plan_buf.run_length b i in
+    st.scratch.(0) <- 0.0;
+    for k = 0 to len - 1 do
+      st.scratch.(0) <- st.scratch.(0) +. Plan_buf.entry_share b i k
+    done;
+    if st.scratch.(0) > 1.0 +. share_eps then
+      invalid_arg (name ^ ": machine oversubscribed");
+    st.stamp <- st.stamp + 1;
+    let stamp = st.stamp in
+    for k = 0 to len - 1 do
+      let jid = Plan_buf.entry_job b i k in
+      let share = Plan_buf.entry_share b i k in
+      if jid < 0 || jid >= nj then
+        invalid_arg (name ^ ": allocation references unknown job");
+      if st.seen.(jid) = stamp then
+        invalid_arg
+          (Printf.sprintf "%s: duplicate entry for job %d on machine %d"
+             name jid mid);
+      st.seen.(jid) <- stamp;
+      if share < 0.0 then
+        invalid_arg
+          (Printf.sprintf "%s: negative share %g for job %d on machine %d"
+             name share jid mid);
+      if share <= 0.0 then invalid_arg (name ^ ": non-positive share");
+      if not st.released.(jid) then
+        invalid_arg (name ^ ": job allocated before release");
+      if is_completed st jid then
+        invalid_arg (name ^ ": completed job allocated");
+      if not (Machine.hosts m (Instance.job st.inst jid).Job.databank) then
+        invalid_arg (name ^ ": job allocated to machine missing its databank");
+      let d = share *. m.Machine.speed in
+      if st.rates.(jid) = 0.0 && d > 0.0 then Vec.push st.rated jid;
+      st.rates.(jid) <- st.rates.(jid) +. d
+    done
+  done
 
 type report = {
   schedule : Schedule.t;
@@ -171,25 +413,47 @@ type report = {
   journal : J.event list;
 }
 
-let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
+(* The per-run scheduler callback, either style. *)
+type driver =
+  | Legacy of (state -> event list -> plan)
+  | Flat of (state -> Plan_buf.t -> unit)
+
+
+let run_core ?horizon ?(faults = []) ?(loss = Fault.Crash) ~record ~name
+    ~driver inst =
   let nj = Instance.num_jobs inst in
   let platform = Instance.platform inst in
   let nm = Platform.num_machines platform in
   let mark = J.position () in
   let replan_count = ref 0 in
   let event_count = ref 0 in
+  let mw0 = Gc.minor_words () in
   Obs.Counter.incr c_runs;
   if J.on () then
-    J.record
-      (J.Run_start { scheduler = scheduler.name; jobs = nj; machines = nm });
+    J.record (J.Run_start { scheduler = name; jobs = nj; machines = nm });
   let st =
-    { inst; now = 0.0; remaining = Array.map (fun (j : Job.t) -> j.size) (Instance.jobs inst);
-      released = Array.make nj false; completed = Array.make nj None;
-      up = Array.make nm true; lost = Array.make nj 0.0;
-      rates = Array.make nj 0.0; lost_rates = Array.make nj 0.0;
-      rated = Vec.create (); tiny = Vec.create ();
-      seen = Array.make nj 0; stamp = 0;
-      n_completed = 0; version = 0 }
+    { inst;
+      clock = Array.make 1 0.0;
+      scratch = Array.make 2 0.0;
+      remaining = Array.map (fun (j : Job.t) -> j.size) (Instance.jobs inst);
+      released = Array.make nj false;
+      ctimes = Array.make nj nan;
+      up = Array.make nm true;
+      lost = Array.make nj 0.0;
+      rates = Array.make nj 0.0;
+      lost_rates = Array.make nj 0.0;
+      rated = Vec.create ();
+      tiny = Vec.create ();
+      seen = Array.make nj 0;
+      stamp = 0;
+      n_completed = 0;
+      version = 0;
+      ev_kinds = Array.make 16 0;
+      ev_subj = Array.make 16 0;
+      ev_len = 0;
+      last_kind = -1;
+      last_subj = 0;
+      plan = Plan_buf.create () }
   in
   (* The effective fault trace: explicit edges merged with the platform's
      static downtime intervals. *)
@@ -197,273 +461,395 @@ let run_report ?horizon ?(faults = []) ?(loss = Fault.Crash) scheduler inst =
   List.iter
     (fun (e : Fault.edge) ->
       if e.machine >= nm then
-        invalid_arg (scheduler.name ^ ": fault trace references unknown machine"))
+        invalid_arg (name ^ ": fault trace references unknown machine"))
     !trace;
   (* Residual work below the float resolution of the whole instance is
      physically negligible (sub-microsecond of compute); treating it as
      done prevents plans computed with 1e-9-relative tolerances from
      leaving slivers that would only complete when the schedule drains. *)
-  let total_work = Array.fold_left ( +. ) 0.0 st.remaining in
-  let callback = scheduler.make inst in
-  (* Dispatch a batch of events to the scheduler: journal the events and
-     the plan it answers with, and keep the per-run tallies. *)
-  let dispatch evs =
-    event_count := !event_count + List.length evs;
-    Obs.Counter.add c_events (List.length evs);
+  let total_work =
+    (* Explicit loop through the scratch cell: [Array.fold_left ( +. )]
+       boxes every intermediate sum — 2 words per job before the run
+       even starts. *)
+    st.scratch.(0) <- 0.0;
+    for j = 0 to nj - 1 do
+      st.scratch.(0) <- st.scratch.(0) +. st.remaining.(j)
+    done;
+    st.scratch.(0)
+  in
+  let last_event_opt () =
+    if st.last_kind < 0 then None
+    else Some (event_of_code st.last_kind st.last_subj)
+  in
+  let note_last () =
+    if st.ev_len > 0 then begin
+      st.last_kind <- st.ev_kinds.(st.ev_len - 1);
+      st.last_subj <- st.ev_subj.(st.ev_len - 1)
+    end
+  in
+  let journal_events () =
+    for i = 0 to st.ev_len - 1 do
+      let subj = st.ev_subj.(i) in
+      J.record
+        (match st.ev_kinds.(i) with
+         | 0 -> J.Sim_event { time = now st; kind = J.Arrival; subject = subj }
+         | 1 ->
+           (* The exact completion date [C_j] may precede the dispatch
+              date by a rounding sliver; record the exact one so the
+              journal re-derives bit-identical stretches. *)
+           J.Sim_event { time = st.ctimes.(subj); kind = J.Completion; subject = subj }
+         | 2 -> J.Sim_event { time = now st; kind = J.Boundary; subject = -1 }
+         | 3 -> J.Sim_event { time = now st; kind = J.Failure; subject = subj }
+         | _ -> J.Sim_event { time = now st; kind = J.Recovery; subject = subj })
+    done
+  in
+  (* Dispatch the buffered batch to the scheduler: journal the events and
+     the plan it answers with, and keep the per-run tallies.  Flat
+     schedulers write into the reusable plan buffer; legacy list
+     schedulers get the batch as an [event list] and their answer is
+     flattened into the same buffer, so one advance loop serves both. *)
+  let dispatch () =
+    event_count := !event_count + st.ev_len;
+    Obs.Counter.add c_events st.ev_len;
     incr replan_count;
     Obs.Counter.incr c_replans;
-    if J.on () then
-      List.iter
-        (fun e ->
-          J.record
-            (match e with
-             | Arrival j ->
-               J.Sim_event { time = st.now; kind = J.Arrival; subject = j }
-             | Completion j ->
-               (* The exact completion date [C_j] may precede the dispatch
-                  date by a rounding sliver; record the exact one so the
-                  journal re-derives bit-identical stretches. *)
-               let t = Option.value ~default:st.now st.completed.(j) in
-               J.Sim_event { time = t; kind = J.Completion; subject = j }
-             | Boundary ->
-               J.Sim_event { time = st.now; kind = J.Boundary; subject = -1 }
-             | Failure m ->
-               J.Sim_event { time = st.now; kind = J.Failure; subject = m }
-             | Recovery m ->
-               J.Sim_event { time = st.now; kind = J.Recovery; subject = m }))
-        evs;
+    if J.on () then journal_events ();
     st.version <- st.version + 1;
-    let p = callback st evs in
-    if J.on () then
-      J.record
-        (J.Replan
-           { time = st.now; scheduler = scheduler.name;
-             allocation = p.allocation; horizon = p.horizon });
-    p
+    match driver with
+    | Flat f ->
+      Plan_buf.clear ~grab_order:true st.plan;
+      f st st.plan;
+      if J.on () then
+        J.record
+          (J.Replan
+             { time = now st; scheduler = name;
+               allocation = Plan_buf.to_allocation st.plan;
+               horizon =
+                 (let h = Plan_buf.horizon st.plan in
+                  if h = infinity then None else Some h) })
+    | Legacy cb ->
+      let p = cb st (materialize_events st) in
+      if J.on () then
+        J.record
+          (J.Replan
+             { time = now st; scheduler = name; allocation = p.allocation;
+               horizon = p.horizon });
+      Plan_buf.of_allocation st.plan p.allocation;
+      (match p.horizon with
+       | Some h -> Plan_buf.set_horizon st.plan h
+       | None -> ())
   in
   let segments = Schedule.Builder.create () in
   let completions : int Vec.t = Vec.create () in
   let crashing = Array.make nm false in
   let crashed : int Vec.t = Vec.create () in
   let next_arrival = ref 0 in
-  let last_event = ref None in
-  (* Gather every job released at exactly the same date, flagging those
+  (* Gather every job released at exactly the current date, flagging those
      whose whole size is already below the sliver resolution — they are
      the only unallocated jobs the sliver rule can ever fire on (an
      unallocated job's remaining work is constant, and an allocated job
-     that drops below the threshold completes in that same advance). *)
-  let pop_arrivals t =
-    let evs = ref [] in
-    while
-      !next_arrival < nj && (Instance.job inst !next_arrival).Job.release <= t +. 1e-12
-    do
+     that drops below the threshold completes in that same advance).
+     Reads the date from [st.clock] rather than taking it as an argument:
+     a float argument to this (non-inlined, recursive) closure would be
+     boxed at every event. *)
+  let rec pop_arrivals () =
+    if
+      !next_arrival < nj
+      && (Instance.job inst !next_arrival).Job.release <= st.clock.(0) +. 1e-12
+    then begin
       let j = !next_arrival in
       st.released.(j) <- true;
       let size = (Instance.job inst j).Job.size in
-      if size <= 1e-9 *. Float.max size total_work then Vec.push st.tiny j;
-      evs := Arrival j :: !evs;
-      incr next_arrival
-    done;
-    List.rev !evs
+      if size <= 1e-9 *. fmax size total_work then Vec.push st.tiny j;
+      push_event st k_arrival j;
+      incr next_arrival;
+      pop_arrivals ()
+    end
   in
-  (* Apply every availability edge due at [t], emitting Failure/Recovery
-     for real state flips (duplicate edges are silently absorbed). *)
-  let pop_faults t =
-    let evs = ref [] in
-    let continue_ = ref true in
-    while !continue_ do
-      match !trace with
-      | e :: rest when e.Fault.time <= t +. 1e-12 ->
-        trace := rest;
-        if e.Fault.up <> st.up.(e.Fault.machine) then begin
-          st.up.(e.Fault.machine) <- e.Fault.up;
-          evs :=
-            (if e.Fault.up then Recovery e.Fault.machine else Failure e.Fault.machine)
-            :: !evs
-        end
-      | _ :: _ | [] -> continue_ := false
-    done;
-    List.rev !evs
+  (* Apply every availability edge due at the current date, emitting
+     Failure/Recovery for real state flips (duplicate edges are silently
+     absorbed). *)
+  let rec pop_faults () =
+    match !trace with
+    | e :: rest when e.Fault.time <= st.clock.(0) +. 1e-12 ->
+      trace := rest;
+      if e.Fault.up <> st.up.(e.Fault.machine) then begin
+        st.up.(e.Fault.machine) <- e.Fault.up;
+        push_event st
+          (if e.Fault.up then k_recovery else k_failure)
+          e.Fault.machine
+      end;
+      pop_faults ()
+    | _ :: _ | [] -> ()
+  in
+  (* Machines dying at the segment end (scratch.(1)) under crash
+     semantics: collect them into [crashed]/[crashing]. *)
+  let rec crash_scan l =
+    match l with
+    | (e : Fault.edge) :: rest when e.Fault.time <= st.scratch.(1) +. 1e-12 ->
+      if
+        (not e.Fault.up) && st.up.(e.Fault.machine)
+        && not crashing.(e.Fault.machine)
+      then begin
+        crashing.(e.Fault.machine) <- true;
+        Vec.push crashed e.Fault.machine
+      end;
+      crash_scan rest
+    | _ :: _ | [] -> ()
+  in
+  (* Does any plan run survive the crashes (= does the segment deliver
+     anything worth recording)? *)
+  let rec any_live_run i =
+    i < Plan_buf.runs st.plan
+    && ((not crashing.(Plan_buf.run_machine st.plan i)) || any_live_run (i + 1))
+  in
+  (* The delivered shares as a legacy list, canonical order, crashed
+     machines dropped — materialized only when a segment is actually
+     recorded (record mode or journaling). *)
+  let delivered_shares () =
+    let b = st.plan in
+    let rec entries i k acc =
+      if k < 0 then acc
+      else
+        entries i (k - 1)
+          ((Plan_buf.entry_job b i k, Plan_buf.entry_share b i k) :: acc)
+    in
+    let rec go i acc =
+      if i < 0 then acc
+      else
+        let m = Plan_buf.run_machine b i in
+        if crashing.(m) then go (i - 1) acc
+        else go (i - 1) ((m, entries i (Plan_buf.run_length b i - 1) []) :: acc)
+    in
+    go (Plan_buf.runs b - 1) []
   in
   let finished () = st.n_completed = nj in
-  let plan = ref idle in
   (* Kick off: jump to the first release date, applying any availability
-     edge that predates it. *)
+     edge that predates it.  The batch order contract is arrivals first,
+     faults second, but the fault edges must be {e applied} first — so
+     pop them into the buffer head and rotate the arrivals in front. *)
   if nj > 0 then begin
-    st.now <- (Instance.job inst 0).Job.release;
-    let fault_evs = pop_faults st.now in
-    let evs = pop_arrivals st.now @ fault_evs in
-    (match List.rev evs with e :: _ -> last_event := Some e | [] -> ());
-    plan := dispatch evs
+    st.clock.(0) <- (Instance.job inst 0).Job.release;
+    st.ev_len <- 0;
+    pop_faults ();
+    let nfaults = st.ev_len in
+    pop_arrivals ();
+    if nfaults > 0 && st.ev_len > nfaults then begin
+      let rev a lo hi =
+        let i = ref lo and j = ref hi in
+        while !i < !j do
+          let t = a.(!i) in
+          a.(!i) <- a.(!j);
+          a.(!j) <- t;
+          incr i;
+          decr j
+        done
+      in
+      rev st.ev_kinds 0 (nfaults - 1);
+      rev st.ev_subj 0 (nfaults - 1);
+      rev st.ev_kinds nfaults (st.ev_len - 1);
+      rev st.ev_subj nfaults (st.ev_len - 1);
+      rev st.ev_kinds 0 (st.ev_len - 1);
+      rev st.ev_subj 0 (st.ev_len - 1)
+    end;
+    note_last ();
+    dispatch ()
   end;
   while not (finished ()) do
     (match horizon with
-     | Some h when st.now > h ->
+     | Some h when now st > h ->
        raise
          (Horizon_exceeded
-            { scheduler = scheduler.name; time = st.now; guard = h;
-              pending = active_jobs st; last_event = !last_event;
+            { scheduler = name; time = now st; guard = h;
+              pending = active_jobs st; last_event = last_event_opt ();
               journal = J.since mark })
      | Some _ | None -> ());
-    check_allocation st scheduler.name !plan.allocation;
+    check_plan st name st.plan;
     (* Earliest completion under the current rates: only the plan's
-       support can complete, so scan [rated] instead of every job. *)
-    let next_completion = ref infinity in
-    Vec.iter
-      (fun j ->
-        let t = st.now +. (st.remaining.(j) /. st.rates.(j)) in
-        if t < !next_completion then next_completion := t)
-      st.rated;
+       support can complete, so scan [rated] instead of every job.  The
+       running minimum lives in a scratch cell — a [float ref] would box
+       on every store. *)
+    st.scratch.(0) <- infinity;
+    let nowv = st.clock.(0) in
+    for i = 0 to Vec.length st.rated - 1 do
+      let j = Vec.get st.rated i in
+      let t = nowv +. (st.remaining.(j) /. st.rates.(j)) in
+      if t < st.scratch.(0) then st.scratch.(0) <- t
+    done;
     let arrival_t =
       if !next_arrival < nj then (Instance.job inst !next_arrival).Job.release
       else infinity
     in
     let fault_t = match !trace with e :: _ -> e.Fault.time | [] -> infinity in
-    let horizon_t = match !plan.horizon with Some h -> h | None -> infinity in
-    (match !plan.horizon with
-     | Some h when h <= st.now +. 1e-12 ->
-       invalid_arg (scheduler.name ^ ": plan horizon not in the future")
-     | Some _ | None -> ());
-    let t_next =
-      Float.min !next_completion (Float.min arrival_t (Float.min horizon_t fault_t))
-    in
+    let horizon_t = st.plan.Plan_buf.hor.(0) in
+    if horizon_t <= nowv +. 1e-12 then
+      invalid_arg (name ^ ": plan horizon not in the future");
+    (* Fold the next-date minimum through the scratch cell rather than an
+       [fmin] chain: the chain's if-joins mix unboxed floats with boxed
+       field loads ([Fault.time], the [infinity] constant), and the
+       compiler reconciles such a join by boxing the unboxed side — one
+       minor-heap block per iteration.  Array compares/stores stay
+       unboxed.  All four dates are non-NaN, so the fold computes exactly
+       [fmin next_completion (fmin arrival_t (fmin horizon_t fault_t))]. *)
+    if arrival_t < st.scratch.(0) then st.scratch.(0) <- arrival_t;
+    if fault_t < st.scratch.(0) then st.scratch.(0) <- fault_t;
+    if horizon_t < st.scratch.(0) then st.scratch.(0) <- horizon_t;
+    let t_next = st.scratch.(0) in
     if t_next = infinity then
-      raise (Stalled { time = st.now; pending = active_jobs st });
-    let dt = t_next -. st.now in
+      raise (Stalled { time = st.clock.(0); pending = active_jobs st });
+    let dt = t_next -. nowv in
     (* Machines dying at [t_next] under crash semantics lose the whole
        segment's work: it is re-added to the jobs' remaining work and the
        segment records no delivery from those machines. *)
-    Vec.iter (fun m -> crashing.(m) <- false) crashed;
+    for i = 0 to Vec.length crashed - 1 do
+      crashing.(Vec.get crashed i) <- false
+    done;
     Vec.clear crashed;
-    let any_crash = ref false in
-    if loss = Fault.Crash then begin
-      let rec scan = function
-        | (e : Fault.edge) :: rest when e.Fault.time <= t_next +. 1e-12 ->
-          if (not e.Fault.up) && st.up.(e.Fault.machine)
-             && not crashing.(e.Fault.machine)
-          then begin
-            crashing.(e.Fault.machine) <- true;
-            Vec.push crashed e.Fault.machine;
-            any_crash := true
-          end;
-          scan rest
-        | _ :: _ | [] -> ()
-      in
-      scan !trace
+    (* [scratch.(1)] carries the segment end past this point: reading it
+       back where a {e boxed} [t_next] is needed (the segment records
+       below, built only when recording or journaling) keeps the binding
+       itself unboxed — a float [let] with even one boxed use site is
+       boxed at every iteration, branch taken or not. *)
+    st.scratch.(1) <- t_next;
+    if loss = Fault.Crash then crash_scan !trace;
+    let any_crash = Vec.length crashed > 0 in
+    if any_crash then begin
+      let b = st.plan in
+      for i = 0 to Plan_buf.runs b - 1 do
+        let mid = Plan_buf.run_machine b i in
+        if crashing.(mid) then begin
+          let speed = (Platform.machine platform mid).Machine.speed in
+          let len = Plan_buf.run_length b i in
+          for k = 0 to len - 1 do
+            let jid = Plan_buf.entry_job b i k in
+            st.lost_rates.(jid) <-
+              st.lost_rates.(jid) +. (Plan_buf.entry_share b i k *. speed)
+          done
+        end
+      done
     end;
-    if !any_crash then
-      List.iter
-        (fun (mid, shares) ->
-          if crashing.(mid) then begin
-            let speed = (Platform.machine platform mid).Machine.speed in
-            List.iter
-              (fun (jid, share) ->
-                st.lost_rates.(jid) <- st.lost_rates.(jid) +. (share *. speed))
-              shares
-          end)
-        !plan.allocation;
     (* Advance work and record the segment (crashed machines deliver
        nothing, so their shares are dropped from the record). *)
-    let delivered =
-      if !any_crash then List.filter (fun (mid, _) -> not crashing.(mid)) !plan.allocation
-      else !plan.allocation
-    in
-    if dt > 0.0 && delivered <> [] then begin
-      Schedule.Builder.add segments
-        { Schedule.start_time = st.now; end_time = t_next; shares = delivered };
-      Obs.Counter.incr c_segments;
-      if J.on () then
-        J.record
-          (J.Segment
-             { start_time = st.now; end_time = t_next; shares = delivered })
+    if dt > 0.0 && any_live_run 0 then begin
+      if record || J.on () then begin
+        let seg_start = st.clock.(0) and seg_end = st.scratch.(1) in
+        let shares = delivered_shares () in
+        if record then
+          Schedule.Builder.add segments
+            { Schedule.start_time = seg_start; end_time = seg_end; shares };
+        if J.on () then
+          J.record
+            (J.Segment { start_time = seg_start; end_time = seg_end; shares })
+      end;
+      Obs.Counter.incr c_segments
     end;
-    let eps_t = 1e-9 *. Float.max 1.0 (abs_float t_next) in
+    let eps_t = 1e-9 *. fmax 1.0 (abs_float t_next) in
     Vec.clear completions;
     (* Advance the plan's support only.  A released, uncompleted job
        outside [rated ∪ tiny] has rate 0 and remaining work untouched
        since the last time it was allocated (when any sub-threshold
        sliver would already have completed it), so neither branch below
        could fire on it. *)
-    Vec.iter
-      (fun j ->
-        if st.lost_rates.(j) > 0.0 then begin
-          (* Part of this job's rate evaporates with the crash: only the
-             surviving machines' work counts. *)
-          st.remaining.(j) <- st.remaining.(j) -. ((st.rates.(j) -. st.lost_rates.(j)) *. dt);
-          st.lost.(j) <- st.lost.(j) +. (st.lost_rates.(j) *. dt)
+    for i = 0 to Vec.length st.rated - 1 do
+      let j = Vec.get st.rated i in
+      if st.lost_rates.(j) > 0.0 then begin
+        (* Part of this job's rate evaporates with the crash: only the
+           surviving machines' work counts. *)
+        st.remaining.(j) <-
+          st.remaining.(j) -. ((st.rates.(j) -. st.lost_rates.(j)) *. dt);
+        st.lost.(j) <- st.lost.(j) +. (st.lost_rates.(j) *. dt)
+      end
+      else begin
+        let t_fin = nowv +. (st.remaining.(j) /. st.rates.(j)) in
+        if t_fin <= t_next +. eps_t then begin
+          complete st j t_fin;
+          Vec.push completions j
         end
-        else begin
-          let t_fin = st.now +. (st.remaining.(j) /. st.rates.(j)) in
-          if t_fin <= t_next +. eps_t then begin
-            complete st j t_fin;
-            Vec.push completions j
-          end
-          else st.remaining.(j) <- st.remaining.(j) -. (st.rates.(j) *. dt)
-        end;
-        (* A rounding sliver left by a float-computed plan counts as
-           done — otherwise it would complete only when the scheduler
-           next touches the job, wrecking its stretch. *)
-        if
-          (not (is_completed st j))
-          && st.remaining.(j)
-             <= 1e-9 *. Float.max (Instance.job inst j).Job.size total_work
-        then begin
-          complete st j t_next;
-          Vec.push completions j
-        end)
-      st.rated;
-    Vec.iter
-      (fun j ->
-        if
-          (not (is_completed st j))
-          && st.remaining.(j)
-             <= 1e-9 *. Float.max (Instance.job inst j).Job.size total_work
-        then begin
-          complete st j t_next;
-          Vec.push completions j
-        end)
-      st.tiny;
+        else st.remaining.(j) <- st.remaining.(j) -. (st.rates.(j) *. dt)
+      end;
+      (* A rounding sliver left by a float-computed plan counts as
+         done — otherwise it would complete only when the scheduler
+         next touches the job, wrecking its stretch. *)
+      if
+        (not (is_completed st j))
+        && st.remaining.(j)
+           <= 1e-9 *. fmax (Instance.job inst j).Job.size total_work
+      then begin
+        complete st j t_next;
+        Vec.push completions j
+      end
+    done;
+    for i = 0 to Vec.length st.tiny - 1 do
+      let j = Vec.get st.tiny i in
+      if
+        (not (is_completed st j))
+        && st.remaining.(j)
+           <= 1e-9 *. fmax (Instance.job inst j).Job.size total_work
+      then begin
+        complete st j t_next;
+        Vec.push completions j
+      end
+    done;
     Vec.clear st.tiny;
     (* The scheduler contract emits simultaneous completions in ascending
-       job order; the support scan discovers them in plan order, so sort. *)
-    Vec.sort compare completions;
-    st.now <- t_next;
-    let arrivals = pop_arrivals t_next in
-    let fault_evs = pop_faults t_next in
-    let boundary =
-      if horizon_t <= t_next +. eps_t && not (finished ()) then [ Boundary ] else []
-    in
-    let completion_evs = List.map (fun j -> Completion j) (Vec.to_list completions) in
-    let events = arrivals @ completion_evs @ fault_evs @ boundary in
-    (match List.rev events with e :: _ -> last_event := Some e | [] -> ());
-    if not (finished ()) then plan := dispatch events
+       job order; the support scan discovers them in plan order, so sort
+       (in place: batches are tiny and [Vec.sort] copies). *)
+    Vec.insertion_sort int_compare completions;
+    st.clock.(0) <- t_next;
+    st.ev_len <- 0;
+    pop_arrivals ();
+    for i = 0 to Vec.length completions - 1 do
+      push_event st k_completion (Vec.get completions i)
+    done;
+    pop_faults ();
+    if horizon_t <= t_next +. eps_t && not (finished ()) then
+      push_event st k_boundary (-1);
+    note_last ();
+    if not (finished ()) then dispatch ()
     else begin
       (* Journal the final completion batch even though no replan follows:
          the journal must contain every job's exact completion date. *)
-      event_count := !event_count + List.length events;
-      Obs.Counter.add c_events (List.length events);
+      event_count := !event_count + st.ev_len;
+      Obs.Counter.add c_events st.ev_len;
       if J.on () then
-        List.iter
-          (fun e ->
-            match e with
-            | Completion j ->
-              let t = Option.value ~default:st.now st.completed.(j) in
-              J.record (J.Sim_event { time = t; kind = J.Completion; subject = j })
-            | Arrival _ | Boundary | Failure _ | Recovery _ -> ())
-          events
+        for i = 0 to st.ev_len - 1 do
+          if st.ev_kinds.(i) = k_completion then begin
+            let j = st.ev_subj.(i) in
+            J.record
+              (J.Sim_event { time = st.ctimes.(j); kind = J.Completion; subject = j })
+          end
+        done
     end
   done;
-  if J.on () then J.record (J.Run_end { time = st.now; completed = nj });
-  let schedule =
-    Schedule.make ~instance:inst ~segments:(Schedule.Builder.segments segments)
-      ~completion:(Array.copy st.completed)
+  if J.on () then J.record (J.Run_end { time = now st; completed = nj });
+  let completion =
+    Array.init nj (fun j ->
+        if is_completed st j then Some st.ctimes.(j) else None)
   in
+  let schedule =
+    Schedule.make ~instance:inst
+      ~segments:(if record then Schedule.Builder.segments segments else [])
+      ~completion
+  in
+  let metrics =
+    if record then Metrics.of_schedule schedule
+    else Metrics.of_completion inst ~completion:(Array.copy st.ctimes)
+  in
+  Obs.Counter.add c_minor_words (int_of_float (Gc.minor_words () -. mw0));
   { schedule;
-    metrics = Metrics.of_schedule schedule;
+    metrics;
     lost = Array.copy st.lost;
     replans = !replan_count;
     events = !event_count;
     journal = J.since mark }
+
+let run_report ?horizon ?faults ?loss scheduler inst =
+  run_core ?horizon ?faults ?loss ~record:true ~name:scheduler.name
+    ~driver:(Legacy (scheduler.make inst)) inst
+
+let run_report_flat ?horizon ?faults ?loss ?(record = true) fs inst =
+  run_core ?horizon ?faults ?loss ~record ~name:fs.fname
+    ~driver:(Flat (fs.fmake inst)) inst
 
 let run ?horizon ?faults ?loss scheduler inst =
   (run_report ?horizon ?faults ?loss scheduler inst).schedule

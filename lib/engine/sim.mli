@@ -19,7 +19,16 @@
     it is on arrivals, allocations on down machines are rejected, and the
     {!Fault.loss} semantics decides whether in-flight work on a dying
     machine survives ([Pause]) or is re-added to the job's remaining work
-    ([Crash]). *)
+    ([Crash]).
+
+    {b Memory layout.}  Engine state is columnar — parallel [float array]
+    / [int array] / [bool array] columns indexed by job or machine id —
+    and the event loop is written so that steady-state event processing
+    allocates nothing on the OCaml minor heap once the run's buffers have
+    grown to their working size (list-based {!scheduler}s and journaling
+    excepted).  {!flat_scheduler}s plug into this regime by writing their
+    plans into a reusable {!Plan_buf.t} instead of consing allocation
+    lists. *)
 
 open Gripps_model
 
@@ -34,6 +43,70 @@ type event =
   | Boundary           (** the previous plan's horizon was reached *)
   | Failure of int     (** machine id just went down *)
   | Recovery of int    (** machine id just came back up *)
+
+(** {1 Flat plan buffer}
+
+    A plan as parallel columns instead of the nested [allocation] list:
+    machine "runs" indexing into a flat [(job, share)] entry array.  The
+    engine owns one buffer per simulation and clears/refills it at every
+    replan, so steady-state replanning allocates nothing.
+
+    {b Order contract.}  Accessors index runs in {e canonical} order —
+    the order of the equivalent legacy [allocation] list.  Writers that
+    emit runs in grab order (like the heap walk, whose legacy counterpart
+    builds its list by {e prepending}) clear with [~grab_order:true]; the
+    accessors then transparently reverse, reproducing the legacy list —
+    float summation order included — bit for bit. *)
+module Plan_buf : sig
+  type t
+
+  val create : unit -> t
+
+  val clear : ?grab_order:bool -> t -> unit
+  (** Empty the buffer and reset the horizon.  [grab_order] (default
+      false) declares that runs will be pushed in reverse canonical
+      order. *)
+
+  val begin_machine : t -> int -> unit
+  (** Start a new run for the given machine; subsequent {!push_share}
+      calls append to it. *)
+
+  val push_share : t -> job:int -> share:float -> unit
+  (** @raise Invalid_argument before any {!begin_machine}. *)
+
+  val push_unit_share : t -> job:int -> unit
+  (** [push_share ~share:1.0] without a float in the signature, so the
+      call allocates nothing (a [float] argument of a non-inlined call
+      is boxed).  Full-share grabs are the common case — all of list
+      scheduling. *)
+
+  val set_horizon : t -> float -> unit
+  (** Declare the plan valid only up to this date (the legacy
+      [plan.horizon = Some h]). *)
+
+  val horizon : t -> float
+  (** The declared horizon, or [infinity] when none was set. *)
+
+  val runs : t -> int
+  val is_empty : t -> bool
+
+  val run_machine : t -> int -> int
+  (** Machine of the [i]-th run, canonical order. *)
+
+  val run_length : t -> int -> int
+
+  val entry_job : t -> int -> int -> int
+  (** [entry_job b i k]: job of the [k]-th share of the [i]-th canonical
+      run. *)
+
+  val entry_share : t -> int -> int -> float
+
+  val of_allocation : t -> allocation -> unit
+  (** Clear and refill from a legacy list (canonical write order). *)
+
+  val to_allocation : t -> allocation
+  (** Materialize the canonical-order legacy list (allocates). *)
+end
 
 type state
 
@@ -60,6 +133,19 @@ val active_jobs : state -> int list
 
 val completion_time : state -> int -> float option
 
+(** Raw columnar views for flat schedulers: direct (read-only by
+    convention) access to the engine's per-job columns, so a hot
+    scheduler can read remaining work without the bounds check and
+    box-free only thanks to cross-module inlining of {!remaining}. *)
+module Columns : sig
+  val remaining : state -> float array
+  (** [remaining.(j)]: remaining Mflop.  Meaningful only for released
+      jobs. *)
+
+  val completion_times : state -> float array
+  (** [ctimes.(j)]: completion date, or NaN while pending. *)
+end
+
 (** {1 Incremental scheduling support}
 
     The engine maintains a versioned dirty set so an incremental
@@ -82,6 +168,31 @@ val dirty_jobs : state -> int list
 
 val iter_dirty : (int -> unit) -> state -> unit
 (** Allocation-free iteration over {!dirty_jobs} (unspecified order). *)
+
+val dirty_count : state -> int
+(** [List.length (dirty_jobs st)], allocation-free. *)
+
+val dirty_job : state -> int -> int
+(** [dirty_job st i]: the [i]-th dirty job, [0 <= i < dirty_count st].
+    With {!dirty_count}, an indexed (closure-free) alternative to
+    {!iter_dirty}. *)
+
+(** Indexed, allocation-free view of the event batch a {!flat_scheduler}
+    is being invoked for (the flat counterpart of the [event list]
+    argument of legacy callbacks). *)
+module Events : sig
+  val count : state -> int
+
+  val kind :
+    state ->
+    int ->
+    [ `Arrival | `Completion | `Boundary | `Failure | `Recovery ]
+  (** Immediate (unallocated) constant variants. *)
+
+  val subject : state -> int -> int
+  (** Job id for [`Arrival]/[`Completion], machine id for
+      [`Failure]/[`Recovery], meaningless for [`Boundary]. *)
+end
 
 (** A plan: the allocation to apply from [now] on, valid until the next
     arrival/completion/failure/recovery or until [horizon] (if any),
@@ -113,6 +224,24 @@ val incremental :
     it — typically consulting {!dirty_jobs} to re-key only what moved.
     Layered on the {!scheduler} record, so every entry point accepts
     both styles unchanged. *)
+
+(** A flat scheduler: the zero-allocation counterpart of {!scheduler}.
+    The callback reads the pending events through {!Events}, updates its
+    per-run state, and {e writes} the new plan into the provided
+    {!Plan_buf.t} (pre-cleared with [grab_order = true], so runs are
+    pushed in grab order) instead of returning an allocation list. *)
+type flat_scheduler = {
+  fname : string;
+  fmake : Instance.t -> state -> Plan_buf.t -> unit;
+}
+
+val flat_stateless : string -> (state -> Plan_buf.t -> unit) -> flat_scheduler
+
+val flat_incremental :
+  name:string ->
+  init:(Instance.t -> 's) ->
+  on_event:('s -> state -> Plan_buf.t -> unit) ->
+  flat_scheduler
 
 exception Stalled of { time : float; pending : int list }
 (** Raised when the scheduler leaves pending work unallocated with no
@@ -174,6 +303,25 @@ val run_report :
     duplicate entry for one job on one machine, stale horizon), or when
     the fault trace references an unknown machine. *)
 
+val run_report_flat :
+  ?horizon:float ->
+  ?faults:Fault.trace ->
+  ?loss:Fault.loss ->
+  ?record:bool ->
+  flat_scheduler ->
+  Instance.t ->
+  report
+(** {!run_report} for a {!flat_scheduler} — same semantics, same
+    exceptions, bit-identical metrics and completion dates for equivalent
+    schedulers.
+    @param record when [false] (default [true]), skip materializing the
+    per-segment schedule: [report.schedule] has no segments and
+    [report.metrics] is computed directly from the completion dates
+    (bit-identical to the recorded path).  This removes the last
+    per-event allocation, so a steady-state run at [Counters]
+    observability allocates nothing per event — the benchmarking
+    posture. *)
+
 val run :
   ?horizon:float ->
   ?faults:Fault.trace ->
@@ -182,3 +330,5 @@ val run :
   Instance.t ->
   Schedule.t
 (** [run ... = (run_report ...).schedule]. *)
+
+

@@ -5,35 +5,49 @@
    its own rate formula (per-databank rate = density × total speed /
    (databases × size_d), independent of the window), so one pinned seed
    yields one instance of ≈ n jobs shared by every scheduler.  Each
-   (n, scheduler) cell times the incremental heap-backed path; below
-   [legacy_cap] it also times the legacy resort-from-scratch path on the
-   same instance and checks the two runs are identical — metrics,
-   segment list and completion vector compared structurally, i.e. float
-   by float.  The [identical] bit of the report gates CI. *)
+   (n, scheduler) cell times the flat zero-allocation path in its
+   benchmarking posture (no schedule recording) — the headline events/s —
+   and reads the engine's [sim.minor_words] counter around the run to
+   report allocations per event.  Below [legacy_cap] it also runs the
+   flat path with recording on, the incremental heap path and the legacy
+   resort-from-scratch oracle on the same instance, and checks all four
+   runs are identical — metrics, segment list and completion vector
+   compared structurally, i.e. float by float.  The [identical] bit of
+   the report gates CI. *)
 
 open Gripps_model
 open Gripps_engine
 open Gripps_sched
 module W = Gripps_workload
 
-type spec = { s_name : string; rule : Priority.rule; static : bool }
+type spec = {
+  s_name : string;
+  rule : Priority.rule;
+  static : bool;
+  flat : List_sched.flat_rule;
+}
 
 let panel =
-  [ { s_name = "FCFS"; rule = Priority.fcfs; static = true };
-    { s_name = "SPT"; rule = Priority.spt; static = true };
-    { s_name = "SRPT"; rule = Priority.srpt; static = false };
-    { s_name = "SWPT"; rule = Priority.swpt; static = true };
-    { s_name = "SWRPT"; rule = Priority.swrpt; static = false } ]
+  [ { s_name = "FCFS"; rule = Priority.fcfs; static = true;
+      flat = List_sched.Rule_fcfs };
+    { s_name = "SPT"; rule = Priority.spt; static = true;
+      flat = List_sched.Rule_spt };
+    { s_name = "SRPT"; rule = Priority.srpt; static = false;
+      flat = List_sched.Rule_srpt };
+    { s_name = "SWPT"; rule = Priority.swpt; static = true;
+      flat = List_sched.Rule_swpt };
+    { s_name = "SWRPT"; rule = Priority.swrpt; static = false;
+      flat = List_sched.Rule_swrpt } ]
 
 let panel_names = List.map (fun s -> s.s_name) panel
-let default_sizes = [ 100; 1_000; 10_000; 100_000 ]
+let default_sizes = [ 100; 1_000; 10_000; 100_000; 1_000_000 ]
 let default_legacy_cap = 10_000
 
 type legacy_run = {
   l_wall_s : float;
   l_events_per_s : float;
-  l_speedup : float;    (* legacy wall / incremental wall *)
-  l_identical : bool;   (* metrics, segments, completions all equal *)
+  l_speedup : float;    (* legacy wall / flat wall *)
+  l_identical : bool;   (* flat (both modes) = incremental = resort *)
 }
 
 type entry = {
@@ -44,6 +58,7 @@ type entry = {
   replans : int;
   wall_s : float;
   events_per_s : float;
+  mw_per_event : float; (* minor-heap words allocated per event *)
   legacy : legacy_run option;
 }
 
@@ -52,6 +67,7 @@ type report = {
   domains : int;
   sizes : int list;
   legacy_cap : int;
+  repeats : int;        (* timed headline runs per cell (min-of-N wall) *)
   entries : entry list;
   identical : bool;     (* conjunction over every legacy comparison *)
 }
@@ -88,14 +104,45 @@ let same_report (a : Sim.report) (b : Sim.report) =
   && a.Sim.schedule.Schedule.segments = b.Sim.schedule.Schedule.segments
   && a.Sim.schedule.Schedule.completion = b.Sim.schedule.Schedule.completion
 
-let measure_cell ~seed ~legacy_cap n spec =
+let minor_words () =
+  match Gripps_obs.Obs.counter_value "sim.minor_words" with
+  | Some w -> w
+  | None -> 0
+
+let measure_cell ~seed ~legacy_cap ~repeats n spec =
   let inst = instance_for ~seed n in
-  let incr = List_sched.scheduler ~static:spec.static ~name:spec.s_name ~rule:spec.rule () in
-  let wall_s, rep = time (fun () -> Sim.run_report ~horizon:1e12 incr inst) in
+  let flat = List_sched.flat_scheduler spec.flat in
+  (* Headline run: flat path, no schedule recording.  The minor-words
+     delta is domain-local (the counter lives in the measuring domain's
+     observability state), so cells sharded across a pool don't bleed
+     into each other. *)
+  let mw0 = minor_words () in
+  let wall_s, rep =
+    time (fun () -> Sim.run_report_flat ~horizon:1e12 ~record:false flat inst)
+  in
+  let mw = minor_words () - mw0 in
+  (* Min-of-N against run-to-run scheduling noise: the run is
+     deterministic, so only the wall clock needs repeating. *)
+  let wall_s = ref wall_s in
+  for _ = 2 to repeats do
+    let w, _ =
+      time (fun () -> Sim.run_report_flat ~horizon:1e12 ~record:false flat inst)
+    in
+    if w < !wall_s then wall_s := w
+  done;
+  let wall_s = !wall_s in
   let per_s w = if w > 0.0 then float_of_int rep.Sim.events /. w else infinity in
   let legacy =
     if n > legacy_cap then None
     else begin
+      let frec =
+        Sim.run_report_flat ~horizon:1e12 ~record:true flat inst
+      in
+      let incr =
+        List_sched.scheduler ~static:spec.static ~name:spec.s_name
+          ~rule:spec.rule ()
+      in
+      let irep = Sim.run_report ~horizon:1e12 incr inst in
       let oracle = List_sched.resort_scheduler ~name:spec.s_name ~rule:spec.rule in
       let l_wall_s, l_rep = time (fun () -> Sim.run_report ~horizon:1e12 oracle inst) in
       Some
@@ -104,20 +151,29 @@ let measure_cell ~seed ~legacy_cap n spec =
             (if l_wall_s > 0.0 then float_of_int l_rep.Sim.events /. l_wall_s
              else infinity);
           l_speedup = (if wall_s > 0.0 then l_wall_s /. wall_s else infinity);
-          l_identical = same_report rep l_rep }
+          l_identical =
+            same_report frec irep && same_report irep l_rep
+            && frec.Sim.metrics = rep.Sim.metrics
+            && frec.Sim.schedule.Schedule.completion
+               = rep.Sim.schedule.Schedule.completion }
     end
   in
   { n_target = n; scheduler = spec.s_name; jobs = Instance.num_jobs inst;
     events = rep.Sim.events; replans = rep.Sim.replans; wall_s;
-    events_per_s = per_s wall_s; legacy }
+    events_per_s = per_s wall_s;
+    mw_per_event =
+      (if rep.Sim.events > 0 then float_of_int mw /. float_of_int rep.Sim.events
+       else 0.0);
+    legacy }
 
 let run ?(sizes = default_sizes) ?(legacy_cap = default_legacy_cap)
-    ?(schedulers = panel_names) ?pool ?progress ~seed () =
+    ?(schedulers = panel_names) ?(repeats = 1) ?pool ?progress ~seed () =
+  let repeats = max 1 repeats in
   let specs = List.filter (fun s -> List.mem s.s_name schedulers) panel in
   let cells = List.concat_map (fun n -> List.map (fun s -> (n, s)) specs) sizes in
   let sweep =
     Gripps_parallel.Sweep.of_list cells (fun (n, s) ->
-        measure_cell ~seed ~legacy_cap n s)
+        measure_cell ~seed ~legacy_cap ~repeats n s)
   in
   let entries = Gripps_parallel.Sweep.run ?pool ?progress sweep in
   let domains =
@@ -125,28 +181,36 @@ let run ?(sizes = default_sizes) ?(legacy_cap = default_legacy_cap)
     | Some p -> Gripps_parallel.Pool.domains p
     | None -> 1
   in
-  { seed; domains; sizes; legacy_cap; entries;
+  { seed; domains; sizes; legacy_cap; repeats; entries;
     identical =
       List.for_all
         (fun e -> match e.legacy with None -> true | Some l -> l.l_identical)
         entries }
+
+let failing_cells r =
+  List.filter_map
+    (fun e ->
+      match e.legacy with
+      | Some l when not l.l_identical -> Some (e.n_target, e.scheduler)
+      | Some _ | None -> None)
+    r.entries
 
 (* ---- output ----------------------------------------------------------- *)
 
 let to_json r =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "{\n  \"schema\": \"gripps-bench-scale/1\",\n";
-  add "  \"seed\": %d, \"domains\": %d, \"legacy_cap\": %d,\n" r.seed r.domains
-    r.legacy_cap;
+  add "{\n  \"schema\": \"gripps-bench-scale/3\",\n";
+  add "  \"seed\": %d, \"domains\": %d, \"legacy_cap\": %d, \"repeats\": %d,\n"
+    r.seed r.domains r.legacy_cap r.repeats;
   add "  \"entries\": [\n";
   List.iteri
     (fun i e ->
       add "    {\"n\": %d, \"scheduler\": %S, \"jobs\": %d, \"events\": %d, \
            \"replans\": %d,\n"
         e.n_target e.scheduler e.jobs e.events e.replans;
-      add "     \"wall_s\": %.6f, \"events_per_s\": %.1f" e.wall_s
-        e.events_per_s;
+      add "     \"wall_s\": %.6f, \"events_per_s\": %.1f, \"mw_per_event\": %.3f"
+        e.wall_s e.events_per_s e.mw_per_event;
       (match e.legacy with
        | None -> add ", \"legacy\": null}"
        | Some l ->
@@ -164,20 +228,22 @@ let write_json ~path r = Gripps_obs.Fsio.write_atomic ~path (to_json r)
 let render r =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "Scale experiment (seed %d, %d domain%s; legacy oracle up to n = %d)\n"
-    r.seed r.domains (if r.domains = 1 then "" else "s") r.legacy_cap;
-  add "%8s %-6s %7s %8s %9s %12s %12s %8s %5s\n" "n" "sched" "jobs" "events"
-    "wall(s)" "events/s" "legacy ev/s" "speedup" "same";
+  add "Scale experiment (seed %d, %d domain%s; legacy oracle up to n = %d; \
+       best of %d)\n"
+    r.seed r.domains (if r.domains = 1 then "" else "s") r.legacy_cap r.repeats;
+  add "%8s %-6s %8s %9s %9s %12s %7s %12s %8s %5s\n" "n" "sched" "jobs"
+    "events" "wall(s)" "events/s" "mw/ev" "legacy ev/s" "speedup" "same";
   List.iter
     (fun e ->
       match e.legacy with
       | Some l ->
-        add "%8d %-6s %7d %8d %9.3f %12.0f %12.0f %7.1fx %5b\n" e.n_target
-          e.scheduler e.jobs e.events e.wall_s e.events_per_s l.l_events_per_s
-          l.l_speedup l.l_identical
+        add "%8d %-6s %8d %9d %9.3f %12.0f %7.2f %12.0f %7.1fx %5b\n" e.n_target
+          e.scheduler e.jobs e.events e.wall_s e.events_per_s e.mw_per_event
+          l.l_events_per_s l.l_speedup l.l_identical
       | None ->
-        add "%8d %-6s %7d %8d %9.3f %12.0f %12s %8s %5s\n" e.n_target
-          e.scheduler e.jobs e.events e.wall_s e.events_per_s "-" "-" "-")
+        add "%8d %-6s %8d %9d %9.3f %12.0f %7.2f %12s %8s %5s\n" e.n_target
+          e.scheduler e.jobs e.events e.wall_s e.events_per_s e.mw_per_event
+          "-" "-" "-")
     r.entries;
   add "all legacy comparisons identical: %b\n" r.identical;
   Buffer.contents buf

@@ -1,6 +1,7 @@
 open Gripps_model
 open Gripps_engine
 module Heap = Gripps_collections.Heap
+module Vec = Gripps_collections.Vec
 
 let allocate st ~priority_order =
   let inst = Sim.instance st in
@@ -167,3 +168,215 @@ let spt = scheduler ~static:true ~name:"SPT" ~rule:Priority.spt ()
 let srpt = scheduler ~name:"SRPT" ~rule:Priority.srpt ()
 let swpt = scheduler ~static:true ~name:"SWPT" ~rule:Priority.swpt ()
 let swrpt = scheduler ~name:"SWRPT" ~rule:Priority.swrpt ()
+
+(* ------------------------------------------------------------------ *)
+(* Flat path: the same heap walk, but writing grab-order runs into the
+   engine's reusable plan buffer and keying the heaps through the
+   allocation-free put_key/add_keyed protocol.  Steady-state event
+   handling allocates nothing on the minor heap.                       *)
+(* ------------------------------------------------------------------ *)
+
+type flat_rule = Rule_fcfs | Rule_spt | Rule_srpt | Rule_swpt | Rule_swrpt
+
+let flat_rule_static = function
+  | Rule_fcfs | Rule_spt | Rule_swpt -> true
+  | Rule_srpt | Rule_swrpt -> false
+
+let flat_rule_name = function
+  | Rule_fcfs -> "FCFS"
+  | Rule_spt -> "SPT"
+  | Rule_srpt -> "SRPT"
+  | Rule_swpt -> "SWPT"
+  | Rule_swrpt -> "SWRPT"
+
+type flat = {
+  kind : flat_rule;
+  fstatic : bool;
+  fheaps : Heap.Indexed.t array;
+  fdb_of_job : int array;
+  fhosts : int array array;
+  fdbs_of_machine : int array array;  (* int arrays: closure-free loops *)
+  ffree : bool array;
+  ffree_up : int array;
+  rel : float array;                  (* release date per job *)
+  jsize : float array;                (* size per job *)
+  (* walk scratch, persisted across events.  [fcand]/[fcand_len] hold
+     each databank's frontier of candidate heap slots while a walk
+     enumerates successive minima without mutating the heap (consuming a
+     slot adds its two children, and at most one slot is consumed per
+     machine grab, so [2 nm + 3] slots bound the frontier). *)
+  fcand : int array array;
+  fcand_len : int array;
+  mutable bd : int;                   (* best databank, -1 = none *)
+  mutable bj : int;                   (* best job *)
+  mutable bs : int;                   (* best heap slot *)
+  mutable bc : int;                   (* best index into fcand.(bd) *)
+  bk : float array;                   (* bk.(0): best key (float cell — a
+                                         mutable float field would box on
+                                         every store) *)
+}
+
+let make_flat ~kind inst =
+  let platform = Instance.platform inst in
+  let nj = Instance.num_jobs inst in
+  let nm = Platform.num_machines platform in
+  let nd = Platform.num_databanks platform in
+  { kind;
+    fstatic = flat_rule_static kind;
+    fheaps = Array.init nd (fun _ -> Heap.Indexed.create ~capacity:nj);
+    fdb_of_job = Array.init nj (fun j -> (Instance.job inst j).Job.databank);
+    fhosts =
+      Array.init nd (fun d ->
+          Platform.hosts_of platform d
+          |> List.map (fun (m : Machine.t) -> m.id)
+          |> Array.of_list);
+    fdbs_of_machine =
+      Array.init nm (fun mid ->
+          let m = Platform.machine platform mid in
+          List.filter (fun d -> Machine.hosts m d) (List.init nd Fun.id)
+          |> Array.of_list);
+    ffree = Array.make nm true;
+    ffree_up = Array.make nd 0;
+    rel = Array.init nj (fun j -> (Instance.job inst j).Job.release);
+    jsize = Array.init nj (fun j -> (Instance.job inst j).Job.size);
+    fcand = Array.init nd (fun _ -> Array.make ((2 * nm) + 3) 0);
+    fcand_len = Array.make nd 0;
+    bd = -1;
+    bj = max_int;
+    bs = 0;
+    bc = 0;
+    bk = Array.make 1 nan }
+
+(* Stage job [j]'s priority key into its heap.  Each rule computes the
+   exact expression the legacy [Priority] closures evaluate — same
+   operands, same order — so stored keys stay bit-identical to the
+   oracle's.  [Heap.Indexed.put_key] is a one-line array store the
+   compiler inlines, so the float never crosses a call boundary. *)
+let stage_key s st h j =
+  match s.kind with
+  | Rule_fcfs -> Heap.Indexed.put_key h j s.rel.(j)
+  | Rule_spt -> Heap.Indexed.put_key h j s.jsize.(j)
+  | Rule_srpt -> Heap.Indexed.put_key h j (Sim.Columns.remaining st).(j)
+  | Rule_swpt -> Heap.Indexed.put_key h j (s.jsize.(j) *. s.jsize.(j))
+  | Rule_swrpt ->
+    Heap.Indexed.put_key h j ((Sim.Columns.remaining st).(j) *. s.jsize.(j))
+
+let rec count_up st (hosts : int array) i acc =
+  if i >= Array.length hosts then acc
+  else
+    count_up st hosts (i + 1)
+      (if Sim.machine_up st hosts.(i) then acc + 1 else acc)
+
+(* The walk loop, top level so no closure is built per event: find the
+   minimum (key, id) among the qualifying databanks' pending jobs, let it
+   grab every free up host of its databank, repeat.
+
+   Successive minima are read through each databank's candidate-slot
+   frontier ([fcand]) instead of popping the heap: a pop is a full-depth
+   sift plus a matching full-depth restore once the walk is over — the
+   dominant cost of a replan on a deep queue — while the frontier only
+   reads [slot_key]/[slot_id].  The frontier of a db starts at slot 0
+   (its minimum); consuming a slot adds its two children, whose keys are
+   [>=] by the heap property, so the minimum over all live candidates is
+   exactly the next pending job in [(key, id)] order — the same job the
+   popping walk would select. *)
+let rec walk s st buf =
+  s.bd <- -1;
+  s.bj <- max_int;
+  for d = 0 to Array.length s.fheaps - 1 do
+    if s.ffree_up.(d) > 0 then begin
+      let h = s.fheaps.(d) in
+      let cand = s.fcand.(d) in
+      for c = 0 to s.fcand_len.(d) - 1 do
+        let i = cand.(c) in
+        let j = Heap.Indexed.slot_id h i in
+        let k = Heap.Indexed.slot_key h i in
+        if s.bd < 0 || k < s.bk.(0) || (k = s.bk.(0) && j < s.bj) then begin
+          s.bd <- d;
+          s.bj <- j;
+          s.bs <- i;
+          s.bc <- c;
+          s.bk.(0) <- k
+        end
+      done
+    end
+  done;
+  if s.bd >= 0 then begin
+    let d = s.bd and j = s.bj in
+    (* Consume the winning slot: replace it by the last candidate and
+       append its children. *)
+    let h = s.fheaps.(d) in
+    let cand = s.fcand.(d) in
+    let len = s.fcand_len.(d) - 1 in
+    cand.(s.bc) <- cand.(len);
+    let l = (2 * s.bs) + 1 in
+    let r = l + 1 in
+    let n = Heap.Indexed.slot_count h in
+    let len = if l < n then (cand.(len) <- l; len + 1) else len in
+    let len = if r < n then (cand.(len) <- r; len + 1) else len in
+    s.fcand_len.(d) <- len;
+    let hosts = s.fhosts.(d) in
+    for i = 0 to Array.length hosts - 1 do
+      let m = hosts.(i) in
+      if s.ffree.(m) && Sim.machine_up st m then begin
+        s.ffree.(m) <- false;
+        Sim.Plan_buf.begin_machine buf m;
+        Sim.Plan_buf.push_unit_share buf ~job:j;
+        let dbs = s.fdbs_of_machine.(m) in
+        for q = 0 to Array.length dbs - 1 do
+          s.ffree_up.(dbs.(q)) <- s.ffree_up.(dbs.(q)) - 1
+        done
+      end
+    done;
+    walk s st buf
+  end
+
+
+let heap_allocate_flat s st buf =
+  Array.fill s.ffree 0 (Array.length s.ffree) true;
+  for d = 0 to Array.length s.fheaps - 1 do
+    s.ffree_up.(d) <- count_up st s.fhosts.(d) 0 0
+  done;
+  for d = 0 to Array.length s.fheaps - 1 do
+    s.fcand_len.(d) <-
+      (if Heap.Indexed.is_empty s.fheaps.(d) then 0
+       else begin
+         s.fcand.(d).(0) <- 0;
+         1
+       end)
+  done;
+  walk s st buf
+
+let flat_on_event s st buf =
+  for i = 0 to Sim.Events.count st - 1 do
+    match Sim.Events.kind st i with
+    | `Arrival ->
+      let j = Sim.Events.subject st i in
+      let h = s.fheaps.(s.fdb_of_job.(j)) in
+      stage_key s st h j;
+      Heap.Indexed.add_keyed h j
+    | `Completion ->
+      let j = Sim.Events.subject st i in
+      Heap.Indexed.remove s.fheaps.(s.fdb_of_job.(j)) j
+    | `Boundary | `Failure | `Recovery -> ()
+  done;
+  if not s.fstatic then
+    for i = 0 to Sim.dirty_count st - 1 do
+      let j = Sim.dirty_job st i in
+      let h = s.fheaps.(s.fdb_of_job.(j)) in
+      if Heap.Indexed.mem h j then begin
+        stage_key s st h j;
+        Heap.Indexed.update_keyed h j
+      end
+    done;
+  heap_allocate_flat s st buf
+
+let flat_scheduler kind =
+  Sim.flat_incremental ~name:(flat_rule_name kind) ~init:(make_flat ~kind)
+    ~on_event:flat_on_event
+
+let flat_fcfs = flat_scheduler Rule_fcfs
+let flat_spt = flat_scheduler Rule_spt
+let flat_srpt = flat_scheduler Rule_srpt
+let flat_swpt = flat_scheduler Rule_swpt
+let flat_swrpt = flat_scheduler Rule_swrpt

@@ -46,3 +46,24 @@ val spt : Sim.scheduler
 val srpt : Sim.scheduler
 val swpt : Sim.scheduler
 val swrpt : Sim.scheduler
+
+(** {1 Flat (zero-allocation) variants}
+
+    The same heap-backed policy as {!scheduler}, writing grab-order runs
+    directly into the engine's reusable {!Sim.Plan_buf.t} and keying the
+    heaps through the allocation-free
+    {!Gripps_collections.Heap.Indexed.put_key} protocol: steady-state
+    event handling allocates nothing on the minor heap.  Allocations,
+    schedules, metrics and journals are bit-identical to both list
+    paths. *)
+
+type flat_rule = Rule_fcfs | Rule_spt | Rule_srpt | Rule_swpt | Rule_swrpt
+
+val flat_scheduler : flat_rule -> Sim.flat_scheduler
+
+val flat_fcfs : Sim.flat_scheduler
+val flat_spt : Sim.flat_scheduler
+val flat_srpt : Sim.flat_scheduler
+val flat_swpt : Sim.flat_scheduler
+val flat_swrpt : Sim.flat_scheduler
+

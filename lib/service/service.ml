@@ -1,5 +1,6 @@
 open Gripps_model
 module Fault = Gripps_engine.Fault
+module Pb = Gripps_engine.Sim.Plan_buf
 module Source = Gripps_workload.Source
 module Obs = Gripps_obs.Obs
 module J = Obs.Journal
@@ -167,7 +168,7 @@ type daemon = {
   nd : int;
   speeds : float array;
   hosts : int array array;            (* machines per databank *)
-  dbs_of_machine : int list array;
+  dbs_of_machine : int array array;
   up : bool array;
   mutable trace : Fault.edge list;
   (* slot pool: the only per-job storage, recycled on completion *)
@@ -183,14 +184,26 @@ type daemon = {
   (* allocator scratch *)
   mfree : bool array;
   free_up : int array;
-  (* live plan *)
-  mutable alloc : (int * (int * float) list) list;  (* slot-addressed *)
+  mutable wd : int;                   (* walk: best databank, -1 = none *)
+  mutable ws : int;                   (* walk: best slot *)
+  scratch : float array;              (* scratch.(0): running minima (walk
+                                         best key, next-completion fold).
+                                         A cell, not a mutable field — a
+                                         float field of a mixed record
+                                         boxes on every store. *)
+  (* live plan: flat slot-addressed runs, refilled in place at every
+     replan instead of consing a [(machine, shares) list] *)
+  plan : Pb.t;
   rates : float array;
   lost_rates : float array;
   rated : int Vec.t;
   crashing : bool array;
   crashed : int Vec.t;
   completions : int Vec.t;
+  cmp_ext : int -> int -> int;        (* ascending external id; built once
+                                         so the per-step sort closes over
+                                         nothing (a closure literal would
+                                         allocate at every batch) *)
   (* pending queue (FIFO; two-list queue so it serializes trivially) *)
   mutable q_front : qitem list;
   mutable q_back : qitem list;
@@ -240,6 +253,7 @@ let make_daemon cfg src =
   for s = k - 1 downto 0 do
     Vec.push free_slots s
   done;
+  let ext = Array.make k (-1) in
   { cfg; src; nm; nd;
     speeds = Array.init nm (fun m -> (Platform.machine platform m).Machine.speed);
     hosts =
@@ -250,10 +264,11 @@ let make_daemon cfg src =
     dbs_of_machine =
       Array.init nm (fun mid ->
           let m = Platform.machine platform mid in
-          List.filter (fun d -> Machine.hosts m d) (List.init nd Fun.id));
+          List.filter (fun d -> Machine.hosts m d) (List.init nd Fun.id)
+          |> Array.of_list);
     up = Array.make nm true;
     trace = Fault.merge cfg.faults (Fault.of_platform platform);
-    ext = Array.make k (-1);
+    ext;
     release = Array.make k 0.0;
     size = Array.make k 0.0;
     db = Array.make k 0;
@@ -263,13 +278,16 @@ let make_daemon cfg src =
     heaps = Array.init nd (fun _ -> Heap.Indexed.create ~capacity:k);
     mfree = Array.make nm true;
     free_up = Array.make nd 0;
-    alloc = [];
+    wd = -1; ws = 0;
+    scratch = Array.make 2 0.0;
+    plan = Pb.create ();
     rates = Array.make k 0.0;
     lost_rates = Array.make k 0.0;
     rated = Vec.create ();
     crashing = Array.make nm false;
     crashed = Vec.create ();
     completions = Vec.create ();
+    cmp_ext = (fun a b -> compare ext.(a) ext.(b));
     q_front = []; q_back = []; q_len = 0;
     now = 0.0; events = 0; replans = 0;
     (* force an initial checkpoint on the first loop iteration, so even
@@ -282,10 +300,26 @@ let make_daemon cfg src =
     seg_index = 0; seg_lines = 0;
     lat_hist = Array.make lat_bins 0; lat_count = 0 }
 
-let map_alloc d al =
-  List.map (fun (m, shares) ->
-      (m, List.map (fun (s, sh) -> (d.ext.(s), sh)) shares))
-    al
+(* The live plan as a legacy allocation list, slots mapped to external
+   ids, optionally dropping crashing machines.  Built back to front so
+   the list comes out in the buffer's canonical order — only ever
+   materialized for the journal (cold path). *)
+let plan_ext_allocation ?(skip_crashing = false) d =
+  let b = d.plan in
+  let rec entries i k acc =
+    if k < 0 then acc
+    else
+      entries i (k - 1)
+        ((d.ext.(Pb.entry_job b i k), Pb.entry_share b i k) :: acc)
+  in
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      let m = Pb.run_machine b i in
+      if skip_crashing && d.crashing.(m) then go (i - 1) acc
+      else go (i - 1) ((m, entries i (Pb.run_length b i - 1) []) :: acc)
+  in
+  go (Pb.runs b - 1) []
 
 (* ---- journal segments -------------------------------------------------- *)
 
@@ -369,13 +403,17 @@ let serialize d =
   List.iter
     (fun q -> pf "qitem %d %.17g %.17g %d\n" q.q_ext q.q_release q.q_size q.q_db)
     (d.q_front @ List.rev d.q_back);
-  pf "plan %d\n" (List.length d.alloc);
-  List.iter
-    (fun (m, shares) ->
-      pf "pentry %d %d" m (List.length shares);
-      List.iter (fun (s, sh) -> pf " %d %.17g" s sh) shares;
-      Buffer.add_char b '\n')
-    d.alloc;
+  (* Canonical (legacy list) order, so checkpoints written before and
+     after the flat-plan change are byte-identical. *)
+  pf "plan %d\n" (Pb.runs d.plan);
+  for i = 0 to Pb.runs d.plan - 1 do
+    let len = Pb.run_length d.plan i in
+    pf "pentry %d %d" (Pb.run_machine d.plan i) len;
+    for k = 0 to len - 1 do
+      pf " %d %.17g" (Pb.entry_job d.plan i k) (Pb.entry_share d.plan i k)
+    done;
+    Buffer.add_char b '\n'
+  done;
   pf "jseg %d %d\n" d.seg_index d.seg_lines;
   Buffer.contents b
 
@@ -584,34 +622,40 @@ let restore cfg path make_source =
     | [ n ] -> p_int ps n
     | _ -> corrupt path "malformed 'plan' record"
   in
-  d.alloc <-
-    List.init nplan (fun _ ->
-        match next_line ps "pentry" with
-        | m :: n :: rest ->
-          let m = p_int ps m and n = p_int ps n in
-          if m < 0 || m >= d.nm then corrupt path "plan references unknown machine";
-          let rec shares n = function
-            | [] when n = 0 -> []
-            | s :: sh :: rest when n > 0 ->
-              (p_int ps s, p_float ps sh) :: shares (n - 1) rest
-            | _ -> corrupt path "malformed 'pentry' record"
-          in
-          (m, shares n rest)
-        | _ -> corrupt path "malformed 'pentry' record");
+  (* The checkpoint lists runs in canonical order, so refill the buffer
+     with [grab_order = false]: reads come back in write order, which is
+     exactly the order the original run's canonical accessors used. *)
+  Pb.clear d.plan;
+  for _ = 1 to nplan do
+    match next_line ps "pentry" with
+    | m :: n :: rest ->
+      let m = p_int ps m and n = p_int ps n in
+      if m < 0 || m >= d.nm then corrupt path "plan references unknown machine";
+      Pb.begin_machine d.plan m;
+      let rec shares n = function
+        | [] when n = 0 -> ()
+        | s :: sh :: rest when n > 0 ->
+          Pb.push_share d.plan ~job:(p_int ps s) ~share:(p_float ps sh);
+          shares (n - 1) rest
+        | _ -> corrupt path "malformed 'pentry' record"
+      in
+      shares n rest
+    | _ -> corrupt path "malformed 'pentry' record"
+  done;
   (* Reload the rates from the restored plan in allocation-list order —
      the same order the original run's loader used, so the completion
      scan walks [rated] identically. *)
-  List.iter
-    (fun (m, shares) ->
-      List.iter
-        (fun (s, share) ->
-          if s < 0 || s >= cfg.max_live || d.ext.(s) < 0 then
-            corrupt path "plan references a free slot";
-          let r = share *. d.speeds.(m) in
-          if d.rates.(s) = 0.0 && r > 0.0 then Vec.push d.rated s;
-          d.rates.(s) <- d.rates.(s) +. r)
-        shares)
-    d.alloc;
+  for i = 0 to Pb.runs d.plan - 1 do
+    let m = Pb.run_machine d.plan i in
+    for k = 0 to Pb.run_length d.plan i - 1 do
+      let s = Pb.entry_job d.plan i k in
+      if s < 0 || s >= cfg.max_live || d.ext.(s) < 0 then
+        corrupt path "plan references a free slot";
+      let r = Pb.entry_share d.plan i k *. d.speeds.(m) in
+      if d.rates.(s) = 0.0 && r > 0.0 then Vec.push d.rated s;
+      d.rates.(s) <- d.rates.(s) +. r
+    done
+  done;
   let seg_index, seg_lines =
     match next_line ps "jseg" with
     | [ i; n ] -> (p_int ps i, p_int ps n)
@@ -780,50 +824,60 @@ let pop_arrivals d batch =
    free up replica of the globally smallest (key, slot) among databanks
    that still have one.  Slot ids stand in for job ids in the tiebreak;
    slot assignment is itself deterministic (and checkpointed), so the
-   walk is reproducible across kill and resume. *)
+   walk is reproducible across kill and resume.
+
+   A winner takes every free up replica of its databank, driving that
+   databank's [free_up] to zero — no databank yields twice, so the only
+   candidate a databank ever offers is its heap root.  Reading the root
+   through the slot accessors means the walk never mutates the heaps
+   (the old pop-winners-then-restore pattern paid two full-depth sifts
+   per winner), and the plan lands in the reusable flat buffer in grab
+   order instead of a consed list.  The running best lives in daemon
+   fields / the scratch cell: locals would box (the float) or allocate
+   ref cells at every replan. *)
+let rec walk d =
+  d.wd <- -1;
+  for db = 0 to d.nd - 1 do
+    if d.free_up.(db) > 0 && Heap.Indexed.slot_count d.heaps.(db) > 0 then begin
+      let s = Heap.Indexed.slot_id d.heaps.(db) 0 in
+      let k = Heap.Indexed.slot_key d.heaps.(db) 0 in
+      if d.wd < 0 || k < d.scratch.(0) || (k = d.scratch.(0) && s < d.ws)
+      then begin
+        d.wd <- db;
+        d.ws <- s;
+        d.scratch.(0) <- k
+      end
+    end
+  done;
+  if d.wd >= 0 then begin
+    let s = d.ws in
+    let hosts = d.hosts.(d.wd) in
+    for i = 0 to Array.length hosts - 1 do
+      let m = hosts.(i) in
+      if d.mfree.(m) && d.up.(m) then begin
+        d.mfree.(m) <- false;
+        Pb.begin_machine d.plan m;
+        Pb.push_unit_share d.plan ~job:s;
+        let dbs = d.dbs_of_machine.(m) in
+        for q = 0 to Array.length dbs - 1 do
+          d.free_up.(dbs.(q)) <- d.free_up.(dbs.(q)) - 1
+        done
+      end
+    done;
+    walk d
+  end
+
 let heap_walk d =
   Array.fill d.mfree 0 d.nm true;
   for db = 0 to d.nd - 1 do
-    let n = ref 0 in
-    Array.iter (fun m -> if d.up.(m) then incr n) d.hosts.(db);
-    d.free_up.(db) <- !n
+    d.free_up.(db) <- 0;
+    let hosts = d.hosts.(db) in
+    for i = 0 to Array.length hosts - 1 do
+      if d.up.(hosts.(i)) then d.free_up.(db) <- d.free_up.(db) + 1
+    done
   done;
-  let alloc = ref [] in
-  let popped = ref [] in
-  let continue_ = ref true in
-  while !continue_ do
-    let best_d = ref (-1) and best_s = ref max_int and best_k = ref nan in
-    for db = 0 to d.nd - 1 do
-      if d.free_up.(db) > 0 then
-        match Heap.Indexed.min_elt d.heaps.(db) with
-        | None -> ()
-        | Some s ->
-          let k = Heap.Indexed.key d.heaps.(db) s in
-          if !best_d < 0 || k < !best_k || (k = !best_k && s < !best_s) then begin
-            best_d := db;
-            best_s := s;
-            best_k := k
-          end
-    done;
-    if !best_d < 0 then continue_ := false
-    else begin
-      let db = !best_d and s = !best_s and k = !best_k in
-      ignore (Heap.Indexed.pop_exn d.heaps.(db));
-      popped := (db, s, k) :: !popped;
-      Array.iter
-        (fun m ->
-          if d.mfree.(m) && d.up.(m) then begin
-            d.mfree.(m) <- false;
-            alloc := (m, [ (s, 1.0) ]) :: !alloc;
-            List.iter
-              (fun db' -> d.free_up.(db') <- d.free_up.(db') - 1)
-              d.dbs_of_machine.(m)
-          end)
-        d.hosts.(db)
-    end
-  done;
-  List.iter (fun (db, s, k) -> Heap.Indexed.add d.heaps.(db) s k) !popped;
-  !alloc
+  Pb.clear ~grab_order:true d.plan;
+  walk d
 
 let record_latency d dur =
   d.lat_hist.(lat_bin dur) <- d.lat_hist.(lat_bin dur) + 1;
@@ -835,38 +889,45 @@ let record_latency d dur =
 let replan d =
   let t0 = Unix.gettimeofday () in
   (* Re-key what the last segment advanced (still-live members of the
-     old plan's support); static rules never need it. *)
+     old plan's support); static rules never need it.  [put_key] +
+     [update_keyed] rather than [update]: same sift sequence, but the
+     key never crosses a non-inlined call boundary, so no float box. *)
   if not (rule_static d.cfg.rule) then
-    Vec.iter
-      (fun s ->
-        if d.ext.(s) >= 0 then begin
-          let h = d.heaps.(d.db.(s)) in
-          if Heap.Indexed.mem h s then Heap.Indexed.update h s (key d s)
-        end)
-      d.rated;
-  Vec.iter
-    (fun s ->
-      d.rates.(s) <- 0.0;
-      d.lost_rates.(s) <- 0.0)
-    d.rated;
+    for i = 0 to Vec.length d.rated - 1 do
+      let s = Vec.get d.rated i in
+      if d.ext.(s) >= 0 then begin
+        let h = d.heaps.(d.db.(s)) in
+        if Heap.Indexed.mem h s then begin
+          Heap.Indexed.put_key h s (key d s);
+          Heap.Indexed.update_keyed h s
+        end
+      end
+    done;
+  for i = 0 to Vec.length d.rated - 1 do
+    let s = Vec.get d.rated i in
+    d.rates.(s) <- 0.0;
+    d.lost_rates.(s) <- 0.0
+  done;
   Vec.clear d.rated;
-  d.alloc <- heap_walk d;
-  List.iter
-    (fun (m, shares) ->
-      List.iter
-        (fun (s, share) ->
-          let r = share *. d.speeds.(m) in
-          if d.rates.(s) = 0.0 && r > 0.0 then Vec.push d.rated s;
-          d.rates.(s) <- d.rates.(s) +. r)
-        shares)
-    d.alloc;
+  heap_walk d;
+  (* Rate loading walks the buffer in canonical order — the same order
+     the old list loader used, float summation included. *)
+  for i = 0 to Pb.runs d.plan - 1 do
+    let m = Pb.run_machine d.plan i in
+    for k = 0 to Pb.run_length d.plan i - 1 do
+      let s = Pb.entry_job d.plan i k in
+      let r = Pb.entry_share d.plan i k *. d.speeds.(m) in
+      if d.rates.(s) = 0.0 && r > 0.0 then Vec.push d.rated s;
+      d.rates.(s) <- d.rates.(s) +. r
+    done
+  done;
   d.replans <- d.replans + 1;
   Obs.Counter.incr c_replans;
   if J.on () then
     J.record
       (J.Replan
          { time = d.now; scheduler = rule_name d.cfg.rule;
-           allocation = map_alloc d d.alloc; horizon = None });
+           allocation = plan_ext_allocation d; horizon = None });
   record_latency d (Unix.gettimeofday () -. t0)
 
 (* ---- the event step ---------------------------------------------------- *)
@@ -881,9 +942,18 @@ let complete d s t completions =
    Mirrors Sim's advance, including crash-loss semantics; the sliver
    threshold is per-job (1e-9 × size) because a stream has no
    total-work yardstick. *)
+(* Does any plan run survive the crashes (= does the segment deliver
+   anything worth recording)?  Top-level so the per-event call allocates
+   no closure. *)
+let rec plan_any_live d i =
+  i < Pb.runs d.plan
+  && ((not d.crashing.(Pb.run_machine d.plan i)) || plan_any_live d (i + 1))
+
 let step d t_next =
   let dt = t_next -. d.now in
-  Vec.iter (fun m -> d.crashing.(m) <- false) d.crashed;
+  for i = 0 to Vec.length d.crashed - 1 do
+    d.crashing.(Vec.get d.crashed i) <- false
+  done;
   Vec.clear d.crashed;
   let any_crash = ref false in
   if d.cfg.loss = Fault.Crash then begin
@@ -903,71 +973,72 @@ let step d t_next =
     scan d.trace
   end;
   if !any_crash then
-    List.iter
-      (fun (mid, shares) ->
-        if d.crashing.(mid) then
-          List.iter
-            (fun (s, share) ->
-              d.lost_rates.(s) <- d.lost_rates.(s) +. (share *. d.speeds.(mid)))
-            shares)
-      d.alloc;
-  let delivered =
-    if !any_crash then List.filter (fun (mid, _) -> not d.crashing.(mid)) d.alloc
-    else d.alloc
-  in
-  if dt > 0.0 && delivered <> [] then begin
+    for i = 0 to Pb.runs d.plan - 1 do
+      let mid = Pb.run_machine d.plan i in
+      if d.crashing.(mid) then
+        for k = 0 to Pb.run_length d.plan i - 1 do
+          let s = Pb.entry_job d.plan i k in
+          d.lost_rates.(s) <-
+            d.lost_rates.(s) +. (Pb.entry_share d.plan i k *. d.speeds.(mid))
+        done
+    done;
+  if dt > 0.0 && plan_any_live d 0 then begin
     Obs.Counter.incr c_segments;
     if J.on () then
       J.record
         (J.Segment
            { start_time = d.now; end_time = t_next;
-             shares = map_alloc d delivered })
+             shares = plan_ext_allocation ~skip_crashing:true d })
   end;
   let eps_t = 1e-9 *. Float.max 1.0 (Float.abs t_next) in
   Vec.clear d.completions;
-  Vec.iter
-    (fun s ->
-      let finished = ref false in
-      if d.lost_rates.(s) > 0.0 then begin
-        d.remaining.(s) <-
-          d.remaining.(s) -. ((d.rates.(s) -. d.lost_rates.(s)) *. dt);
-        d.lost_work <- d.lost_work +. (d.lost_rates.(s) *. dt)
-      end
+  (* The sliver rule may only fire on a job the branch above did not
+     already complete (a completed job's remaining is 0.0, which is below
+     any threshold) — so it sits on the two paths where none fired,
+     rather than behind a per-job [ref] flag. *)
+  for i = 0 to Vec.length d.rated - 1 do
+    let s = Vec.get d.rated i in
+    if d.lost_rates.(s) > 0.0 then begin
+      d.remaining.(s) <-
+        d.remaining.(s) -. ((d.rates.(s) -. d.lost_rates.(s)) *. dt);
+      d.lost_work <- d.lost_work +. (d.lost_rates.(s) *. dt);
+      if d.remaining.(s) <= 1e-9 *. d.size.(s) then
+        complete d s t_next d.completions
+    end
+    else begin
+      let t_fin = d.now +. (d.remaining.(s) /. d.rates.(s)) in
+      if t_fin <= t_next +. eps_t then complete d s t_fin d.completions
       else begin
-        let t_fin = d.now +. (d.remaining.(s) /. d.rates.(s)) in
-        if t_fin <= t_next +. eps_t then begin
-          complete d s t_fin d.completions;
-          finished := true
-        end
-        else d.remaining.(s) <- d.remaining.(s) -. (d.rates.(s) *. dt)
-      end;
-      if (not !finished) && d.remaining.(s) <= 1e-9 *. d.size.(s) then
-        complete d s t_next d.completions)
-    d.rated;
+        d.remaining.(s) <- d.remaining.(s) -. (d.rates.(s) *. dt);
+        if d.remaining.(s) <= 1e-9 *. d.size.(s) then
+          complete d s t_next d.completions
+      end
+    end
+  done;
   (* Simultaneous completions retire in ascending external-id order —
      the slot pool recycles ids, so slot order is not arrival order. *)
-  Vec.sort (fun a b -> compare d.ext.(a) d.ext.(b)) d.completions;
+  Vec.sort d.cmp_ext d.completions;
   d.now <- t_next;
   let batch = ref 0 in
-  Vec.iter
-    (fun s ->
-      let e = d.ext.(s) and t = d.ctime.(s) in
-      let flow = t -. d.release.(s) in
-      let stretch = flow /. d.size.(s) in
-      d.completed <- d.completed + 1;
-      d.sum_flow <- d.sum_flow +. flow;
-      if flow > d.max_flow then d.max_flow <- flow;
-      d.sum_stretch <- d.sum_stretch +. stretch;
-      if stretch > d.max_stretch then d.max_stretch <- stretch;
-      if t > d.makespan then d.makespan <- t;
-      if J.on () then
-        J.record (J.Sim_event { time = t; kind = J.Completion; subject = e });
-      Heap.Indexed.remove d.heaps.(d.db.(s)) s;
-      d.ext.(s) <- -1;
-      Vec.push d.free_slots s;
-      d.live <- d.live - 1;
-      incr batch)
-    d.completions;
+  for i = 0 to Vec.length d.completions - 1 do
+    let s = Vec.get d.completions i in
+    let e = d.ext.(s) and t = d.ctime.(s) in
+    let flow = t -. d.release.(s) in
+    let stretch = flow /. d.size.(s) in
+    d.completed <- d.completed + 1;
+    d.sum_flow <- d.sum_flow +. flow;
+    if flow > d.max_flow then d.max_flow <- flow;
+    d.sum_stretch <- d.sum_stretch +. stretch;
+    if stretch > d.max_stretch then d.max_stretch <- stretch;
+    if t > d.makespan then d.makespan <- t;
+    if J.on () then
+      J.record (J.Sim_event { time = t; kind = J.Completion; subject = e });
+    Heap.Indexed.remove d.heaps.(d.db.(s)) s;
+    d.ext.(s) <- -1;
+    Vec.push d.free_slots s;
+    d.live <- d.live - 1;
+    incr batch
+  done;
   let continue_ = ref true in
   while !continue_ do
     match d.trace with
@@ -1047,12 +1118,18 @@ let loop d ~stop_after_events =
         flush_journal d;
         write_checkpoint d
       end;
-      let next_completion = ref infinity in
-      Vec.iter
-        (fun s ->
-          let t = d.now +. (d.remaining.(s) /. d.rates.(s)) in
-          if t < !next_completion then next_completion := t)
-        d.rated;
+      (* Next-date minimum folded through the scratch cell, as in Sim's
+         loop: a [float ref] would box on every store, and a min chain
+         mixing boxed operands ([Fault.time], [infinity]) with unboxed
+         ones boxes at the if-join.  All dates are non-NaN, so the fold
+         computes exactly the old
+         [min next_completion (min arrival_t fault_t)]. *)
+      d.scratch.(0) <- infinity;
+      for i = 0 to Vec.length d.rated - 1 do
+        let s = Vec.get d.rated i in
+        let t = d.now +. (d.remaining.(s) /. d.rates.(s)) in
+        if t < d.scratch.(0) then d.scratch.(0) <- t
+      done;
       let arrival_t =
         match Source.peek d.src with
         | None -> infinity
@@ -1066,7 +1143,9 @@ let loop d ~stop_after_events =
       let fault_t =
         match d.trace with e :: _ -> e.Fault.time | [] -> infinity
       in
-      let t_next = Float.min !next_completion (Float.min arrival_t fault_t) in
+      if arrival_t < d.scratch.(0) then d.scratch.(0) <- arrival_t;
+      if fault_t < d.scratch.(0) then d.scratch.(0) <- fault_t;
+      let t_next = d.scratch.(0) in
       if t_next = infinity then begin
         if d.live = 0 && d.q_len = 0 && Source.peek d.src = None then
           outcome := Some Drained

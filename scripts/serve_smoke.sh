@@ -8,19 +8,29 @@
 # the final checkpoint file.
 #
 # Usage: scripts/serve_smoke.sh [CLI_BINARY] [OUT_DIR]
+#
+# Without OUT_DIR the run works in a mktemp directory that is removed on
+# exit; pass an explicit OUT_DIR (CI does, to upload artifacts) to keep
+# the outputs.
+#
 # Env:   GRIPPS_SMOKE_JOBS        workload size        (default 1000000)
 #        GRIPPS_SMOKE_KILL_AFTER  seconds before kill  (default 1.5)
 set -euo pipefail
 
 CLI="${1:-_build/default/bin/gripps_cli.exe}"
-OUT="${2:-serve-smoke}"
+if [ $# -ge 2 ]; then
+  OUT="$2"
+  rm -rf "$OUT"
+else
+  OUT="$(mktemp -d "${TMPDIR:-/tmp}/serve-smoke.XXXXXX")"
+  trap 'rm -rf "$OUT"' EXIT
+fi
 JOBS="${GRIPPS_SMOKE_JOBS:-1000000}"
 KILL_AFTER="${GRIPPS_SMOKE_KILL_AFTER:-1.5}"
 
 ARGS=(--seed 7 --n-jobs "$JOBS" --rate 1 --scheduler SWRPT --policy drop
       --max-live 256 --queue-cap 64 --checkpoint-every 5000)
 
-rm -rf "$OUT"
 mkdir -p "$OUT/ref/journal" "$OUT/killed/journal"
 
 echo "serve-smoke: reference (uninterrupted) run..."
