@@ -38,6 +38,14 @@ let availability_t =
 let density_t =
   Arg.(value & opt float 1.0 & info [ "density" ] ~docv:"D" ~doc:"Workload density.")
 
+let users_t =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "users" ] ~docv:"N"
+        ~doc:"Tag jobs with one of $(docv) users uniformly at random (feeds \
+              the per-user fairness objective; default 1, untagged).")
+
 let horizon_t default =
   Arg.(
     value
@@ -71,13 +79,26 @@ let config ~sites ~databases ~availability ~density ~horizon =
 
 let scheduler_by_name = E.Sched_registry.find_scheduler
 
+let list_schedulers () =
+  List.iter
+    (fun e -> print_endline (E.Sched_registry.describe e))
+    E.Sched_registry.registry
+
+let list_schedulers_t =
+  Arg.(
+    value & flag
+    & info [ "list-schedulers" ]
+        ~doc:"Print every registered scheduler (name, kind, information \
+              model, targeted objectives) and exit.")
+
 let run_cmd =
   let scheduler_t =
     Arg.(
       value
       & opt (some string) None
       & info [ "scheduler" ] ~docv:"NAME"
-          ~doc:"Run a single scheduler (default: the whole portfolio).")
+          ~doc:"Run a single scheduler, by case-insensitive registry name \
+                (default: the clairvoyant Table 1 portfolio).")
   in
   let gantt_t =
     Arg.(
@@ -85,8 +106,15 @@ let run_cmd =
       & info [ "gantt" ]
           ~doc:"Print a text Gantt chart of each scheduler's realized schedule.")
   in
-  let action seed sites databases availability density horizon scheduler gantt =
-    let c = config ~sites ~databases ~availability ~density ~horizon in
+  let action seed sites databases availability density horizon users scheduler
+      gantt list =
+    if list then begin
+      list_schedulers ();
+      exit 0
+    end;
+    let c =
+      W.Config.make ~sites ~databases ~availability ~density ~horizon ~users ()
+    in
     let rng = Gripps_rng.Splitmix.create seed in
     let inst = W.Generator.instance rng c in
     Printf.printf "# %s\n# %d jobs, total speed %.1f MB/s\n" (W.Config.describe c)
@@ -94,13 +122,14 @@ let run_cmd =
       (Platform.total_speed (Instance.platform inst));
     let schedulers =
       match scheduler with
-      | None -> E.Sched_registry.schedulers E.Sched_registry.all
+      | None -> E.Sched_registry.schedulers E.Sched_registry.paper_panel
       | Some name ->
         (match scheduler_by_name name with
          | Some s -> [ s ]
          | None ->
            Printf.eprintf "unknown scheduler %s; available: %s\n" name
-             (String.concat ", " E.Sched_registry.names);
+             (String.concat ", "
+                (E.Sched_registry.panel_names E.Sched_registry.registry));
            exit 2)
     in
     let r = E.Runner.run_instance ~schedulers c inst in
@@ -128,7 +157,7 @@ let run_cmd =
     Term.(
       ret
         (const action $ seed_t $ sites_t $ databases_t $ availability_t $ density_t
-         $ horizon_t 60.0 $ scheduler_t $ gantt_t))
+         $ horizon_t 60.0 $ users_t $ scheduler_t $ gantt_t $ list_schedulers_t))
 
 (* ---- optimal ---------------------------------------------------------- *)
 
@@ -186,34 +215,113 @@ let table_term =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"N|all" ~doc:"Paper table number (1-16) or 'all'.")
+      & info [] ~docv:"N|all|clairvoyance|lp"
+          ~doc:"Paper table number (1-16), 'all', or one of the new panels: \
+                $(b,clairvoyance) (Table 1 portfolio vs the size-blind \
+                EQUI/RR) or $(b,lp) (L_p stretch sweep, p in {1, 2, 3, inf}).")
   in
-  let action which seed instances horizon jobs =
+  let objective_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "objective" ] ~docv:"OBJ"
+          ~doc:"Aggregate tables 1-16 over this objective instead of the \
+                classic max-/sum-stretch pair: $(b,p1), $(b,p2), $(b,p3), \
+                $(b,pinf) (L_p stretch), $(b,fp2)... (L_p flow), $(b,max), \
+                $(b,sum), $(b,makespan), $(b,user) (per-user max stretch).")
+  in
+  let action which seed instances horizon users objective jobs =
     let progress k total = Printf.eprintf "\rjob %d/%d%!" k total in
-    let results =
-      E.Tables.sweep ~seed ~instances_per_config:instances ~progress
-        ~pool:(pool_of_jobs jobs) ~horizon ()
+    let pool = pool_of_jobs jobs in
+    (* --users rewrites the factorial grid; the default grid is untouched
+       so historical outputs stay byte-identical. *)
+    let configs =
+      if users <= 1 then None
+      else
+        Some
+          (List.map
+             (fun c -> { c with W.Config.users })
+             (W.Config.paper_grid ~horizon ()))
     in
-    Printf.eprintf "\n%!";
-    let all = E.Tables.all_tables results in
-    let print (n, t) = Printf.printf "=== Table %d ===\n%s\n" n (E.Render.table t) in
+    let objective =
+      match objective with
+      | None -> None
+      | Some s ->
+        (match Metrics.objective_of_string s with
+         | Some o -> Some o
+         | None ->
+           Printf.eprintf
+             "unknown objective %s (use p1, p2, p3, pinf, fp1..fpinf, max, \
+              sum, max-flow, sum-flow, makespan or user)\n"
+             s;
+           exit 2)
+    in
+    let sweep ?schedulers ?objectives () =
+      let r =
+        E.Tables.sweep ~seed ~instances_per_config:instances ?configs
+          ?schedulers ?objectives ~progress ~pool ~horizon ()
+      in
+      Printf.eprintf "\n%!";
+      r
+    in
+    let print_objective (n, t) =
+      Printf.printf "=== Table %d ===\n%s\n" n (E.Render.objective_table t)
+    in
     (match which with
-     | "all" -> List.iter print all
+     | "clairvoyance" ->
+       let results =
+         sweep ~schedulers:(E.Sched_registry.schedulers E.Sched_registry.registry)
+           ()
+       in
+       print_string (E.Render.objective_table (E.Tables.clairvoyance_table results))
+     | "lp" ->
+       let results = sweep ~objectives:E.Tables.lp_objectives () in
+       print_string (E.Render.objective_table (E.Tables.lp_table results))
      | n ->
-       (match int_of_string_opt n with
-        | Some k when List.mem_assoc k all -> print (k, List.assoc k all)
-        | Some _ | None ->
-          Printf.eprintf "no such table: %s (use 1-16 or 'all')\n" n;
-          exit 2));
+       let which_table all =
+         match n with
+         | "all" -> `All
+         | _ ->
+           (match int_of_string_opt n with
+            | Some k when List.mem_assoc k all -> `One k
+            | Some _ | None ->
+              Printf.eprintf
+                "no such table: %s (use 1-16, 'all', 'clairvoyance' or 'lp')\n" n;
+              exit 2)
+       in
+       (match objective with
+        | None ->
+          let results = sweep () in
+          let all = E.Tables.all_tables results in
+          let print (n, t) =
+            Printf.printf "=== Table %d ===\n%s\n" n (E.Render.table t)
+          in
+          (match which_table all with
+           | `All -> List.iter print all
+           | `One k -> print (k, List.assoc k all))
+        | Some o ->
+          let results = sweep ~objectives:[ o ] () in
+          let columns =
+            [ { E.Tables.label = Metrics.objective_name o; objective = o } ]
+          in
+          let all = E.Tables.objective_tables ~columns results in
+          (match which_table all with
+           | `All -> List.iter print_objective all
+           | `One k -> print_objective (k, List.assoc k all))));
     `Ok ()
   in
   Term.(
     ret
-      (const action $ which_t $ seed_t $ instances_t 3 $ horizon_t 30.0 $ jobs_t))
+      (const action $ which_t $ seed_t $ instances_t 3 $ horizon_t 30.0 $ users_t
+       $ objective_t $ jobs_t))
 
 let table_cmd =
   Cmd.v
-    (Cmd.info "table" ~doc:"Regenerate the paper's aggregate statistic tables (1-16).")
+    (Cmd.info "table"
+       ~doc:
+         "Regenerate the paper's aggregate statistic tables (1-16), \
+          optionally over any objective (--objective), plus the \
+          clairvoyance-gap and L_p sweep panels.")
     table_term
 
 let tables_cmd =
@@ -870,6 +978,9 @@ let () =
         "error: daemon stalled at t=%.6f with %d live and %d queued jobs \
          that can never finish\n"
         time live queued;
+      3
+    | Metrics.Incomplete j ->
+      Printf.eprintf "error: job %d never completed in the realized schedule\n" j;
       3
     | Failure msg ->
       Printf.eprintf "error: %s\n" msg;

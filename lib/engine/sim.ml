@@ -308,6 +308,39 @@ let flat_incremental ~name ~init ~on_event =
         let s = init inst in
         fun st buf -> on_event s st buf) }
 
+(* The blind view is the engine state itself; the restriction is entirely
+   in the signature (sim.mli keeps [view] abstract and only the accessors
+   below can be applied to one).  Per-job accessors additionally refuse
+   unreleased jobs: a non-clairvoyant scheduler learns a job's databank,
+   release date and owner when the job arrives, never before. *)
+module Blind = struct
+  type view = state
+
+  let platform v = Instance.platform v.inst
+  let now = now
+  let active_jobs = active_jobs
+  let is_completed = is_completed
+  let machine_up = machine_up
+
+  let job_field name field v j =
+    if j < 0 || j >= Array.length v.released || not v.released.(j) then
+      invalid_arg ("Sim.Blind." ^ name ^ ": job not released");
+    field (Instance.job v.inst j)
+
+  let databank v j = job_field "databank" (fun (j : Job.t) -> j.databank) v j
+  let release v j = job_field "release" (fun (j : Job.t) -> j.release) v j
+  let user v j = job_field "user" (fun (j : Job.t) -> j.user) v j
+end
+
+let nonclairvoyant name f = stateless name f
+
+let nonclairvoyant_incremental ~name ~init ~on_event =
+  { name;
+    make =
+      (fun inst ->
+        let s = init (Instance.platform inst) in
+        fun st evs -> on_event s st evs) }
+
 exception Stalled of { time : float; pending : int list }
 
 exception

@@ -243,6 +243,53 @@ val flat_incremental :
   on_event:('s -> state -> Plan_buf.t -> unit) ->
   flat_scheduler
 
+(** {1 Non-clairvoyant schedulers}
+
+    A non-clairvoyant scheduler (Robert–Schabanel) never observes job
+    sizes: not [W_j], not remaining work, not the instance.  The
+    restriction is enforced by the API, not by convention — {!Blind.view}
+    is abstract, only {!nonclairvoyant}/{!nonclairvoyant_incremental}
+    callbacks receive one, and the view exposes no size-bearing accessor
+    ({!remaining}, {!Columns}, {!instance} and {!Instance.t} itself are
+    all unreachable from it).  Per-job accessors further refuse jobs that
+    have not arrived yet, so arrival dates cannot leak either. *)
+module Blind : sig
+  type view
+  (** The engine state, stripped to what a size-blind scheduler may see. *)
+
+  val platform : view -> Platform.t
+  (** Machines, speeds and databank replication are public knowledge. *)
+
+  val now : view -> float
+
+  val active_jobs : view -> int list
+  (** Released, not yet completed; increasing id (= release order). *)
+
+  val is_completed : view -> int -> bool
+  val machine_up : view -> int -> bool
+
+  val databank : view -> int -> int
+  (** @raise Invalid_argument for a job not yet released. *)
+
+  val release : view -> int -> float
+  (** @raise Invalid_argument for a job not yet released. *)
+
+  val user : view -> int -> int
+  (** @raise Invalid_argument for a job not yet released. *)
+end
+
+val nonclairvoyant : string -> (Blind.view -> event list -> plan) -> scheduler
+(** A stateless size-blind scheduler.  Runs on the ordinary engine —
+    only the callback's view is restricted. *)
+
+val nonclairvoyant_incremental :
+  name:string ->
+  init:(Platform.t -> 's) ->
+  on_event:('s -> Blind.view -> event list -> plan) ->
+  scheduler
+(** Like {!incremental}, but [init] sees only the platform (the instance
+    would leak sizes and the job count) and [on_event] the blind view. *)
+
 exception Stalled of { time : float; pending : int list }
 (** Raised when the scheduler leaves pending work unallocated with no
     future event (arrival, plan boundary, or machine repair) to wake it

@@ -50,7 +50,7 @@ let measure ?(seed = 20060303) ?(instances = 3) ?(horizon = 60.0) ?pool () =
               List.fold_left
                 (fun acc (_, _, s) -> sum_stats acc s)
                 zero_stats runs })
-    Sched_registry.names
+    (Sched_registry.panel_names Sched_registry.paper_panel)
 
 type scaling_sample = {
   jobs : int;

@@ -19,6 +19,36 @@ let table (t : Tables.table) =
   add "%s\n" (hline width);
   Buffer.contents b
 
+let objective_table (t : Tables.objective_table) =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "%s\n" t.Tables.o_title;
+  add "(%d instances per row; ratios to the best observed value)\n"
+    t.Tables.o_instances;
+  let ncols = List.length t.Tables.o_columns in
+  let width = 14 + 2 + 15 + (29 * ncols) in
+  add "%s\n" (hline width);
+  add "%-14s| %-15s" "" "";
+  List.iter
+    (fun (c : Tables.objective_column) -> add " | %26s" c.Tables.label)
+    t.Tables.o_columns;
+  add "\n%-14s| %-15s" "Scheduler" "Info";
+  List.iter (fun _ -> add " | %8s %8s %8s" "Mean" "SD" "Max") t.Tables.o_columns;
+  add "\n%s\n" (hline width);
+  List.iter
+    (fun (r : Tables.objective_row) ->
+      add "%-14s| %-15s" r.Tables.o_scheduler r.Tables.o_info;
+      List.iter
+        (function
+          | None -> add " | %8s %8s %8s" "-" "-" "-"
+          | Some (s : Stats.summary) ->
+            add " | %8.4f %8.4f %8.4f" s.Stats.mean s.Stats.sd s.Stats.max)
+        r.Tables.o_cells;
+      add "\n")
+    t.Tables.o_rows;
+  add "%s\n" (hline width);
+  Buffer.contents b
+
 let figure3a samples =
   let b = Buffer.create 512 in
   let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in

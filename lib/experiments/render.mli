@@ -5,6 +5,11 @@ val table : Tables.table -> string
 (** The paper's layout: one heuristic per row, Max-stretch and Sum-stretch
     column groups with Mean / SD / Max. *)
 
+val objective_table : Tables.objective_table -> string
+(** The objective-parameterized layout: one scheduler per row with its
+    information model, one Mean / SD / Max column group per objective;
+    cells without samples render as dashes. *)
+
 val figure3a : Figures.sample list -> string
 val figure3b : Figures.sample list -> string
 

@@ -8,12 +8,13 @@ module W = Gripps_workload
    left out by default — their cost is the subject of the overhead study,
    not this one — but callers may pass any panel. *)
 let default_panel =
-  List.map
-    (fun name ->
-      match Sched_registry.find_scheduler name with
-      | Some s -> s
-      | None -> invalid_arg ("Resilience.default_panel: unknown scheduler " ^ name))
-    [ "Online"; "Online-EGDF"; "SWRPT"; "SRPT"; "MCT-Div"; "MCT" ]
+  let wanted = [ "Online"; "Online-EGDF"; "SWRPT"; "SRPT"; "MCT-Div"; "MCT" ] in
+  let panel =
+    Sched_registry.(
+      schedulers (select (fun e -> List.mem e.name wanted && is_clairvoyant e)))
+  in
+  assert (List.length panel = List.length wanted);
+  panel
 
 type cell = {
   scheduler : string;

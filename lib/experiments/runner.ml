@@ -8,6 +8,7 @@ type measurement = {
   scheduler : string;
   max_stretch : float;
   sum_stretch : float;
+  objectives : (Metrics.objective * float) list;
   wall_time : float;
   solver_time : float;
   solver : Stretch_solver.stats;
@@ -28,8 +29,8 @@ let with_spans f =
   Obs.with_level (if l = Obs.Counters then Obs.Spans else l) f
 
 let run_instance ?(bender98_max_sites = 3) ?(bender98_max_jobs = 60)
-    ?(schedulers = Sched_registry.schedulers Sched_registry.all) ?(faults = [])
-    ?(loss = Fault.Crash) config inst =
+    ?(schedulers = Sched_registry.schedulers Sched_registry.paper_panel)
+    ?(objectives = []) ?(faults = []) ?(loss = Fault.Crash) config inst =
   let measurements =
     List.filter_map
       (fun s ->
@@ -43,14 +44,28 @@ let run_instance ?(bender98_max_sites = 3) ?(bender98_max_jobs = 60)
           with_spans @@ fun () ->
           let solver0 = Obs.Span.total_prefix "solver." in
           let t0 = Unix.gettimeofday () in
-          let m = (Sim.run_report ~horizon:1e9 ~faults ~loss s inst).Sim.metrics in
+          let report = Sim.run_report ~horizon:1e9 ~faults ~loss s inst in
+          let m = report.Sim.metrics in
           let wall_time = Unix.gettimeofday () -. t0 in
           let solver_time = Obs.Span.total_prefix "solver." -. solver0 in
           let solver = Stretch_solver.stats () in
+          let objective_values =
+            match objectives with
+            | [] -> []
+            | objs ->
+              let completion =
+                Array.init (Instance.num_jobs inst) (fun j ->
+                    match report.Sim.schedule.Schedule.completion.(j) with
+                    | Some c -> c
+                    | None -> raise (Metrics.Incomplete j))
+              in
+              List.map (fun o -> (o, Metrics.eval o inst ~completion)) objs
+          in
           Some
             { scheduler = s.Sim.name;
               max_stretch = m.Metrics.max_stretch;
               sum_stretch = m.Metrics.sum_stretch;
+              objectives = objective_values;
               wall_time;
               solver_time;
               solver }
@@ -58,6 +73,11 @@ let run_instance ?(bender98_max_sites = 3) ?(bender98_max_jobs = 60)
       schedulers
   in
   { config; num_jobs = Instance.num_jobs inst; measurements }
+
+let value (m : measurement) = function
+  | Metrics.Max_stretch -> Some m.max_stretch
+  | Metrics.Sum_stretch -> Some m.sum_stretch
+  | o -> List.assoc_opt o m.objectives
 
 type ratio = { scheduler : string; max_ratio : float; sum_ratio : float }
 
@@ -78,7 +98,22 @@ let ratios r =
           sum_ratio = div m.sum_stretch best_sum })
       ms
 
-let instance_job ?bender98_max_sites ?bender98_max_jobs ?schedulers ~seed config k =
+let ratios_for obj r =
+  let vals =
+    List.filter_map
+      (fun (m : measurement) ->
+        Option.map (fun v -> (m.scheduler, v)) (value m obj))
+      r.measurements
+  in
+  match vals with
+  | [] -> []
+  | _ ->
+    let best = List.fold_left (fun acc (_, v) -> Float.min acc v) infinity vals in
+    let div a b = if b > 0.0 then a /. b else 1.0 in
+    List.map (fun (s, v) -> (s, div v best)) vals
+
+let instance_job ?bender98_max_sites ?bender98_max_jobs ?schedulers ?objectives
+    ~seed config k =
   (* One independent stream per instance, derived from the index alone:
      results do not shift when the instance count changes, and shard [k]
      of a parallel sweep replays identically wherever it runs. *)
@@ -94,16 +129,17 @@ let instance_job ?bender98_max_sites ?bender98_max_jobs ?schedulers ~seed config
     | Some f -> f.W.Config.loss
     | None -> Fault.Crash
   in
-  run_instance ?bender98_max_sites ?bender98_max_jobs ?schedulers ~faults ~loss
-    config inst
+  run_instance ?bender98_max_sites ?bender98_max_jobs ?schedulers ?objectives
+    ~faults ~loss config inst
 
-let config_sweep ?bender98_max_sites ?bender98_max_jobs ?schedulers ~seed ~instances
-    config =
+let config_sweep ?bender98_max_sites ?bender98_max_jobs ?schedulers ?objectives
+    ~seed ~instances config =
   Gripps_parallel.Sweep.make ~length:instances
-    (instance_job ?bender98_max_sites ?bender98_max_jobs ?schedulers ~seed config)
+    (instance_job ?bender98_max_sites ?bender98_max_jobs ?schedulers ?objectives
+       ~seed config)
 
-let run_config ?bender98_max_sites ?bender98_max_jobs ?schedulers ?pool ~seed
-    ~instances config =
+let run_config ?bender98_max_sites ?bender98_max_jobs ?schedulers ?objectives
+    ?pool ~seed ~instances config =
   Gripps_parallel.Sweep.run ?pool
-    (config_sweep ?bender98_max_sites ?bender98_max_jobs ?schedulers ~seed ~instances
-       config)
+    (config_sweep ?bender98_max_sites ?bender98_max_jobs ?schedulers ?objectives
+       ~seed ~instances config)

@@ -1,12 +1,18 @@
 (** Running the heuristic portfolio over random instances (paper §5.3).
 
     The portfolio is the eleven heuristics of Table 1, now defined once
-    in {!Sched_registry}.  [Bender98] is only run on platforms of at most
-    [bender98_max_sites] clusters (default 3) and on workloads of at most
-    [bender98_max_jobs] jobs (default 60), mirroring the paper, whose
-    larger simulations were "practically infeasible, due to the
-    algorithm's prohibitive overhead costs" (it solves a full hindsight
-    optimum at every arrival). *)
+    in {!Sched_registry} (the default panel is
+    {!Sched_registry.paper_panel}).  [Bender98] is only run on platforms
+    of at most [bender98_max_sites] clusters (default 3) and on workloads
+    of at most [bender98_max_jobs] jobs (default 60), mirroring the
+    paper, whose larger simulations were "practically infeasible, due to
+    the algorithm's prohibitive overhead costs" (it solves a full
+    hindsight optimum at every arrival).
+
+    Beyond the classic max-/sum-stretch pair, a run can evaluate any
+    list of {!Gripps_model.Metrics.objective}s ([?objectives]); the extra
+    values ride on each measurement and feed the ℓ_p and clairvoyance
+    tables. *)
 
 open Gripps_model
 open Gripps_engine
@@ -15,6 +21,9 @@ type measurement = {
   scheduler : string;
   max_stretch : float;
   sum_stretch : float;
+  objectives : (Metrics.objective * float) list;
+  (** the values of the extra requested objectives, in request order
+      (empty unless [?objectives] was passed) *)
   wall_time : float;
   (** seconds of wall time for the whole simulated run (scheduling
       overhead + engine bookkeeping) *)
@@ -39,6 +48,7 @@ val run_instance :
   ?bender98_max_sites:int ->
   ?bender98_max_jobs:int ->
   ?schedulers:Sim.scheduler list ->
+  ?objectives:Metrics.objective list ->
   ?faults:Fault.trace ->
   ?loss:Fault.loss ->
   Gripps_workload.Config.t ->
@@ -50,16 +60,27 @@ val run_instance :
     observability level [Spans] at least (promoted temporarily when the
     ambient level is [Counters]) so that [solver_time] is populated. *)
 
+val value : measurement -> Metrics.objective -> float option
+(** The measured value of an objective: the classic fields answer
+    [Max_stretch]/[Sum_stretch] directly, anything else must have been
+    requested via [?objectives]. *)
+
 type ratio = { scheduler : string; max_ratio : float; sum_ratio : float }
 
 val ratios : instance_result -> ratio list
 (** Per-instance ratios to the best observed value of each metric across
     the portfolio — the normalization used by every aggregate table. *)
 
+val ratios_for : Metrics.objective -> instance_result -> (string * float) list
+(** {!ratios} generalized to one objective: [(scheduler, value / best)]
+    for every measurement carrying that objective (degenerate zero-spread
+    instances normalize to 1, as in {!ratios}). *)
+
 val instance_job :
   ?bender98_max_sites:int ->
   ?bender98_max_jobs:int ->
   ?schedulers:Sim.scheduler list ->
+  ?objectives:Metrics.objective list ->
   seed:int ->
   Gripps_workload.Config.t ->
   int ->
@@ -74,6 +95,7 @@ val config_sweep :
   ?bender98_max_sites:int ->
   ?bender98_max_jobs:int ->
   ?schedulers:Sim.scheduler list ->
+  ?objectives:Metrics.objective list ->
   seed:int ->
   instances:int ->
   Gripps_workload.Config.t ->
@@ -84,6 +106,7 @@ val run_config :
   ?bender98_max_sites:int ->
   ?bender98_max_jobs:int ->
   ?schedulers:Sim.scheduler list ->
+  ?objectives:Metrics.objective list ->
   ?pool:Gripps_parallel.Pool.t ->
   seed:int ->
   instances:int ->

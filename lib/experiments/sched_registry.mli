@@ -1,41 +1,88 @@
 (** First-class named-scheduler registry.
 
-    The paper's Table 1 portfolio used to live as two parallel lists
-    ([Runner.portfolio] / [Runner.portfolio_names]); every consumer
-    (runner, overhead study, resilience sweep, perf harness, CLI) kept
-    its own name-matching logic on top.  This module is the single
-    source of truth: one entry per scheduler, carrying its display name,
-    the {!Gripps_engine.Sim.scheduler} itself, and a coarse kind used to
-    select panels (e.g. "everything on-line" for the resilience sweep).
+    One entry per scheduler, carrying its display name, the
+    {!Gripps_engine.Sim.scheduler} itself, a coarse kind, its
+    information model ({!info}: does it see job sizes?) and the
+    objective families it targets ({!caps}).  Panels are carved out of
+    the single {!registry} with the predicate-based {!select};
+    {!paper_panel} is the Table 1 portfolio (the clairvoyant eleven),
+    and remains the default panel everywhere.
 
-    The deprecated [Runner.portfolio] / [Runner.portfolio_names] aliases
-    shipped for one release and have been removed. *)
+    {b Deprecation window.}  The pre-objective list-shaped accessors
+    ({!all}, {!names}, {!of_kind}) are kept for one release as thin
+    wrappers over {!paper_panel} / {!select}; the [nodeprecated] dune
+    profile (used by CI) turns any remaining use into a build error. *)
 
 open Gripps_engine
+module Metrics = Gripps_model.Metrics
 
 type kind =
   | Offline    (** clairvoyant: solves the hindsight optimum once *)
   | Online     (** re-solves an optimization problem at events *)
-  | Heuristic  (** list scheduling / greedy rules, no solver *)
+  | Heuristic  (** list scheduling / greedy / sharing rules, no solver *)
 
-type entry = { name : string; scheduler : Sim.scheduler; kind : kind }
+type info =
+  | Clairvoyant     (** sees [W_j] on arrival (the paper's model) *)
+  | Nonclairvoyant  (** size-blind: runs on {!Sim.Blind} only *)
 
-val all : entry list
-(** The Table 1 portfolio, in table order: Offline, Online, Online-EDF,
-    Online-EGDF, Bender98, SWRPT, SRPT, SPT, Bender02, MCT-Div, MCT. *)
+type caps = { objectives : Metrics.objective list }
+(** Representative objectives the scheduler was designed to optimize —
+    matched at {!Metrics.family} granularity by {!targets}. *)
 
-val names : string list
-(** Display names of {!all}, in the same order. *)
+type entry = {
+  name : string;
+  scheduler : Sim.scheduler;
+  kind : kind;
+  info : info;
+  caps : caps;
+}
 
+val registry : entry list
+(** Every known scheduler: the Table 1 portfolio in table order
+    (Offline, Online, Online-EDF, Online-EGDF, Bender98, SWRPT, SRPT,
+    SPT, Bender02, MCT-Div, MCT) followed by the non-clairvoyant
+    extensions (EQUI, RR). *)
+
+val select : (entry -> bool) -> entry list
+(** The sub-panel of {!registry} satisfying the predicate, in registry
+    order. *)
+
+val is_clairvoyant : entry -> bool
+val is_nonclairvoyant : entry -> bool
+
+val targets : Metrics.objective -> entry -> bool
+(** Does the scheduler target this objective's {!Metrics.family}? *)
+
+val paper_panel : entry list
+(** [select is_clairvoyant]: the paper's Table 1 portfolio, the default
+    panel of every experiment. *)
+
+val panel_names : entry list -> string list
 val schedulers : entry list -> Sim.scheduler list
-(** Project the engine schedulers out of a panel. *)
+(** Project display names / engine schedulers out of a panel. *)
 
 val find : string -> entry option
-(** Lookup by exact display name. *)
+(** Case-insensitive lookup by display name over the whole registry. *)
 
 val find_scheduler : string -> Sim.scheduler option
 
-val of_kind : kind -> entry list
-(** The sub-panel of a given kind, in portfolio order. *)
-
 val kind_name : kind -> string
+val info_name : info -> string
+
+val describe : entry -> string
+(** One line: name, kind, info model, targeted objectives (the
+    [--list-schedulers] format). *)
+
+(** {1 Deprecated aliases} *)
+
+val all : entry list
+[@@deprecated "use Sched_registry.paper_panel (or select) instead"]
+(** The Table 1 portfolio — now {!paper_panel}. *)
+
+val names : string list
+[@@deprecated "use Sched_registry.panel_names paper_panel instead"]
+(** Display names of {!all}, in the same order. *)
+
+val of_kind : kind -> entry list
+[@@deprecated "use Sched_registry.select (fun e -> e.kind = k) instead"]
+(** The clairvoyant sub-panel of a given kind, in portfolio order. *)

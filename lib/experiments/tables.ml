@@ -1,4 +1,5 @@
 module W = Gripps_workload
+module Metrics = Gripps_model.Metrics
 
 type row = {
   scheduler : string;
@@ -8,8 +9,8 @@ type row = {
 
 type table = { title : string; rows : row list; instances : int }
 
-let sweep ?(seed = 20060101) ?(instances_per_config = 3) ?configs
-    ?(progress = fun _ _ -> ()) ?pool ~horizon () =
+let sweep ?(seed = 20060101) ?(instances_per_config = 3) ?configs ?schedulers
+    ?objectives ?(progress = fun _ _ -> ()) ?pool ~horizon () =
   let configs =
     match configs with
     | Some cs -> cs
@@ -25,7 +26,8 @@ let sweep ?(seed = 20060101) ?(instances_per_config = 3) ?configs
   let sweep =
     Gripps_parallel.Sweep.make ~length:shards (fun s ->
         let i = s / instances_per_config and k = s mod instances_per_config in
-        Runner.instance_job ~seed:(seed + (7919 * i)) configs.(i) k)
+        Runner.instance_job ?schedulers ?objectives ~seed:(seed + (7919 * i))
+          configs.(i) k)
   in
   Gripps_parallel.Sweep.run ?pool ~progress sweep
 
@@ -44,7 +46,7 @@ let aggregate ~title results =
                 Stats.summarize (List.map (fun (r : Runner.ratio) -> r.max_ratio) mine);
               sum_stretch =
                 Stats.summarize (List.map (fun (r : Runner.ratio) -> r.sum_ratio) mine) })
-      Sched_registry.names
+      (Sched_registry.panel_names Sched_registry.paper_panel)
   in
   { title; rows; instances = List.length results }
 
@@ -89,3 +91,122 @@ let all_tables results =
      @ List.mapi (fun i d -> (5 + i, by_density results d)) [ 0.75; 1.0; 1.25; 1.5; 2.0; 3.0 ]
      @ List.mapi (fun i d -> (11 + i, by_databases results d)) [ 3; 10; 20 ]
      @ List.mapi (fun i a -> (14 + i, by_availability results a)) [ 0.3; 0.6; 0.9 ])
+
+(* ---- objective tables ------------------------------------------------- *)
+
+type objective_column = { label : string; objective : Metrics.objective }
+
+type objective_row = {
+  o_scheduler : string;
+  o_info : string;
+  o_cells : Stats.summary option list;
+}
+
+type objective_table = {
+  o_title : string;
+  o_columns : objective_column list;
+  o_rows : objective_row list;
+  o_instances : int;
+}
+
+let aggregate_objectives ?(panel = Sched_registry.paper_panel) ~title ~columns
+    results =
+  let per_column =
+    List.map
+      (fun c -> List.concat_map (Runner.ratios_for c.objective) results)
+      columns
+  in
+  let rows =
+    List.filter_map
+      (fun (e : Sched_registry.entry) ->
+        let cells =
+          List.map
+            (fun ratios ->
+              match
+                List.filter_map
+                  (fun (name, v) ->
+                    if name = e.Sched_registry.name then Some v else None)
+                  ratios
+              with
+              | [] -> None
+              | vs -> Some (Stats.summarize vs))
+            per_column
+        in
+        if List.for_all Option.is_none cells then None
+        else
+          Some
+            { o_scheduler = e.Sched_registry.name;
+              o_info = Sched_registry.info_name e.Sched_registry.info;
+              o_cells = cells })
+      panel
+  in
+  { o_title = title;
+    o_columns = columns;
+    o_rows = rows;
+    o_instances = List.length results }
+
+let lp_columns =
+  [ { label = "p=1"; objective = Metrics.Lp_stretch 1.0 };
+    { label = "p=2"; objective = Metrics.Lp_stretch 2.0 };
+    { label = "p=3"; objective = Metrics.Lp_stretch 3.0 };
+    { label = "p=inf"; objective = Metrics.Lp_stretch infinity } ]
+
+let lp_objectives = List.map (fun c -> c.objective) lp_columns
+
+let lp_table results =
+  aggregate_objectives
+    ~title:
+      "L_p stretch sweep: per-instance ratios to the best L_p stretch, \
+       p in {1, 2, 3, inf}"
+    ~columns:lp_columns results
+
+let clairvoyance_columns =
+  [ { label = "max-stretch"; objective = Metrics.Max_stretch };
+    { label = "sum-stretch"; objective = Metrics.Sum_stretch } ]
+
+let clairvoyance_table results =
+  aggregate_objectives ~panel:Sched_registry.registry
+    ~title:
+      "Clairvoyance gap: Table 1 portfolio vs the size-blind EQUI and RR"
+    ~columns:clairvoyance_columns results
+
+(* The partitioning of Tables 1-16, factored so an objective sweep can be
+   sliced the same way ([all_tables] keeps its own titles verbatim). *)
+let partitions : (int * string * (W.Config.t -> bool)) list =
+  (1, "over all configurations", fun _ -> true)
+  :: (List.mapi
+        (fun i s ->
+          ( 2 + i,
+            Printf.sprintf "for configurations using %d sites" s,
+            fun (c : W.Config.t) -> c.W.Config.sites = s ))
+        [ 3; 10; 20 ]
+     @ List.mapi
+         (fun i d ->
+           ( 5 + i,
+             Printf.sprintf "for configurations with workload density %.2f" d,
+             fun (c : W.Config.t) -> abs_float (c.W.Config.density -. d) < 1e-9 ))
+         [ 0.75; 1.0; 1.25; 1.5; 2.0; 3.0 ]
+     @ List.mapi
+         (fun i d ->
+           ( 11 + i,
+             Printf.sprintf "for configurations with %d reference databases" d,
+             fun (c : W.Config.t) -> c.W.Config.databases = d ))
+         [ 3; 10; 20 ]
+     @ List.mapi
+         (fun i a ->
+           ( 14 + i,
+             Printf.sprintf "for configurations with database availability %.0f%%"
+               (100.0 *. a),
+             fun (c : W.Config.t) ->
+               abs_float (c.W.Config.availability -. a) < 1e-9 ))
+         [ 0.3; 0.6; 0.9 ])
+
+let objective_tables ?panel ~columns results =
+  let labels = String.concat ", " (List.map (fun c -> c.label) columns) in
+  List.map
+    (fun (n, part, p) ->
+      ( n,
+        aggregate_objectives ?panel ~columns
+          ~title:(Printf.sprintf "Table %d (%s): ratios to best %s" n labels part)
+          (filter_config p results) ))
+    partitions

@@ -1,14 +1,20 @@
 (** The aggregate statistic tables of the paper (Table 1 and the appendix
-    Tables 2–16).
+    Tables 2–16), plus the objective-parameterized generalizations.
 
     One sweep over the 162-configuration factorial design produces all
     sixteen tables: Table 1 aggregates everything; Tables 2–4 partition by
     platform size, 5–10 by workload density, 11–13 by databank count,
     14–16 by availability.  Each cell is the mean / standard deviation /
     maximum over instances of the per-instance ratio of a heuristic's
-    metric to the best value observed on that instance. *)
+    metric to the best value observed on that instance.
+
+    An {!objective_table} carries the same statistics for an arbitrary
+    column list of {!Gripps_model.Metrics.objective}s over an arbitrary
+    registry panel — the ℓ_p sweep ({!lp_table}) and the clairvoyant vs
+    non-clairvoyant comparison ({!clairvoyance_table}) are instances. *)
 
 module W = Gripps_workload
+module Metrics = Gripps_model.Metrics
 
 type row = {
   scheduler : string;
@@ -26,15 +32,20 @@ val sweep :
   ?seed:int ->
   ?instances_per_config:int ->
   ?configs:W.Config.t list ->
+  ?schedulers:Gripps_engine.Sim.scheduler list ->
+  ?objectives:Metrics.objective list ->
   ?progress:(int -> int -> unit) ->
   ?pool:Gripps_parallel.Pool.t ->
   horizon:float ->
   unit ->
   Runner.instance_result list
 (** Run the full factorial design (or [configs]); [progress done total] is
-    called after each (configuration, instance) job, in job order.  [pool]
-    (default sequential) shards the jobs across domains; the result list
-    and every table derived from it are identical at any pool size. *)
+    called after each (configuration, instance) job, in job order.
+    [schedulers] (default the Table 1 portfolio) and [objectives] (extra
+    objectives to evaluate per run) are forwarded to
+    {!Runner.instance_job}.  [pool] (default sequential) shards the jobs
+    across domains; the result list and every table derived from it are
+    identical at any pool size. *)
 
 val table1 : Runner.instance_result list -> table
 
@@ -52,3 +63,55 @@ val by_availability : Runner.instance_result list -> float -> table
 
 val all_tables : Runner.instance_result list -> (int * table) list
 (** [(paper table number, table)] for Tables 1–16. *)
+
+(** {1 Objective-parameterized tables} *)
+
+type objective_column = { label : string; objective : Metrics.objective }
+
+type objective_row = {
+  o_scheduler : string;
+  o_info : string;  (** information model, {!Sched_registry.info_name} *)
+  o_cells : Stats.summary option list;
+      (** one per column; [None] when no run carried that objective *)
+}
+
+type objective_table = {
+  o_title : string;
+  o_columns : objective_column list;
+  o_rows : objective_row list;  (** panel order; all-empty rows dropped *)
+  o_instances : int;
+}
+
+val aggregate_objectives :
+  ?panel:Sched_registry.entry list ->
+  title:string ->
+  columns:objective_column list ->
+  Runner.instance_result list ->
+  objective_table
+(** The generic aggregation: per column, per-instance ratios to the best
+    observed value ({!Runner.ratios_for}), summarized per panel entry
+    (default {!Sched_registry.paper_panel}). *)
+
+val lp_columns : objective_column list
+val lp_objectives : Metrics.objective list
+(** ℓ_p stretch at p ∈ {1, 2, 3, ∞} — pass [lp_objectives] to {!sweep}
+    so the measurements carry the values [lp_table] aggregates. *)
+
+val lp_table : Runner.instance_result list -> objective_table
+
+val clairvoyance_columns : objective_column list
+(** Max-stretch and sum-stretch — both already on every measurement, so
+    a clairvoyance sweep needs no [?objectives], only
+    [~schedulers:(Sched_registry.schedulers Sched_registry.registry)]. *)
+
+val clairvoyance_table : Runner.instance_result list -> objective_table
+(** The price of clairvoyance: the full registry (Table 1 portfolio plus
+    EQUI/RR) compared on max-/sum-stretch. *)
+
+val objective_tables :
+  ?panel:Sched_registry.entry list ->
+  columns:objective_column list ->
+  Runner.instance_result list ->
+  (int * objective_table) list
+(** The sixteen partitions of {!all_tables}, each aggregated over the
+    given objective columns instead of the classic pair. *)

@@ -20,6 +20,9 @@ let jobs t = t.jobs
 let num_jobs t = Array.length t.jobs
 let job t i = t.jobs.(i)
 
+let num_users t =
+  1 + Array.fold_left (fun acc (j : Job.t) -> Int.max acc j.user) 0 t.jobs
+
 let delta t =
   if Array.length t.jobs = 0 then 1.0
   else begin

@@ -16,6 +16,10 @@ val jobs : t -> Job.t array
 val num_jobs : t -> int
 val job : t -> int -> Job.t
 
+val num_users : t -> int
+(** [1 + max user tag] — the size of the array a per-user aggregate needs.
+    Always at least 1 (an empty or untagged instance has one user). *)
+
 val delta : t -> float
 (** The paper's Δ: ratio of the largest to the smallest job size. *)
 

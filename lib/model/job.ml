@@ -1,10 +1,14 @@
-type t = { id : int; release : float; size : float; databank : int }
+type t = { id : int; release : float; size : float; databank : int; user : int }
 
 let make ~id ~release ~size ~databank =
   if release < 0.0 then invalid_arg "Job.make: negative release date";
   if size <= 0.0 then invalid_arg "Job.make: non-positive size";
   if databank < 0 then invalid_arg "Job.make: negative databank index";
-  { id; release; size; databank }
+  { id; release; size; databank; user = 0 }
+
+let with_user j user =
+  if user < 0 then invalid_arg "Job.with_user: negative user index";
+  { j with user }
 
 let stretch_weight j = 1.0 /. j.size
 
@@ -14,4 +18,8 @@ let compare_by_release a b =
   | c -> c
 
 let pp fmt j =
-  Format.fprintf fmt "J%d[r=%g, W=%g, db=%d]" j.id j.release j.size j.databank
+  if j.user = 0 then
+    Format.fprintf fmt "J%d[r=%g, W=%g, db=%d]" j.id j.release j.size j.databank
+  else
+    Format.fprintf fmt "J%d[r=%g, W=%g, db=%d, u=%d]" j.id j.release j.size
+      j.databank j.user

@@ -3,18 +3,29 @@
     A job [J_j] arrives at its release date [r_j], must scan [W_j] Mflop
     worth of a given protein databank, and may be split arbitrarily across
     the machines hosting that databank (divisible load, negligible
-    communication). *)
+    communication).
+
+    Jobs additionally carry a [user] tag (default 0): the paper's
+    motivation is multi-user fairness on a shared cluster, and the
+    per-user objectives ({!Metrics.Per_user_max_stretch}) aggregate
+    stretches by this tag.  Single-user workloads leave every tag at 0. *)
 
 type t = {
   id : int;           (** position in the instance, 0-based *)
   release : float;    (** release date [r_j], seconds *)
   size : float;       (** amount of work [W_j], Mflop *)
   databank : int;     (** index of the databank the motif is compared to *)
+  user : int;         (** submitting user, 0-based (default 0) *)
 }
 
 val make : id:int -> release:float -> size:float -> databank:int -> t
-(** @raise Invalid_argument on negative release, non-positive size or
+(** The job belongs to user 0; tag it with {!with_user} if needed.
+    @raise Invalid_argument on negative release, non-positive size or
     negative databank index. *)
+
+val with_user : t -> int -> t
+(** [with_user j u] is [j] resubmitted by user [u].
+    @raise Invalid_argument on a negative user index. *)
 
 val stretch_weight : t -> float
 (** The paper's weight [w_j = 1 / W_j] (§3.1): the stretch of a job is its

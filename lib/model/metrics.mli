@@ -1,4 +1,10 @@
-(** Scheduling objectives (paper §3).
+(** Scheduling objectives (paper §3), as a first-class algebra.
+
+    An {!objective} names a scalar function of the completion-time vector;
+    {!eval} is the single entry point every consumer (runner, tables,
+    resilience, CLI) goes through.  The classic record {!t} survives as
+    five derived accessors computed through {!eval}, bit-identical to the
+    historical single-loop implementation.
 
     All functions take the completion times produced by a schedule and
     require every job to be completed.
@@ -9,6 +15,34 @@
     dimensionless and lower-bounded by 1, convenient for display — but all
     optimization and all reported tables use the paper's [S_j]. *)
 
+(** The objective family.  [Lp_stretch p] is the ℓ_p norm of the stretch
+    vector (Moseley–Pruhs–Stein): [(Σ_j S_j^p)^(1/p)], interpolating
+    sum-stretch ([p = 1], exactly) and max-stretch ([p = ∞], exactly);
+    computed max-normalized so large [p] cannot overflow.  [Lp_flow] is
+    the same norm of the flow times.  [Per_user_max_stretch] is the
+    fairness objective: the worst per-user aggregate, [max_u Σ_{j∈u} S_j]
+    over the jobs' {!Job.t.user} tags — with a single user it degenerates
+    to [Sum_stretch]. *)
+type objective =
+  | Makespan                (** [max_j C_j] *)
+  | Max_flow                (** [max_j (C_j - r_j)] *)
+  | Sum_flow                (** [Σ_j (C_j - r_j)] *)
+  | Max_stretch             (** [max_j S_j] *)
+  | Sum_stretch             (** [Σ_j S_j] *)
+  | Lp_flow of float        (** ℓ_p norm of flows, [p ∈ [1, ∞]] *)
+  | Lp_stretch of float     (** ℓ_p norm of stretches, [p ∈ [1, ∞]] *)
+  | Per_user_max_stretch    (** [max_u Σ_{j : user j = u} S_j] *)
+
+(** Which per-job quantity an objective aggregates — the granularity at
+    which scheduler capabilities ({!Sched_registry}) are declared. *)
+type family = Stretch | Flow | Completion_time
+
+val family : objective -> family
+
+exception Incomplete of int
+(** Raised by {!of_schedule} when the job with this id has no completion
+    date — a typed replacement for the old bare [Failure]. *)
+
 type t = {
   makespan : float;
   max_flow : float;
@@ -16,6 +50,25 @@ type t = {
   max_stretch : float;
   sum_stretch : float;
 }
+
+val eval : objective -> Instance.t -> completion:float array -> float
+(** Evaluate one objective on a completion-time vector.  For the five
+    record fields this is bit-identical to the historical accumulators
+    (same traversal order, same float operations); [Lp_stretch 1.] is
+    computed by the very same loop as [Sum_stretch], and [Lp_stretch
+    infinity] by the [Max_stretch] loop, so those identities are exact.
+    @raise Invalid_argument on an [Lp_*] order below 1 or NaN, or when
+    some completion precedes its release beyond tolerance. *)
+
+val objective_name : objective -> string
+(** Stable display name ("max-stretch", "l2-stretch", "user-max-stretch",
+    ...). *)
+
+val objective_of_string : string -> objective option
+(** Case-insensitive parser for CLI spellings: ["p1"]/["p2"]/["p2.5"]/
+    ["pinf"] (ℓ_p stretch), ["fp2"]/["fpinf"] (ℓ_p flow), ["max"],
+    ["sum"], ["max-flow"], ["sum-flow"], ["makespan"], ["user"], and the
+    {!objective_name} spellings. *)
 
 val flow : Instance.t -> completion:float array -> int -> float
 (** [C_j - r_j].  @raise Invalid_argument if negative beyond tolerance. *)
@@ -27,8 +80,9 @@ val slowdown : Instance.t -> completion:float array -> int -> float
 (** [(C_j - r_j) / ideal_time j >= 1]. *)
 
 val of_completion : Instance.t -> completion:float array -> t
+(** The five classic fields, each via {!eval}. *)
 
 val of_schedule : Schedule.t -> t
-(** @raise Failure when some job did not complete. *)
+(** @raise Incomplete when some job did not complete. *)
 
 val pp : Format.formatter -> t -> unit

@@ -14,6 +14,7 @@ type t = {
   db_size_range : float * float;
   reference_speeds : float array;
   faults : fault_axis option;
+  users : int;
 }
 
 (* Six per-processor reference speeds (MB/s), mimicking the spread of the
@@ -27,7 +28,7 @@ let fault_axis ?(loss = Gripps_engine.Fault.Crash) ~mtbf ~mttr () =
 
 let make ?(processors_per_site = 10) ?(horizon = 900.0)
     ?(db_size_range = (10.0, 1000.0)) ?(reference_speeds = gripps_reference_speeds)
-    ?faults ~sites ~databases ~availability ~density () =
+    ?faults ?(users = 1) ~sites ~databases ~availability ~density () =
   if sites <= 0 then invalid_arg "Config.make: non-positive sites";
   if processors_per_site <= 0 then
     invalid_arg "Config.make: non-positive processors_per_site";
@@ -40,8 +41,9 @@ let make ?(processors_per_site = 10) ?(horizon = 900.0)
   if lo <= 0.0 || hi < lo then invalid_arg "Config.make: degenerate size range";
   if Array.length reference_speeds = 0 then
     invalid_arg "Config.make: no reference speeds";
+  if users <= 0 then invalid_arg "Config.make: non-positive users";
   { sites; processors_per_site; databases; availability; density; horizon;
-    db_size_range; reference_speeds; faults }
+    db_size_range; reference_speeds; faults; users }
 
 let with_faults c faults = { c with faults = Some faults }
 
@@ -77,6 +79,7 @@ let describe c =
     Printf.sprintf "%d sites x %d cpus, %d dbs, avail %.0f%%, density %.2f"
       c.sites c.processors_per_site c.databases (100.0 *. c.availability) c.density
   in
+  let base = if c.users > 1 then Printf.sprintf "%s, %d users" base c.users else base in
   match c.faults with
   | None -> base
   | Some f ->

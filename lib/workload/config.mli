@@ -33,6 +33,8 @@ type t = {
   db_size_range : float * float;  (** databank sizes, MB (paper: 10–1000) *)
   reference_speeds : float array; (** per-processor speeds, MB/s (empirical) *)
   faults : fault_axis option;  (** fault model; [None] = reliable machines *)
+  users : int;                 (** submitting users; jobs are tagged uniformly
+                                   at random when above 1 (default 1) *)
 }
 
 val default : t
@@ -51,14 +53,15 @@ val make :
   ?db_size_range:float * float ->
   ?reference_speeds:float array ->
   ?faults:fault_axis ->
+  ?users:int ->
   sites:int ->
   databases:int ->
   availability:float ->
   density:float ->
   unit ->
   t
-(** @raise Invalid_argument on non-positive counts, availability outside
-    (0, 1], or a degenerate size range. *)
+(** @raise Invalid_argument on non-positive counts (including [users]),
+    availability outside (0, 1], or a degenerate size range. *)
 
 val with_faults : t -> fault_axis -> t
 

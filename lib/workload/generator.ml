@@ -39,7 +39,14 @@ let jobs rng (c : Config.t) r =
            |> List.map (fun release ->
                   Job.make ~id:0 ~release ~size ~databank:d)))
   in
-  List.sort Job.compare_by_release all
+  let tagged =
+    (* Tag after the Poisson draws so a single-user configuration (the
+       default, and every historical one) consumes exactly the same RNG
+       stream as before the users axis existed — bit-identity preserved. *)
+    if c.users <= 1 then all
+    else List.map (fun j -> Job.with_user j (Splitmix.int rng c.users)) all
+  in
+  List.sort Job.compare_by_release tagged
   |> List.mapi (fun i (j : Job.t) -> { j with id = i })
 
 let rec instance rng c =

@@ -1,0 +1,39 @@
+(* The deprecated registry aliases answer exactly as their replacements.
+   This module deliberately uses the deprecated surface, so it lives in
+   its own directory, excluded from the [nodeprecated] profile where the
+   alert is an error; the alert is silenced here (and only here) because
+   exercising the aliases is the point. *)
+
+[@@@alert "-deprecated"]
+
+module R = Gripps_experiments.Sched_registry
+
+let test_all_is_paper_panel () =
+  Alcotest.(check (list string))
+    "all = paper_panel"
+    (R.panel_names R.paper_panel)
+    (R.panel_names R.all)
+
+let test_names_alias () =
+  Alcotest.(check (list string))
+    "names = panel_names paper_panel"
+    (R.panel_names R.paper_panel)
+    R.names
+
+let test_of_kind_is_clairvoyant_select () =
+  List.iter
+    (fun kind ->
+      Alcotest.(check (list string))
+        (Printf.sprintf "of_kind %s = clairvoyant select" (R.kind_name kind))
+        (R.panel_names
+           (R.select (fun e -> e.R.kind = kind && R.is_clairvoyant e)))
+        (R.panel_names (R.of_kind kind)))
+    [ R.Offline; R.Online; R.Heuristic ]
+
+let () =
+  Alcotest.run "gripps-deprecated"
+    [ ( "registry aliases",
+        [ Alcotest.test_case "all" `Quick test_all_is_paper_panel;
+          Alcotest.test_case "names" `Quick test_names_alias;
+          Alcotest.test_case "of_kind" `Quick test_of_kind_is_clairvoyant_select
+        ] ) ]

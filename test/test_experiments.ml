@@ -201,7 +201,7 @@ let prop_pipeline_integration =
           Gripps_model.Schedule.validate sched = []
           && Gripps_model.Schedule.all_completed sched
           && m.Gripps_model.Metrics.max_stretch >= opt -. (1e-5 *. Float.max 1.0 opt))
-        (E.Sched_registry.schedulers E.Sched_registry.all))
+        (E.Sched_registry.schedulers E.Sched_registry.paper_panel))
 
 let suite =
   (fst suite, snd suite @ [ QCheck_alcotest.to_alcotest prop_pipeline_integration ])
