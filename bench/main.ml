@@ -23,6 +23,11 @@
    with a GRIPPS_SERVE_MAXLIVE slot pool (default 4096), gates on the
    bounded-memory and drain guarantees, and writes BENCH_serve.json.
 
+   Invoked as `main.exe federate [OUT.json]` it runs the federation-gap
+   experiment (lib/experiments/federation.ml): stretch ratios of the
+   sharded SRPT front-end vs the single-aggregate run, written as
+   BENCH_federate.json, gated on the 1-shard degeneration invariant.
+
    Scale knobs (environment variables):
      GRIPPS_BENCH_INSTANCES   instances per configuration   (default 3)
      GRIPPS_BENCH_HORIZON     arrival window in seconds     (default 30)
@@ -571,12 +576,54 @@ let run_objectives () =
   Printf.eprintf "objectives: wrote %s\n%!" out;
   if !failed then exit 1
 
+(* Federation benchmark (CI smoke mode): the federation-gap experiment —
+   max-/sum-stretch ratios of the sharded SRPT front-end vs the
+   single-aggregate run across the shard grid, written as
+   BENCH_federate.json.  GRIPPS_FED_INSTANCES (default 5) sets the
+   instances averaged per cell.  Gates on the degeneration invariant: a
+   1-shard federation of the first instance must reproduce the plain
+   run's metrics bit for bit; any drift exits non-zero. *)
+let run_federate () =
+  let module Fed = Gripps_federation.Federation in
+  let module Sim = Gripps_engine.Sim in
+  let out =
+    if Array.length Sys.argv > 2 then Sys.argv.(2) else "BENCH_federate.json"
+  in
+  let instances = env_int "GRIPPS_FED_INSTANCES" 5 in
+  let seed = 42 in
+  let progress k total = Printf.eprintf "\rfederate: instance %d/%d%!" k total in
+  let r = E.Federation.run ~pool ~progress ~seed ~instances () in
+  Printf.eprintf "\n%!";
+  print_string (E.Federation.render r);
+  E.Federation.write_json ~path:out r;
+  Printf.eprintf "federate: wrote %s\n%!" out;
+  let sched =
+    match E.Sched_registry.find_scheduler r.E.Federation.scheduler with
+    | Some s -> s
+    | None -> assert false
+  in
+  let inst =
+    W.Generator.instance
+      (Gripps_rng.Splitmix.create (seed + 1_000_003 * 0))
+      r.E.Federation.config
+  in
+  let plain = (Sim.run_report sched inst).Sim.metrics in
+  let one = (Fed.run ~shards:1 ~scheduler:sched inst).Fed.metrics in
+  if compare plain one <> 0 then begin
+    Printf.eprintf
+      "federate: error: 1-shard federation diverged from the \
+       single-aggregate run — this is a bug\n%!";
+    exit 1
+  end
+
 let () =
   if Array.length Sys.argv > 1 && Sys.argv.(1) = "perf" then run_perf ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "objectives" then
     run_objectives ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "scale" then run_scale ()
   else if Array.length Sys.argv > 1 && Sys.argv.(1) = "serve" then run_serve ()
+  else if Array.length Sys.argv > 1 && Sys.argv.(1) = "federate" then
+    run_federate ()
   else begin
     print_reproduction ();
     Printf.printf "=== bechamel timings ===\n%!";

@@ -8,7 +8,8 @@
      overhead  regenerate the section 5.3 scheduling-overhead comparison
      perf      tracked solver benchmark against the recorded baseline
      scale     large-n events/sec benchmark of the incremental schedulers
-     faults    resilience sweep: degradation under machine failures *)
+     faults    resilience sweep: degradation under machine failures
+     federate  sharded platforms behind an SRPT routing front-end *)
 
 open Cmdliner
 open Gripps_model
@@ -230,7 +231,17 @@ let table_term =
                 $(b,pinf) (L_p stretch), $(b,fp2)... (L_p flow), $(b,max), \
                 $(b,sum), $(b,makespan), $(b,user) (per-user max stretch).")
   in
-  let action which seed instances horizon users objective jobs =
+  let guard_t =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "guard" ] ~docv:"SECONDS"
+          ~doc:
+            "Simulation abort guard: a run dragged past this simulated date \
+             cannot deliver complete metrics and exits 3, naming the first \
+             pending job (default 1e9 — effectively unguarded).")
+  in
+  let action which seed instances horizon users objective guard jobs =
     let progress k total = Printf.eprintf "\rjob %d/%d%!" k total in
     let pool = pool_of_jobs jobs in
     (* --users rewrites the factorial grid; the default grid is untouched
@@ -259,7 +270,7 @@ let table_term =
     let sweep ?schedulers ?objectives () =
       let r =
         E.Tables.sweep ~seed ~instances_per_config:instances ?configs
-          ?schedulers ?objectives ~progress ~pool ~horizon ()
+          ?schedulers ?objectives ?guard ~progress ~pool ~horizon ()
       in
       Printf.eprintf "\n%!";
       r
@@ -313,7 +324,7 @@ let table_term =
   Term.(
     ret
       (const action $ which_t $ seed_t $ instances_t 3 $ horizon_t 30.0 $ users_t
-       $ objective_t $ jobs_t))
+       $ objective_t $ guard_t $ jobs_t))
 
 let table_cmd =
   Cmd.v
@@ -923,6 +934,180 @@ let serve_cmd =
          $ resume_t $ mtbf_t $ mttr_t $ pause_t $ horizon_opt_t
          $ stop_after_t))
 
+(* ---- federate ---------------------------------------------------------- *)
+
+module Fed = Gripps_federation.Federation
+module Frontend = Gripps_federation.Frontend
+
+let federate_cmd =
+  (* The federate axes default to the federation experiment's pinned
+     configuration (8 single-processor sites so 2/4/8-shard partitions
+     are meaningful), not the 3-site defaults of the paper commands. *)
+  let fed_sites_t =
+    Arg.(value & opt int 8 & info [ "sites" ] ~docv:"N" ~doc:"Number of clusters.")
+  in
+  let fed_databases_t =
+    Arg.(
+      value & opt int 4 & info [ "databases" ] ~docv:"N" ~doc:"Number of databanks.")
+  in
+  let fed_availability_t =
+    Arg.(
+      value
+      & opt float 0.7
+      & info [ "availability" ] ~docv:"P" ~doc:"Databank replication probability.")
+  in
+  let fed_density_t =
+    Arg.(
+      value & opt float 1.25 & info [ "density" ] ~docv:"D" ~doc:"Workload density.")
+  in
+  let shards_t =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "shards" ] ~docv:"K"
+          ~doc:"Partition the platform into $(docv) shards, each running its \
+                own scheduler instance.")
+  in
+  let route_t =
+    Arg.(
+      value
+      & opt string "srpt"
+      & info [ "route" ] ~docv:"POLICY"
+          ~doc:"Routing policy of the front-end: $(b,srpt) (immediate-dispatch \
+                SRPT counting rule), $(b,greedy) (MCT-style least estimated \
+                completion), $(b,load) (least pending normalized work) or \
+                $(b,locality) (fastest shard hosting the databank).")
+  in
+  let migrate_t =
+    Arg.(
+      value & flag
+      & info [ "migrate" ]
+          ~doc:"Rebalance unstarted jobs between shards at arrival \
+                boundaries (work migration).")
+  in
+  let fed_scheduler_t =
+    Arg.(
+      value
+      & opt string "SRPT"
+      & info [ "scheduler" ] ~docv:"NAME"
+          ~doc:"Local scheduler every shard runs, by registry name \
+                (default SRPT — the Fox-Moseley baseline).")
+  in
+  let sweep_t =
+    Arg.(
+      value & flag
+      & info [ "sweep" ]
+          ~doc:"Run the federation-gap experiment instead of a single run: \
+                shard grid x every policy x migration on/off, ratios vs \
+                the single-aggregate baseline, averaged over --instances.")
+  in
+  let shard_grid_t =
+    Arg.(
+      value
+      & opt (list int) E.Federation.default_shard_grid
+      & info [ "shard-grid" ] ~docv:"K1,K2,..."
+          ~doc:"Shard counts the $(b,--sweep) mode covers.")
+  in
+  let json_t =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"With $(b,--sweep): emit the machine-readable \
+                BENCH_federate.json document on stdout instead of the table.")
+  in
+  let out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:"With $(b,--sweep): also write the JSON document to $(docv).")
+  in
+  let action seed sites databases availability density horizon shards route
+      migrate scheduler sweep shard_grid json out instances jobs =
+    let policy =
+      match Frontend.policy_of_string route with
+      | Some p -> p
+      | None ->
+        Printf.eprintf
+          "unknown routing policy %s (use srpt, greedy, load or locality)\n"
+          route;
+        exit 2
+    in
+    let sched =
+      match scheduler_by_name scheduler with
+      | Some s -> s
+      | None ->
+        Printf.eprintf "unknown scheduler %s; available: %s\n" scheduler
+          (String.concat ", "
+             (E.Sched_registry.panel_names E.Sched_registry.registry));
+        exit 2
+    in
+    let cfg =
+      W.Config.make ~sites ~processors_per_site:1 ~databases ~availability
+        ~density ~horizon ()
+    in
+    if sweep then begin
+      let progress k total = Printf.eprintf "\rinstance %d/%d%!" k total in
+      let r =
+        E.Federation.run ~config:cfg ~shard_grid ~scheduler:sched.Sim.name
+          ~pool:(pool_of_jobs jobs) ~progress ~seed ~instances ()
+      in
+      Printf.eprintf "\n%!";
+      if json then print_string (E.Federation.to_json r)
+      else print_string (E.Federation.render r);
+      match out with
+      | Some path ->
+        E.Federation.write_json ~path r;
+        Printf.eprintf "wrote %s\n%!" path
+      | None -> ()
+    end
+    else begin
+      let rng = Gripps_rng.Splitmix.create seed in
+      let inst = W.Generator.instance rng cfg in
+      Printf.printf "# %s\n# %d jobs, %d shards, route %s, migrate %s, local \
+                     scheduler %s\n"
+        (W.Config.describe cfg) (Instance.num_jobs inst) shards
+        (Frontend.policy_name policy)
+        (if migrate then "on" else "off")
+        sched.Sim.name;
+      let baseline = (Sim.run_report ~horizon:1e9 sched inst).Sim.metrics in
+      let fed =
+        Fed.run ~pool:(pool_of_jobs jobs) ~horizon:1e9 ~migrate ~policy ~shards
+          ~scheduler:sched inst
+      in
+      Printf.printf "shard jobs: %s  (migrated: %d)\n"
+        (String.concat " "
+           (Array.to_list (Array.map string_of_int fed.Fed.shard_jobs)))
+        fed.Fed.outcome.Frontend.migrations;
+      let line name (m : Metrics.t) =
+        Printf.printf "%-11s max-stretch %12.4f  sum-stretch %12.4f  \
+                       makespan %10.2f\n"
+          name m.Metrics.max_stretch m.Metrics.sum_stretch m.Metrics.makespan
+      in
+      line "aggregate" baseline;
+      line "federated" fed.Fed.metrics;
+      let max_r, sum_r = Fed.stretch_ratios ~baseline fed in
+      Printf.printf "federation gap: max-stretch x%.3f, sum-stretch x%.3f\n"
+        max_r sum_r
+    end;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "federate"
+       ~doc:
+         "Multi-cluster federation: partition the platform into shards, \
+          route each arriving job through an immediate-dispatch front-end \
+          (SRPT counting, greedy-MCT, load or locality), optionally \
+          migrating unstarted work at arrival boundaries, and compare \
+          stretch objectives against the single-aggregate run. With \
+          --sweep, run the full shard x policy x migration grid.")
+    Term.(
+      ret
+        (const action $ seed_t $ fed_sites_t $ fed_databases_t
+         $ fed_availability_t $ fed_density_t $ horizon_t 900.0 $ shards_t
+         $ route_t $ migrate_t $ fed_scheduler_t $ sweep_t $ shard_grid_t
+         $ json_t $ out_t $ instances_t 5 $ jobs_t))
+
 (* ---- validate --------------------------------------------------------- *)
 
 let validate_cmd =
@@ -955,7 +1140,8 @@ let main =
          "Reproduction of 'Minimizing the stretch when scheduling flows of \
           biological requests' (Legrand, Su, Vivien).")
     [ run_cmd; optimal_cmd; table_cmd; tables_cmd; figure_cmd; overhead_cmd;
-      perf_cmd; scale_cmd; faults_cmd; trace_cmd; serve_cmd; validate_cmd ]
+      perf_cmd; scale_cmd; faults_cmd; trace_cmd; serve_cmd; federate_cmd;
+      validate_cmd ]
 
 (* Exit-code contract (audited by test/cli_exit_codes.sh):
      0  success

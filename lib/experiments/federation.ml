@@ -1,0 +1,188 @@
+(* The federation-gap experiment: baseline single-aggregate run vs the
+   same scheduler federated across shard-count × policy × migration
+   cells, ratio-ed per instance and averaged.
+
+   The sweep unit is one instance: realize it from (seed, k), run the
+   baseline once, then every cell on the same instance.  All federated
+   runs inside the unit use the sequential pool, so the instance-level
+   sweep can shard across domains without nested spawning. *)
+
+open Gripps_model
+open Gripps_engine
+module W = Gripps_workload
+module Fed = Gripps_federation.Federation
+module Frontend = Gripps_federation.Frontend
+module Pool = Gripps_parallel.Pool
+module Sweep = Gripps_parallel.Sweep
+
+type cell = {
+  shards : int;
+  policy : Frontend.policy;
+  migrate : bool;
+  mean_max_ratio : float;
+  mean_sum_ratio : float;
+  worst_max_ratio : float;
+  mean_migrations : float;
+}
+
+type report = {
+  seed : int;
+  instances : int;
+  scheduler : string;
+  config : W.Config.t;
+  shard_grid : int list;
+  policies : Frontend.policy list;
+  migrate_axis : bool list;
+  mean_jobs : float;
+  cells : cell list;
+}
+
+let default_config =
+  W.Config.make ~sites:8 ~processors_per_site:1 ~databases:4 ~availability:0.7
+    ~density:1.25 ~horizon:900.0 ()
+
+let default_shard_grid = [ 2; 4; 8 ]
+
+(* One instance's worth of measurements: per cell, the (max, sum,
+   migrations) triple of ratios to this instance's own baseline. *)
+type instance_cells = {
+  i_jobs : int;
+  i_ratios : (float * float * float) list;  (* cell order *)
+}
+
+let cell_grid ~shard_grid ~policies ~migrate_axis =
+  List.concat_map
+    (fun shards ->
+      List.concat_map
+        (fun policy ->
+          List.map (fun migrate -> (shards, policy, migrate)) migrate_axis)
+        policies)
+    shard_grid
+
+let instance_job ~seed ~config ~scheduler ~grid k =
+  let rng = Gripps_rng.Splitmix.create (seed + (1_000_003 * k)) in
+  let inst = W.Generator.instance rng config in
+  let baseline = (Sim.run_report scheduler inst).Sim.metrics in
+  let ratios =
+    List.map
+      (fun (shards, policy, migrate) ->
+        let fed =
+          Fed.run ~pool:Pool.sequential ~shards ~policy ~migrate ~scheduler
+            inst
+        in
+        let max_r, sum_r = Fed.stretch_ratios ~baseline fed in
+        (max_r, sum_r, float_of_int fed.Fed.outcome.Frontend.migrations))
+      grid
+  in
+  { i_jobs = Instance.num_jobs inst; i_ratios = ratios }
+
+let run ?(config = default_config) ?(shard_grid = default_shard_grid)
+    ?(policies = Frontend.all_policies) ?(migrate_axis = [ false; true ])
+    ?(scheduler = "SRPT") ?(pool = Pool.sequential) ?progress ~seed ~instances
+    () =
+  if shard_grid = [] then invalid_arg "Federation.run: empty shard grid";
+  if policies = [] then invalid_arg "Federation.run: empty policy list";
+  if migrate_axis = [] then invalid_arg "Federation.run: empty migrate axis";
+  if instances < 1 then invalid_arg "Federation.run: instances must be >= 1";
+  (* The generator realizes one machine per cluster site (aggregate
+     speed), so the shardable machine count is the site count. *)
+  let machines = config.W.Config.sites in
+  List.iter
+    (fun s ->
+      if s < 1 || s > machines then
+        invalid_arg
+          (Printf.sprintf
+             "Federation.run: shard count %d outside [1, %d machines]" s
+             machines))
+    shard_grid;
+  let sched =
+    match Sched_registry.find_scheduler scheduler with
+    | Some s -> s
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Federation.run: unknown scheduler %S" scheduler)
+  in
+  let grid = cell_grid ~shard_grid ~policies ~migrate_axis in
+  let sweep =
+    Sweep.make ~length:instances
+      (instance_job ~seed ~config ~scheduler:sched ~grid)
+  in
+  let per_instance = Sweep.run ~pool ?progress sweep in
+  let nf = float_of_int instances in
+  let cells =
+    List.mapi
+      (fun i (shards, policy, migrate) ->
+        let col = List.map (fun r -> List.nth r.i_ratios i) per_instance in
+        let sum3 (a, b, c) (a', b', c') = (a +. a', b +. b', c +. c') in
+        let ma, sa, mg = List.fold_left sum3 (0.0, 0.0, 0.0) col in
+        let worst =
+          List.fold_left (fun acc (m, _, _) -> Float.max acc m) 0.0 col
+        in
+        { shards;
+          policy;
+          migrate;
+          mean_max_ratio = ma /. nf;
+          mean_sum_ratio = sa /. nf;
+          worst_max_ratio = worst;
+          mean_migrations = mg /. nf })
+      grid
+  in
+  let mean_jobs =
+    List.fold_left (fun acc r -> acc +. float_of_int r.i_jobs) 0.0 per_instance
+    /. nf
+  in
+  { seed;
+    instances;
+    scheduler = sched.Sim.name;
+    config;
+    shard_grid;
+    policies;
+    migrate_axis;
+    mean_jobs;
+    cells }
+
+let render r =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add
+    "Federation gap (seed %d, %d instances, local scheduler %s, ~%.0f \
+     jobs/instance)\n"
+    r.seed r.instances r.scheduler r.mean_jobs;
+  add "ratios vs the single-aggregate %s run (1.00 = no loss)\n" r.scheduler;
+  add "%6s %-9s %-7s %10s %10s %10s %8s\n" "shards" "policy" "migrate"
+    "max-ratio" "sum-ratio" "worst-max" "moved";
+  List.iter
+    (fun c ->
+      add "%6d %-9s %-7s %10.3f %10.3f %10.3f %8.1f\n" c.shards
+        (Frontend.policy_name c.policy)
+        (if c.migrate then "on" else "off")
+        c.mean_max_ratio c.mean_sum_ratio c.worst_max_ratio c.mean_migrations)
+    r.cells;
+  Buffer.contents buf
+
+let to_json r =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n  \"schema\": \"gripps-bench-federate/1\",\n";
+  add "  \"seed\": %d, \"instances\": %d, \"scheduler\": %S,\n" r.seed
+    r.instances r.scheduler;
+  add "  \"config\": %S,\n" (W.Config.describe r.config);
+  add "  \"mean_jobs\": %.1f,\n" r.mean_jobs;
+  add "  \"cells\": [\n";
+  let last = List.length r.cells - 1 in
+  List.iteri
+    (fun i c ->
+      add
+        "    {\"shards\": %d, \"policy\": %S, \"migrate\": %b, \
+         \"max_ratio\": %.4f, \"sum_ratio\": %.4f, \"worst_max_ratio\": \
+         %.4f, \"mean_migrations\": %.2f}%s\n"
+        c.shards
+        (Frontend.policy_name c.policy)
+        c.migrate c.mean_max_ratio c.mean_sum_ratio c.worst_max_ratio
+        c.mean_migrations
+        (if i = last then "" else ","))
+    r.cells;
+  add "  ]\n}\n";
+  Buffer.contents buf
+
+let write_json ~path r = Gripps_obs.Fsio.write_atomic ~path (to_json r)

@@ -1,0 +1,68 @@
+(** The federation-gap experiment: what does sharding the platform cost?
+
+    For each random instance of a pinned configuration, the single
+    aggregate run (the paper's setting: one scheduler sees the whole
+    platform) is the baseline; the same scheduler is then run federated
+    across a grid of shard counts × routing policies × migration on/off
+    ({!Gripps_federation.Federation.run}), and each cell reports its
+    max-stretch and sum-stretch ratios to the baseline — the price of
+    scaling out coordination-free.
+
+    Every cell of every instance is a pure function of [(seed, k)]; the
+    sweep shards over {e instances} (the federated runs inside a cell use
+    the sequential pool — no nested domain spawning), so the report is
+    bit-identical at any pool size. *)
+
+module Frontend = Gripps_federation.Frontend
+
+type cell = {
+  shards : int;
+  policy : Frontend.policy;
+  migrate : bool;
+  mean_max_ratio : float;   (** geometric-free arithmetic mean over instances *)
+  mean_sum_ratio : float;
+  worst_max_ratio : float;  (** the worst instance's max-stretch ratio *)
+  mean_migrations : float;  (** mean migrated-job count (0 unless migrate) *)
+}
+
+type report = {
+  seed : int;
+  instances : int;
+  scheduler : string;       (** the local scheduler every shard runs *)
+  config : Gripps_workload.Config.t;
+  shard_grid : int list;
+  policies : Frontend.policy list;
+  migrate_axis : bool list;
+  mean_jobs : float;        (** mean realized job count per instance *)
+  cells : cell list;        (** shard-major, policy-minor, migrate-innermost *)
+}
+
+val default_config : Gripps_workload.Config.t
+(** 8 single-processor sites (so 2/4/8-shard partitions are meaningful),
+    4 databanks at availability 0.7, density 1.25 — the overloaded regime
+    where routing quality matters. *)
+
+val default_shard_grid : int list
+(** [[2; 4; 8]]. *)
+
+val run :
+  ?config:Gripps_workload.Config.t ->
+  ?shard_grid:int list ->
+  ?policies:Frontend.policy list ->
+  ?migrate_axis:bool list ->
+  ?scheduler:string ->
+  ?pool:Gripps_parallel.Pool.t ->
+  ?progress:(int -> int -> unit) ->
+  seed:int ->
+  instances:int ->
+  unit ->
+  report
+(** [scheduler] (default ["SRPT"] — the local rule of the Fox–Moseley
+    immediate-dispatch baseline) names a {!Sched_registry} entry.
+    @raise Invalid_argument on an unknown scheduler name, an empty grid
+    or axis, or a shard count exceeding the configuration's machine
+    count. *)
+
+val render : report -> string
+val to_json : report -> string
+val write_json : path:string -> report -> unit

@@ -30,7 +30,8 @@ let with_spans f =
 
 let run_instance ?(bender98_max_sites = 3) ?(bender98_max_jobs = 60)
     ?(schedulers = Sched_registry.schedulers Sched_registry.paper_panel)
-    ?(objectives = []) ?(faults = []) ?(loss = Fault.Crash) config inst =
+    ?(objectives = []) ?(faults = []) ?(loss = Fault.Crash) ?(guard = 1e9)
+    config inst =
   let measurements =
     List.filter_map
       (fun s ->
@@ -44,7 +45,17 @@ let run_instance ?(bender98_max_sites = 3) ?(bender98_max_jobs = 60)
           with_spans @@ fun () ->
           let solver0 = Obs.Span.total_prefix "solver." in
           let t0 = Unix.gettimeofday () in
-          let report = Sim.run_report ~horizon:1e9 ~faults ~loss s inst in
+          (* An over-tight guard is a data problem (the run cannot deliver
+             complete metrics), not a usage error: surface it as the same
+             typed [Metrics.Incomplete] every metrics consumer already
+             maps to exit 3, naming the first job left pending. *)
+          let report =
+            try Sim.run_report ~horizon:guard ~faults ~loss s inst
+            with Sim.Horizon_exceeded { pending; _ } as e ->
+              (match pending with
+              | j :: _ -> raise (Metrics.Incomplete j)
+              | [] -> raise e)
+          in
           let m = report.Sim.metrics in
           let wall_time = Unix.gettimeofday () -. t0 in
           let solver_time = Obs.Span.total_prefix "solver." -. solver0 in
@@ -113,7 +124,7 @@ let ratios_for obj r =
     List.map (fun (s, v) -> (s, div v best)) vals
 
 let instance_job ?bender98_max_sites ?bender98_max_jobs ?schedulers ?objectives
-    ~seed config k =
+    ?guard ~seed config k =
   (* One independent stream per instance, derived from the index alone:
      results do not shift when the instance count changes, and shard [k]
      of a parallel sweep replays identically wherever it runs. *)
@@ -130,16 +141,16 @@ let instance_job ?bender98_max_sites ?bender98_max_jobs ?schedulers ?objectives
     | None -> Fault.Crash
   in
   run_instance ?bender98_max_sites ?bender98_max_jobs ?schedulers ?objectives
-    ~faults ~loss config inst
+    ?guard ~faults ~loss config inst
 
 let config_sweep ?bender98_max_sites ?bender98_max_jobs ?schedulers ?objectives
-    ~seed ~instances config =
+    ?guard ~seed ~instances config =
   Gripps_parallel.Sweep.make ~length:instances
     (instance_job ?bender98_max_sites ?bender98_max_jobs ?schedulers ?objectives
-       ~seed config)
+       ?guard ~seed config)
 
 let run_config ?bender98_max_sites ?bender98_max_jobs ?schedulers ?objectives
-    ?pool ~seed ~instances config =
+    ?guard ?pool ~seed ~instances config =
   Gripps_parallel.Sweep.run ?pool
     (config_sweep ?bender98_max_sites ?bender98_max_jobs ?schedulers ?objectives
-       ~seed ~instances config)
+       ?guard ~seed ~instances config)

@@ -51,6 +51,7 @@ val run_instance :
   ?objectives:Metrics.objective list ->
   ?faults:Fault.trace ->
   ?loss:Fault.loss ->
+  ?guard:float ->
   Gripps_workload.Config.t ->
   Instance.t ->
   instance_result
@@ -58,7 +59,12 @@ val run_instance :
     same machine-failure trace into every scheduler's run, so the
     portfolio is compared under identical outages.  Runs are measured at
     observability level [Spans] at least (promoted temporarily when the
-    ambient level is [Counters]) so that [solver_time] is populated. *)
+    ambient level is [Counters]) so that [solver_time] is populated.
+    [guard] (default [1e9]) is the simulation abort guard: a run dragged
+    past it cannot deliver complete metrics, so the engine's
+    {!Sim.Horizon_exceeded} is converted to the typed
+    {!Gripps_model.Metrics.Incomplete} (naming the first pending job) —
+    the same data-error every metrics consumer already maps to exit 3. *)
 
 val value : measurement -> Metrics.objective -> float option
 (** The measured value of an objective: the classic fields answer
@@ -81,6 +87,7 @@ val instance_job :
   ?bender98_max_jobs:int ->
   ?schedulers:Sim.scheduler list ->
   ?objectives:Metrics.objective list ->
+  ?guard:float ->
   seed:int ->
   Gripps_workload.Config.t ->
   int ->
@@ -96,6 +103,7 @@ val config_sweep :
   ?bender98_max_jobs:int ->
   ?schedulers:Sim.scheduler list ->
   ?objectives:Metrics.objective list ->
+  ?guard:float ->
   seed:int ->
   instances:int ->
   Gripps_workload.Config.t ->
@@ -107,6 +115,7 @@ val run_config :
   ?bender98_max_jobs:int ->
   ?schedulers:Sim.scheduler list ->
   ?objectives:Metrics.objective list ->
+  ?guard:float ->
   ?pool:Gripps_parallel.Pool.t ->
   seed:int ->
   instances:int ->

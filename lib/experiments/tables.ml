@@ -10,7 +10,7 @@ type row = {
 type table = { title : string; rows : row list; instances : int }
 
 let sweep ?(seed = 20060101) ?(instances_per_config = 3) ?configs ?schedulers
-    ?objectives ?(progress = fun _ _ -> ()) ?pool ~horizon () =
+    ?objectives ?guard ?(progress = fun _ _ -> ()) ?pool ~horizon () =
   let configs =
     match configs with
     | Some cs -> cs
@@ -26,8 +26,8 @@ let sweep ?(seed = 20060101) ?(instances_per_config = 3) ?configs ?schedulers
   let sweep =
     Gripps_parallel.Sweep.make ~length:shards (fun s ->
         let i = s / instances_per_config and k = s mod instances_per_config in
-        Runner.instance_job ?schedulers ?objectives ~seed:(seed + (7919 * i))
-          configs.(i) k)
+        Runner.instance_job ?schedulers ?objectives ?guard
+          ~seed:(seed + (7919 * i)) configs.(i) k)
   in
   Gripps_parallel.Sweep.run ?pool ~progress sweep
 

@@ -34,6 +34,7 @@ val sweep :
   ?configs:W.Config.t list ->
   ?schedulers:Gripps_engine.Sim.scheduler list ->
   ?objectives:Metrics.objective list ->
+  ?guard:float ->
   ?progress:(int -> int -> unit) ->
   ?pool:Gripps_parallel.Pool.t ->
   horizon:float ->
@@ -41,8 +42,9 @@ val sweep :
   Runner.instance_result list
 (** Run the full factorial design (or [configs]); [progress done total] is
     called after each (configuration, instance) job, in job order.
-    [schedulers] (default the Table 1 portfolio) and [objectives] (extra
-    objectives to evaluate per run) are forwarded to
+    [schedulers] (default the Table 1 portfolio), [objectives] (extra
+    objectives to evaluate per run) and [guard] (simulation abort guard,
+    surfaced as {!Metrics.Incomplete}) are forwarded to
     {!Runner.instance_job}.  [pool] (default sequential) shards the jobs
     across domains; the result list and every table derived from it are
     identical at any pool size. *)

@@ -1,0 +1,72 @@
+(** The routing front-end of a federated platform.
+
+    Jobs arrive at the front-end in release order and are dispatched to a
+    shard {e at release time} — immediate dispatch, the information model
+    of Fox & Moseley's {e Online Scheduling on Identical Machines using
+    SRPT}: once routed, a job is the target shard's problem (its local
+    scheduler decides everything else).
+
+    The front-end never inspects shard simulations.  It maintains its own
+    {e fluid estimate} of each shard's state: dispatched jobs queue in
+    FIFO order and drain at the shard's aggregate speed between arrivals
+    (Lemma 1 applied per shard, ignoring databank placement inside the
+    shard).  All routing policies read only this estimate, so dispatch is
+    a pure function of the instance — deterministic, replayable, and
+    independent of how the shard simulations are later scheduled across
+    domains.
+
+    {b Eligibility.}  Every policy routes only among shards hosting the
+    job's databank ({!Shard.hosts}); the partition covers every machine,
+    so at least one shard is always eligible.  Ties break toward the
+    lowest shard index.
+
+    {b Migration.}  With [~migrate:true] every arrival is also a replan
+    boundary at which the front-end rebalances {e unstarted} work: while
+    moving the most recently dispatched unstarted job of the most loaded
+    shard to the least loaded eligible shard strictly reduces the pair's
+    maximum normalized backlog, the job is re-routed.  A job is unstarted
+    while the fluid FIFO head has not reached it, so its full size moves.
+    The migrated job's effective release becomes the migration date — the
+    receiving shard cannot see work before the hand-over, making
+    migration conservative (it can only delay a job's availability, never
+    teleport progress). *)
+
+(** How the front-end picks among eligible shards.  Normalized backlog =
+    (estimated unfinished dispatched work) / (aggregate shard speed). *)
+type policy =
+  | Srpt
+      (** Immediate-dispatch SRPT (the Fox–Moseley baseline, counting
+          rule in the spirit of Avrahami–Azar): route to the shard whose
+          fluid queue holds the fewest jobs of remaining estimate at most
+          the new job's size; each shard then runs SRPT (or any registry
+          scheduler) locally.  Ties by normalized backlog, then index. *)
+  | Greedy
+      (** MCT-style: minimize the estimated completion time of the new
+          job — normalized backlog plus [size / db_speed]. *)
+  | Load  (** least pending work: minimize normalized backlog. *)
+  | Locality
+      (** replication-aware: maximize the shard's aggregate speed for
+          the job's databank; ties by normalized backlog, then index. *)
+
+val all_policies : policy list
+val policy_name : policy -> string
+(** ["srpt"], ["greedy"], ["load"], ["locality"] — the CLI spellings. *)
+
+val policy_of_string : string -> policy option
+
+type outcome = {
+  assignment : int array;    (** final shard per global job id *)
+  dispatch : int array;      (** shard of the initial immediate dispatch *)
+  release : float array;     (** effective release per global job id *)
+  migrations : int;          (** jobs whose final shard differs *)
+}
+
+val dispatch :
+  ?migrate:bool ->
+  policy:policy ->
+  Shard.t array ->
+  Gripps_model.Instance.t ->
+  outcome
+(** Walk the instance's jobs in release order, routing each under the
+    policy (and rebalancing at each boundary when [migrate], default
+    false).  Deterministic: the outcome depends only on the arguments. *)

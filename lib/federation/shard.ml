@@ -1,0 +1,68 @@
+open Gripps_model
+
+type t = {
+  index : int;
+  machines : int array;
+  platform : Platform.t;
+}
+
+let partition platform ~shards =
+  let m = Platform.num_machines platform in
+  if shards < 1 || shards > m then
+    invalid_arg
+      (Printf.sprintf "Shard.partition: shards must be in [1, %d], got %d" m
+         shards);
+  let nd = Platform.num_databanks platform in
+  Array.init shards (fun k ->
+      let lo = k * m / shards and hi = (k + 1) * m / shards in
+      let machines = Array.init (hi - lo) (fun i -> lo + i) in
+      let subs =
+        Array.to_list
+          (Array.mapi
+             (fun i g ->
+               { (Platform.machine platform g) with Machine.id = i })
+             machines)
+      in
+      { index = k;
+        machines;
+        platform = Platform.make ~machines:subs ~num_databanks:nd })
+
+let num_machines t = Array.length t.machines
+let speed t = Platform.total_speed t.platform
+
+let hosts t d = Platform.hosts_of t.platform d <> []
+let db_speed t d = Platform.speed_for t.platform d
+
+let project_faults t trace =
+  (* Global machine id -> local slot, or -1 when the machine is not
+     ours.  Shards own contiguous slices, but go through the array so
+     the translation stays correct if the partition policy changes. *)
+  let local = Hashtbl.create (Array.length t.machines) in
+  Array.iteri (fun i g -> Hashtbl.replace local g i) t.machines;
+  List.filter_map
+    (fun (e : Gripps_engine.Fault.edge) ->
+      match Hashtbl.find_opt local e.Gripps_engine.Fault.machine with
+      | Some i -> Some { e with Gripps_engine.Fault.machine = i }
+      | None -> None)
+    trace
+
+let sub_instance t inst routed =
+  let jobs =
+    List.map
+      (fun (gid, release) ->
+        let j = Instance.job inst gid in
+        if not (hosts t j.Job.databank) then
+          invalid_arg
+            (Printf.sprintf
+               "Shard.sub_instance: job %d needs databank %d, absent from \
+                shard %d"
+               gid j.Job.databank t.index);
+        { j with Job.release })
+      routed
+  in
+  (* Instance.make sorts by (release, id) and renumbers; jobs still carry
+     their global ids here, so sorting the same way yields the
+     local -> global map. *)
+  let sorted = List.sort Job.compare_by_release jobs in
+  let map = Array.of_list (List.map (fun (j : Job.t) -> j.Job.id) sorted) in
+  (Instance.make ~platform:t.platform ~jobs, map)

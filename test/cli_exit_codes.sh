@@ -32,14 +32,26 @@ expect 0 "optimal on a tiny instance" \
 expect 0 "serve drains a small poisson stream" \
   "$CLI" serve --seed 1 --n-jobs 20 --rate 4 --max-live 4 --queue-cap 2
 
+expect 0 "federate a tiny instance over 2 shards" \
+  "$CLI" federate --shards 2 --sites 4 --databases 2 --horizon 20 --seed 3
+
 # Guardrail: a starved solver budget exits 3.
 expect 3 "optimal with an exhausted budget" \
   "$CLI" optimal --seed 1 --sites 2 --databases 2 --horizon 5 --budget-iters 1
+
+# Guardrail: an over-tight simulation guard leaves jobs pending, which
+# surfaces as Metrics.Incomplete rather than a bogus table.
+expect 3 "table with an over-tight abort guard" \
+  "$CLI" table 1 --instances 1 --guard 0.001
 
 # Usage/configuration errors exit 2.
 expect 2 "negative workload density" "$CLI" run --density=-1
 expect 2 "unknown trace scenario" "$CLI" trace no-such-scenario
 expect 2 "unknown serve rule" "$CLI" serve --scheduler BOGUS
+expect 2 "unknown federate routing policy" "$CLI" federate --route bogus
+expect 2 "zero federate shards" \
+  "$CLI" federate --shards 0 --sites 2 --databases 2 --horizon 5
+expect 2 "unknown federate local scheduler" "$CLI" federate --scheduler BOGUS
 expect 2 "serve on a missing source file" \
   "$CLI" serve --source "$TMP/absent.jobs"
 expect 2 "resume without a checkpoint" "$CLI" serve --resume

@@ -5,4 +5,5 @@ let () =
       Test_engine.suite;
       Test_faults.suite; Test_sched.suite; Test_flat.suite; Test_core.suite; Test_workload.suite;
       Test_experiments.suite; Test_snapshot.suite; Test_obs.suite;
-      Test_parallel.suite; Test_service.suite; Test_unrelated.suite ]
+      Test_parallel.suite; Test_federation.suite; Test_service.suite;
+      Test_unrelated.suite ]

@@ -163,6 +163,31 @@ let test_resilience_differential () =
   Alcotest.(check string) "4-domain resilience table" seq
     (render (Pool.create ~domains:4 ()))
 
+(* The federation experiment nests differently from the table sweeps: the
+   outer sweep shards instances across domains while every federated run
+   inside an instance (front-end dispatch, migration, per-shard
+   simulations) stays on the sequential pool.  The rendered gap table and
+   the JSON artifact must still be byte-identical at any domain count. *)
+let test_federation_differential () =
+  let config =
+    W.Config.make ~sites:4 ~processors_per_site:1 ~databases:2
+      ~availability:0.8 ~density:1.25 ~horizon:40.0 ()
+  in
+  let run pool =
+    let r =
+      E.Federation.run ~config ~shard_grid:[ 2; 4 ] ~pool ~seed:91 ~instances:3
+        ()
+    in
+    (E.Federation.render r, E.Federation.to_json r)
+  in
+  let seq_table, seq_json = run Pool.sequential in
+  let t2, j2 = run (Pool.create ~domains:2 ()) in
+  let t4, j4 = run (Pool.create ~domains:4 ()) in
+  Alcotest.(check string) "2-domain federation table" seq_table t2;
+  Alcotest.(check string) "4-domain federation table" seq_table t4;
+  Alcotest.(check string) "2-domain federation json" seq_json j2;
+  Alcotest.(check string) "4-domain federation json" seq_json j4
+
 (* ---- seed discipline --------------------------------------------------- *)
 
 (* More workers than shards: every shard still draws from its own
@@ -243,6 +268,8 @@ let suite =
       QCheck_alcotest.to_alcotest prop_differential;
       Alcotest.test_case "resilience render identical across pools" `Slow
         (sandboxed test_resilience_differential);
+      Alcotest.test_case "federation sweep identical across pools" `Slow
+        (sandboxed test_federation_differential);
       Alcotest.test_case "seed discipline: oversubscribed pool" `Quick
         (sandboxed test_seed_discipline);
       Alcotest.test_case "horizon_exceeded contained in shard" `Quick
